@@ -1,0 +1,48 @@
+// A2 — ablation: RTCP feedback interval. §4 says feedback is sent
+// "periodically or in specifically calculated intervals"; this sweep shows
+// the trade-off between reaction time and feedback traffic for the
+// long-term grading loop.
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace hyms;
+using namespace hyms::bench;
+
+int main() {
+  std::printf(
+      "A2: RTCP receiver-report interval vs grading responsiveness\n"
+      "(40 s lecture, 6 Mbps link, 5 Mbps cross-traffic bursts)\n\n");
+
+  table_header({"RR interval", "reports", "degrades", "upgrades", "fresh%",
+                "starved"});
+  for (const std::int64_t interval_ms : {100, 250, 500, 1000, 2000, 5000}) {
+    SessionParams params;
+    params.markup = lecture_markup(40);
+    params.seed = 2024;
+    params.run_for = Time::sec(55);
+    params.access_bandwidth_bps = 6e6;
+    params.time_window = Time::msec(600);
+    params.cross_rate_bps = 5e6;
+    params.cross_mean_on = Time::sec(5);
+    params.cross_mean_off = Time::sec(4);
+    params.rtcp_rr_interval = Time::msec(interval_ms);
+    // Let the manager act as fast as reports arrive.
+    params.qos_action_hold = Time::msec(std::max<std::int64_t>(interval_ms, 250));
+    const auto metrics = run_session(params);
+    table_row({std::to_string(interval_ms) + "ms",
+               std::to_string(metrics.qos.reports),
+               std::to_string(metrics.qos.degrades),
+               std::to_string(metrics.qos.upgrades),
+               fmt_pct(metrics.fresh_ratio),
+               std::to_string(metrics.underflow_duplicates)});
+  }
+
+  std::printf(
+      "\nReading: second-scale intervals react within one burst and keep the\n"
+      "presentation fresh; multi-second intervals mean a whole congestion\n"
+      "episode can pass before the server hears about it, while sub-250 ms\n"
+      "intervals buy little and multiply feedback traffic.\n");
+  return 0;
+}

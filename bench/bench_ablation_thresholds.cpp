@@ -1,0 +1,68 @@
+// A1 — ablation: buffer watermark sensitivity. The §4 buffer monitor acts on
+// occupancy thresholds; this sweep shows how the high watermark (overflow
+// dropping) and time window interact with jittery arrivals.
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace hyms;
+using namespace hyms::bench;
+
+int main() {
+  std::printf(
+      "A1: watermark ablation (30 s lecture, bursty loss + 150 ms jitter sd,\n"
+      "400 ms time window, 10 Mbps)\n\n");
+
+  std::printf("High watermark sweep (overflow dropping threshold, x window):\n");
+  table_header({"high mark", "fresh%", "overflow drops", "starved", "late"});
+  for (const double high : {1.2, 1.5, 2.0, 3.0, 6.0}) {
+    SessionParams params;
+    params.markup = lecture_markup(30);
+    params.seed = 77;
+    params.time_window = Time::msec(400);
+    params.high_watermark = high;
+    params.jitter_mean = Time::msec(60);
+    params.jitter_stddev = Time::msec(150);
+    net::GilbertElliottLoss::Params ge;
+    ge.p_good_to_bad = 0.004;
+    ge.p_bad_to_good = 0.03;
+    ge.loss_bad = 0.6;
+    params.burst_loss = ge;
+    params.qos_enabled = false;
+    const auto metrics = run_session(params);
+    table_row({fmt(high, 1) + "x", fmt_pct(metrics.fresh_ratio),
+               std::to_string(metrics.overflow_drops),
+               std::to_string(metrics.underflow_duplicates),
+               std::to_string(metrics.late_discards)});
+  }
+
+  std::printf("\nOverflow dropping disabled vs enabled (same conditions):\n");
+  table_header({"drop_on_overflow", "fresh%", "overflow drops", "starved"});
+  for (const bool drop : {true, false}) {
+    SessionParams params;
+    params.markup = lecture_markup(30);
+    params.seed = 77;
+    params.time_window = Time::msec(400);
+    params.high_watermark = drop ? 2.0 : 1e9;
+    params.jitter_mean = Time::msec(60);
+    params.jitter_stddev = Time::msec(150);
+    net::GilbertElliottLoss::Params ge2;
+    ge2.p_good_to_bad = 0.004;
+    ge2.p_bad_to_good = 0.03;
+    ge2.loss_bad = 0.6;
+    params.burst_loss = ge2;
+    params.qos_enabled = false;
+    const auto metrics = run_session(params);
+    table_row({drop ? "on (2.0x)" : "off", fmt_pct(metrics.fresh_ratio),
+               std::to_string(metrics.overflow_drops),
+               std::to_string(metrics.underflow_duplicates)});
+  }
+
+  std::printf(
+      "\nReading: a low high-watermark discards content the jitter later\n"
+      "needed (drops without benefit); a very high one lets stale data pile\n"
+      "up after stalls. The paper's monitor needs the threshold comfortably\n"
+      "above the time window but bounded.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// E1 — Fig. 1 + Table 1: the hypermedia markup language.
+// (a) Grammar coverage: one document per production family parses, validates
+//     and round-trips.
+// (b) Parser/writer throughput scaling (google-benchmark): linear in
+//     document size.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "core/scenario.hpp"
+#include "hermes/lesson_builder.hpp"
+#include "hermes/sample_content.hpp"
+#include "markup/parser.hpp"
+#include "markup/validate.hpp"
+#include "markup/writer.hpp"
+
+namespace {
+
+using namespace hyms;
+
+std::string document_with_elements(int elements) {
+  hermes::LessonBuilder builder("Scaling document");
+  for (int i = 0; i < elements; ++i) {
+    const std::string id = "el" + std::to_string(i);
+    switch (i % 5) {
+      case 0:
+        builder.text("some body text run number " + std::to_string(i));
+        break;
+      case 1:
+        builder.image(id, "image:jpeg:img" + id, Time::msec(i * 100),
+                      Time::sec(2), 320, 240);
+        break;
+      case 2:
+        builder.audio(id, "audio:pcm:au" + id, Time::msec(i * 100),
+                      Time::sec(2));
+        break;
+      case 3:
+        builder.av_pair(id + "a", "audio:pcm:x" + id, id + "v",
+                        "video:mpeg:y" + id, Time::msec(i * 100), Time::sec(2));
+        break;
+      case 4:
+        builder.link("doc-" + std::to_string(i), "", Time::sec(i));
+        break;
+    }
+  }
+  return builder.markup_text();
+}
+
+void coverage_table() {
+  struct Case {
+    const char* production;
+    const char* text;
+  };
+  const Case cases[] = {
+      {"TITLE", "<TITLE> t </TITLE>"},
+      {"H1/H2/H3", "<TITLE> t </TITLE> <H1> a </H1> <TEXT> x </TEXT>"
+                   " <H2> b </H2> <TEXT> y </TEXT> <H3> c </H3> <TEXT> z </TEXT>"},
+      {"PAR/SEP", "<TITLE> t </TITLE> <TEXT> a </TEXT> <PAR> <TEXT> b </TEXT> <SEP>"},
+      {"TEXT+B/I/U", "<TITLE> t </TITLE> <TEXT> p <B> b </B> <I> i </I>"
+                     " <U> u </U> </TEXT>"},
+      {"IMG", "<TITLE> t </TITLE> <IMG> SOURCE= image:jpeg:x ID= I STARTIME= 0"
+              " WIDTH= 320 HEIGHT= 240 NOTE= pic </IMG>"},
+      {"AU", "<TITLE> t </TITLE> <AU> SOURCE= audio:pcm:x ID= A STARTIME= 1"
+             " DURATION= 4 </AU>"},
+      {"VI", "<TITLE> t </TITLE> <VI> SOURCE= video:mpeg:x ID= V STARTIME= 1"
+             " DURATION= 4 </VI>"},
+      {"AU_VI", "<TITLE> t </TITLE> <AU_VI> SOURCE= audio:pcm:a SOURCE="
+                " video:mpeg:v ID= A ID= V STARTIME= 2 STARTIME= 2 DURATION= 6"
+                " </AU_VI>"},
+      {"HLINK", "<TITLE> t </TITLE> <HLINK> doc-2 NOTE= related </HLINK>"},
+      {"HLINK AT", "<TITLE> t </TITLE> <HLINK> AT 12.5 doc-2 </HLINK>"},
+      {"HLINK HOST", "<TITLE> t </TITLE> <HLINK> doc-2 HOST= hermes-2 </HLINK>"},
+      {"WHERE", "<TITLE> t </TITLE> <IMG> SOURCE= image:gif:x ID= I STARTIME= 0"
+                " WHERE= 10,20 </IMG>"},
+  };
+  std::printf("E1a: grammar coverage (Fig. 1 productions)\n");
+  hyms::bench::table_header({"production", "parses", "valid", "round-trip"});
+  for (const auto& c : cases) {
+    auto doc = markup::parse(c.text);
+    bool valid = false, rt = false;
+    if (doc.ok()) {
+      valid = markup::validate(doc.value()).ok();
+      auto again = markup::parse(markup::write(doc.value()));
+      rt = again.ok() && again.value() == doc.value();
+    }
+    hyms::bench::table_row({c.production, doc.ok() ? "yes" : "NO",
+                            valid ? "yes" : "NO", rt ? "yes" : "NO"});
+  }
+  std::printf("\nE1b: Fig. 2 scenario text (%zu bytes) parses+validates: %s\n\n",
+              hermes::fig2_lesson_markup().size(),
+              markup::parse(hermes::fig2_lesson_markup()).ok() ? "yes" : "NO");
+}
+
+void BM_Parse(benchmark::State& state) {
+  const std::string text = document_with_elements(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto doc = markup::parse(text);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+  state.counters["elements"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Parse)->Arg(1)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Write(benchmark::State& state) {
+  const auto doc =
+      markup::parse(document_with_elements(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto text = markup::write(doc.value());
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_Write)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_Validate(benchmark::State& state) {
+  const auto doc =
+      markup::parse(document_with_elements(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto report = markup::validate(doc.value());
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_Validate)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ExtractScenario(benchmark::State& state) {
+  const auto doc =
+      markup::parse(document_with_elements(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto scenario = hyms::core::extract_scenario(doc.value());
+    benchmark::DoNotOptimize(scenario);
+  }
+}
+BENCHMARK(BM_ExtractScenario)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  coverage_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Micro-benchmarks of the substrates (google-benchmark): DES event
+// throughput, media buffer operations, RTP/RTCP serialization, frame
+// generation, and the end-to-end emulated packet path.
+
+#include <benchmark/benchmark.h>
+
+#include "buffer/media_buffer.hpp"
+#include "media/source.hpp"
+#include "net/network.hpp"
+#include "rtp/packets.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace hyms;
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(Time::usec(i), [&fired] { ++fired; });
+    }
+    state.ResumeTiming();
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_SimulatorTimerChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t ticks = 0;
+    std::function<void()> tick = [&] {
+      if (++ticks < state.range(0)) sim.schedule_after(Time::usec(10), tick);
+    };
+    sim.schedule_after(Time::usec(10), tick);
+    sim.run();
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorTimerChain)->Arg(10000);
+
+void BM_MediaBufferPushPop(benchmark::State& state) {
+  buffer::MediaBuffer::Config config;
+  config.capacity_frames = 1 << 16;
+  for (auto _ : state) {
+    buffer::MediaBuffer buf("bench", config);
+    for (std::int64_t k = 0; k < state.range(0); ++k) {
+      buffer::BufferedFrame frame;
+      frame.index = k;
+      frame.duration = Time::msec(40);
+      buf.push(std::move(frame));
+    }
+    while (buf.pop()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_MediaBufferPushPop)->Arg(1024);
+
+void BM_RtpSerializeParse(benchmark::State& state) {
+  rtp::RtpPacket pkt;
+  pkt.header.sequence = 1234;
+  pkt.header.timestamp = 567890;
+  pkt.header.ssrc = 42;
+  pkt.payload.assign(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    auto wire = rtp::serialize_rtp(pkt);
+    auto parsed = rtp::parse_rtp(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RtpSerializeParse)->Arg(200)->Arg(1400);
+
+void BM_RtcpCompound(benchmark::State& state) {
+  rtp::RtcpCompound compound;
+  rtp::ReceiverReport rr;
+  rr.ssrc = 1;
+  rr.reports.push_back(rtp::ReportBlock{2, 10, 100, 5000, 33, 44, 55});
+  compound.receiver_reports.push_back(rr);
+  rtp::AppQos app;
+  app.ssrc = 1;
+  app.metrics = {{"buffer_ms", 480.0}, {"jitter_ms", 2.5}};
+  compound.app_qos.push_back(app);
+  for (auto _ : state) {
+    auto wire = rtp::serialize_rtcp(compound);
+    auto parsed = rtp::parse_rtcp(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_RtcpCompound);
+
+void BM_VideoFrameGeneration(benchmark::State& state) {
+  media::VideoProfile profile;
+  media::VideoSource source("video:mpeg:bench", profile, Time::sec(60));
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    auto frame = source.frame(k % source.frame_count(), 0);
+    benchmark::DoNotOptimize(frame);
+    ++k;
+  }
+}
+BENCHMARK(BM_VideoFrameGeneration);
+
+void BM_FrameVerify(benchmark::State& state) {
+  const auto payload = media::encode_frame_payload(1, 2, 0, 6000);
+  for (auto _ : state) {
+    auto meta = media::verify_frame_payload(payload);
+    benchmark::DoNotOptimize(meta);
+  }
+  state.SetBytesProcessed(state.iterations() * 6000);
+}
+BENCHMARK(BM_FrameVerify);
+
+void BM_EmulatedPacketPath(benchmark::State& state) {
+  // Cost of pushing one datagram through a 3-hop emulated path, including
+  // all simulator events.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    net::Network net(sim);
+    const auto a = net.add_host("a");
+    const auto r = net.add_router("r");
+    const auto b = net.add_host("b");
+    net::LinkParams lp;
+    net.connect(a, r, lp);
+    net.connect(r, b, lp);
+    int received = 0;
+    net.bind(b, 50, [&](const net::Packet&) { ++received; });
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      net.send(net::Endpoint{a, 1}, net::Endpoint{b, 50},
+               net::Payload(1000, 0));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EmulatedPacketPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

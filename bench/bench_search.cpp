@@ -1,0 +1,73 @@
+// E8 — §2 / §6.2.2: distributed search. A query entered at one server fans
+// out to every peer; only matching lessons (with their server location)
+// return. Sweeps the number of servers and reports latency and hit counts.
+
+#include <cstdio>
+#include <set>
+
+#include "client/browser_session.hpp"
+#include "harness.hpp"
+#include "hermes/deployment.hpp"
+#include "hermes/sample_content.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hyms;
+using namespace hyms::bench;
+
+int main() {
+  std::printf("E8: distributed search fan-out (20 lessons per server)\n\n");
+  table_header({"servers", "lessons", "hits('fundamentals')",
+                "hits('physics')", "servers answering", "latency ms"});
+
+  for (const int servers : {1, 2, 4, 8, 16}) {
+    sim::Simulator sim(11);
+    hermes::Deployment::Config config;
+    config.server_count = servers;
+    hermes::Deployment deployment(sim, config);
+
+    const auto catalogue = hermes::lesson_catalogue(20 * servers);
+    for (std::size_t i = 0; i < catalogue.size(); ++i) {
+      deployment.server(static_cast<int>(i % static_cast<std::size_t>(servers)))
+          .documents()
+          .add(catalogue[i].name, catalogue[i].markup);
+    }
+
+    client::BrowserSession::Config bc;
+    client::BrowserSession session(deployment.network(),
+                                   deployment.client_node(0),
+                                   deployment.server(0).control_endpoint(), bc);
+    session.set_subscription_form(hermes::student_form("searcher", "basic"));
+    session.connect("searcher", "secret-searcher");
+    sim.run_until(Time::sec(1));
+
+    // Query 1: matches every lesson.
+    const Time start = sim.now();
+    session.search("fundamentals");
+    while (!session.search_completed() && sim.now() < Time::sec(20)) {
+      sim.step();
+    }
+    const double latency_ms = (sim.now() - start).to_ms();
+    const auto all_hits = session.search_results().size();
+    std::set<std::string> answering;
+    for (const auto& hit : session.search_results()) {
+      answering.insert(hit.server);
+    }
+
+    // Query 2: matches only the physics lessons.
+    session.search("physics");
+    sim.run_until(sim.now() + Time::sec(5));
+    const auto physics_hits = session.search_results().size();
+
+    table_row({std::to_string(servers), std::to_string(20 * servers),
+               std::to_string(all_hits), std::to_string(physics_hits),
+               std::to_string(answering.size()), fmt(latency_ms, 1)});
+  }
+
+  std::printf(
+      "\nPaper claim: \"the server sends the query to all other Hermes\n"
+      "servers ... only the lessons which contain the item of interest and\n"
+      "the server location are transmitted\" — hits scale with the corpus,\n"
+      "every server answers, and latency stays a couple of round trips\n"
+      "(the fan-out runs in parallel), bounded by the search timeout.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E4 — §4 short-term recovery ([LIT 92]): drop/duplicate skew control keeps
+// the AU_VI pair lip-synced when bursty loss starves the audio stream.
+// Compares policy variants under identical impairments.
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace hyms;
+using namespace hyms::bench;
+
+namespace {
+
+SessionParams base_params(std::uint64_t seed) {
+  SessionParams params;
+  params.markup = lecture_markup(30);
+  params.seed = seed;
+  params.time_window = Time::msec(400);
+  params.qos_enabled = false;  // isolate the short-term mechanism
+  net::GilbertElliottLoss::Params ge;
+  ge.p_good_to_bad = 0.004;
+  ge.p_bad_to_good = 0.03;
+  ge.loss_bad = 0.6;
+  params.burst_loss = ge;
+  params.jitter_stddev = Time::msec(15);
+  return params;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E4: intermedia skew control under bursty loss (Gilbert-Elliott,\n"
+      "60%% loss in bad state). 30 s lecture, AU_VI lip-sync pair.\n\n");
+
+  struct Variant {
+    const char* name;
+    bool enabled, skip, pause;
+  };
+  const Variant variants[] = {
+      {"control OFF", false, false, false},
+      {"skip only", true, true, false},
+      {"pause only", true, false, true},
+      {"skip+pause", true, true, true},
+  };
+
+  table_header({"policy", "max skew ms", "p95 skew ms", "sync skips",
+                "sync pauses", "fresh%"});
+  for (const auto& variant : variants) {
+    // Average the skew metrics over a few seeds.
+    double max_skew = 0, p95 = 0, fresh = 0;
+    std::int64_t skips = 0, pauses = 0;
+    const int seeds = 5;
+    for (int s = 0; s < seeds; ++s) {
+      auto params = base_params(100 + static_cast<std::uint64_t>(s));
+      params.sync_enabled = variant.enabled;
+      params.sync_allow_skip = variant.skip;
+      params.sync_allow_pause = variant.pause;
+      const auto metrics = run_session(params);
+      max_skew = std::max(max_skew, metrics.max_skew_ms);
+      p95 += metrics.p95_skew_ms / seeds;
+      fresh += metrics.fresh_ratio / seeds;
+      skips += metrics.sync_skips;
+      pauses += metrics.sync_pauses;
+    }
+    table_row({variant.name, fmt(max_skew, 1), fmt(p95, 1),
+               std::to_string(skips), std::to_string(pauses), fmt_pct(fresh)});
+  }
+
+  std::printf(
+      "\nSweep of the skew trigger threshold (skip+pause policy):\n\n");
+  table_header({"max_skew", "max skew ms", "p95 skew ms", "sync actions"});
+  for (const std::int64_t threshold_ms : {40, 80, 160, 320}) {
+    auto params = base_params(100);
+    params.sync_max_skew = Time::msec(threshold_ms);
+    const auto metrics = run_session(params);
+    table_row({std::to_string(threshold_ms) + "ms", fmt(metrics.max_skew_ms, 1),
+               fmt(metrics.p95_skew_ms, 1),
+               std::to_string(metrics.sync_skips + metrics.sync_pauses)});
+  }
+
+  std::printf(
+      "\nPaper claim: dropping frames from the lagging stream / pausing the\n"
+      "leading stream provides short-term synchronization recovery — with\n"
+      "control off, skew grows unbounded during loss bursts; any enabled\n"
+      "variant bounds it near the trigger threshold.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E3 — Fig. 3 / §4: the media time window. The deliberate initial delay
+// prefills each buffer to `window` of playback time; the window absorbs
+// network delay variation before it reaches the presentation. Sweep window
+// length against jitter severity and measure starvation (duplicate slots).
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace hyms;
+using namespace hyms::bench;
+
+int main() {
+  std::printf(
+      "E3: media time window vs access-link jitter (30 s lecture, 10 Mbps)\n"
+      "starved = duplicate slots (buffer underflow); late = frames past "
+      "their slot\n\n");
+
+  const std::int64_t windows_ms[] = {40, 100, 250, 500, 1000, 2000};
+  const std::int64_t jitter_ms[] = {0, 20, 50, 100, 200};
+
+  table_header({"window", "jitter(sd)", "fresh%", "starved", "late",
+                "max skew ms", "p99 transit ms"});
+  for (const auto window : windows_ms) {
+    for (const auto jitter : jitter_ms) {
+      SessionParams params;
+      params.markup = lecture_markup(30);
+      params.seed = 7;
+      params.time_window = Time::msec(window);
+      params.jitter_mean = Time::msec(jitter / 2);
+      params.jitter_stddev = Time::msec(jitter);
+      params.qos_enabled = false;  // isolate the buffering mechanism
+      const auto metrics = run_session(params);
+      if (metrics.failed) {
+        table_row({std::to_string(window) + "ms", std::to_string(jitter) + "ms",
+                   "FAILED: " + metrics.error});
+        continue;
+      }
+      table_row({std::to_string(window) + "ms", std::to_string(jitter) + "ms",
+                 fmt_pct(metrics.fresh_ratio),
+                 std::to_string(metrics.underflow_duplicates),
+                 std::to_string(metrics.late_discards),
+                 fmt(metrics.max_skew_ms, 1), fmt(metrics.transit_p99_ms, 1)});
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper claim: \"experienced delays on data arrival first affect the\n"
+      "media time window before affecting the quality of presentation\" —\n"
+      "starvation drops to ~zero once the window exceeds the p99 delay\n"
+      "variation, at the cost of window-length startup latency.\n");
+  return 0;
+}

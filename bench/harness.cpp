@@ -1,0 +1,182 @@
+#include "harness.hpp"
+
+#include "client/browser_session.hpp"
+#include "hermes/deployment.hpp"
+#include "hermes/lesson_builder.hpp"
+#include "hermes/sample_content.hpp"
+#include "net/cross_traffic.hpp"
+#include "sim/simulator.hpp"
+#include "util/strings.hpp"
+
+namespace hyms::bench {
+
+std::string lecture_markup(int seconds, int video_kbps) {
+  hermes::LessonBuilder lesson("Bench lecture " + std::to_string(seconds) +
+                               "s");
+  lesson.heading(1, "Benchmark lecture")
+      .text("Synthetic lecture used by the experiment harness.")
+      .image("SLIDE", "image:jpeg:bench-slide", Time::zero(),
+             Time::sec(seconds))
+      .av_pair("AU", "audio:pcm:bench-voice:" + std::to_string(seconds), "VI",
+               "video:mpeg:bench-clip:" + std::to_string(seconds) + ":" +
+                   std::to_string(video_kbps),
+               Time::sec(1), Time::sec(seconds - 1));
+  return lesson.markup_text();
+}
+
+SessionMetrics run_session(const SessionParams& params) {
+  SessionMetrics metrics;
+  sim::Simulator sim(params.seed);
+
+  hermes::Deployment::Config config;
+  config.client_access.bandwidth_bps = params.access_bandwidth_bps;
+  config.client_access.queue_capacity_bytes = 48 * 1024;
+  config.server_template.qos.enabled = params.qos_enabled;
+  config.server_template.qos.action_hold = params.qos_action_hold;
+  config.server_template.qos.degrade_order =
+      params.qos_audio_first
+          ? server::ServerQosManager::DegradeOrder::kAudioFirst
+          : server::ServerQosManager::DegradeOrder::kVideoFirst;
+  hermes::Deployment deployment(sim, config);
+  if (!deployment.server(0).documents().add("doc", params.markup).ok()) {
+    metrics.failed = true;
+    metrics.error = "bad markup";
+    return metrics;
+  }
+
+  // Impairments on the downlink carrying the media.
+  {
+    auto link_params = deployment.client_downlink(0)->params();
+    link_params.jitter_mean = params.jitter_mean;
+    link_params.jitter_stddev = params.jitter_stddev;
+    if (params.burst_loss) {
+      link_params.loss =
+          std::make_shared<net::GilbertElliottLoss>(*params.burst_loss);
+    } else if (params.bernoulli_loss > 0) {
+      link_params.loss =
+          std::make_shared<net::BernoulliLoss>(params.bernoulli_loss);
+    }
+    deployment.client_downlink(0)->set_params(link_params);
+  }
+
+  std::unique_ptr<net::PacketSink> sink;
+  std::unique_ptr<net::OnOffSource> cross;
+  if (params.cross_rate_bps > 0) {
+    sink = std::make_unique<net::PacketSink>(deployment.network(),
+                                             deployment.client_node(0), 9999);
+    net::OnOffSource::Params cp;
+    cp.rate_bps_on = params.cross_rate_bps;
+    cp.mean_on = params.cross_mean_on;
+    cp.mean_off = params.cross_mean_off;
+    cp.start_in_on = true;
+    cross = std::make_unique<net::OnOffSource>(
+        deployment.network(), deployment.server_node(0), sink->endpoint(), cp);
+    cross->start();
+  }
+
+  client::BrowserSession::Config bc;
+  bc.presentation.time_window = params.time_window;
+  bc.presentation.low_watermark = params.low_watermark;
+  bc.presentation.high_watermark = params.high_watermark;
+  bc.presentation.sync.enabled = params.sync_enabled;
+  bc.presentation.sync.allow_skip = params.sync_allow_skip;
+  bc.presentation.sync.allow_pause = params.sync_allow_pause;
+  bc.presentation.sync.max_skew = params.sync_max_skew;
+  bc.presentation.rtcp_rr_interval = params.rtcp_rr_interval;
+  client::BrowserSession session(deployment.network(),
+                                 deployment.client_node(0),
+                                 deployment.server(0).control_endpoint(), bc);
+  session.set_subscription_form(hermes::student_form("bench", "standard"));
+
+  Time requested_at;
+  Time viewing_at;
+  session.set_on_viewing([&] { viewing_at = sim.now(); });
+
+  session.connect("bench", "secret-bench");
+  sim.run_until(Time::sec(1));
+  requested_at = sim.now();
+  session.request_document("doc");
+  sim.run_until(params.run_for);
+
+  if (session.presentation() == nullptr) {
+    metrics.failed = true;
+    metrics.error = session.last_error();
+    return metrics;
+  }
+
+  const auto& trace = session.presentation()->trace();
+  metrics.totals = trace.totals();
+  metrics.fresh_ratio = metrics.totals.fresh_ratio();
+  metrics.max_skew_ms = trace.max_abs_skew_ms();
+  metrics.underflow_duplicates = metrics.totals.duplicates;
+  metrics.late_discards = metrics.totals.late_discards;
+  metrics.overflow_drops = metrics.totals.overflow_drops;
+  metrics.sync_skips = metrics.totals.sync_skips;
+  metrics.sync_pauses = metrics.totals.sync_pauses;
+  metrics.finished = session.presentation()->scheduler().finished();
+  metrics.qos = deployment.server(0).qos_totals();
+  metrics.setup_ms = (viewing_at - requested_at).to_ms();
+
+  // Skew p95 across sync groups (one group in the bench lecture).
+  for (const auto& spec : session.presentation()->scenario().streams) {
+    if (!spec.sync_group.empty()) {
+      const auto& sampler = trace.skew_ms(spec.sync_group);
+      if (!sampler.empty()) {
+        metrics.p95_skew_ms = sampler.percentile(95);
+      }
+      break;
+    }
+  }
+  // Transit p99 across RTP streams.
+  util::Sampler transit;
+  for (const auto& spec : session.presentation()->scenario().streams) {
+    if (const auto* receiver = session.presentation()->receiver(spec.id)) {
+      const auto& s = receiver->stats().transit_ms;
+      if (!s.empty()) transit.add(s.percentile(99));
+    }
+  }
+  if (!transit.empty()) metrics.transit_p99_ms = transit.max();
+  return metrics;
+}
+
+namespace {
+std::vector<std::size_t> g_widths;
+}
+
+void table_header(const std::vector<std::string>& columns) {
+  g_widths.clear();
+  std::string line;
+  for (const auto& column : columns) {
+    g_widths.push_back(std::max<std::size_t>(column.size() + 2, 10));
+    line += util::pad(column, g_widths.back());
+  }
+  std::printf("%s\n%s\n", line.c_str(),
+              std::string(line.size(), '-').c_str());
+}
+
+void table_row(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::size_t width = i < g_widths.size() ? g_widths[i] : 12;
+    if (cells[i].size() >= width) {
+      line += cells[i] + "  ";  // oversize cell: keep at least a separator
+    } else {
+      line += util::pad(cells[i], width);
+    }
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_pct(double ratio) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", ratio * 100.0);
+  return buf;
+}
+
+}  // namespace hyms::bench

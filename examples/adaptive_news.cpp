@@ -1,0 +1,86 @@
+// News-on-demand under network congestion: shows both synchronization
+// recovery tiers from §4 working together. Bursty cross traffic congests the
+// viewer's access link; the client QoS manager's RTCP feedback drives the
+// server's quality grading (long term) while the buffer monitor and skew
+// controller patch the remaining anomalies (short term).
+//
+// Run: ./build/examples/adaptive_news
+
+#include <cstdio>
+
+#include "client/browser_session.hpp"
+#include "hermes/deployment.hpp"
+#include "hermes/lesson_builder.hpp"
+#include "hermes/sample_content.hpp"
+#include "net/cross_traffic.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hyms;
+
+namespace {
+
+std::string news_bulletin() {
+  hermes::LessonBuilder doc("Evening news bulletin");
+  doc.heading(1, "Top stories")
+      .text("A synchronized anchor feed with a headline ticker image.")
+      .image("TICKER", "image:jpeg:news-ticker", Time::zero(), Time::sec(40))
+      .av_pair("ANCHOR-AU", "audio:pcm:news-voice:40", "ANCHOR-VI",
+               "video:mpeg:news-clip:40:1400", Time::sec(1), Time::sec(39));
+  return doc.markup_text();
+}
+
+void run(bool qos_enabled) {
+  sim::Simulator sim(/*seed=*/1234);
+  hermes::Deployment::Config config;
+  config.client_access.bandwidth_bps = 6e6;
+  config.client_access.queue_capacity_bytes = 48 * 1024;
+  config.server_template.qos.enabled = qos_enabled;
+  config.server_template.qos.action_hold = Time::sec(1);
+  hermes::Deployment deployment(sim, config);
+  deployment.server(0).documents().add("news", news_bulletin());
+
+  // Competing traffic: 5 Mbps bursts sharing the 6 Mbps access link.
+  net::PacketSink sink(deployment.network(), deployment.client_node(0), 9999);
+  net::OnOffSource::Params cross;
+  cross.rate_bps_on = 5e6;
+  cross.mean_on = Time::sec(5);
+  cross.mean_off = Time::sec(4);
+  cross.start_in_on = true;
+  net::OnOffSource source(deployment.network(), deployment.server_node(0),
+                          sink.endpoint(), cross);
+  source.start();
+
+  client::BrowserSession::Config bc;
+  bc.presentation.time_window = Time::msec(600);
+  client::BrowserSession viewer(deployment.network(),
+                                deployment.client_node(0),
+                                deployment.server(0).control_endpoint(), bc);
+  viewer.set_subscription_form(hermes::student_form("viewer", "standard"));
+  viewer.connect("viewer", "secret-viewer");
+  sim.run_until(Time::sec(1));
+  viewer.request_document("news");
+  sim.run_until(Time::sec(55));
+
+  const auto totals = viewer.presentation()->trace().totals();
+  const auto& trace = viewer.presentation()->trace();
+  std::printf("QoS grading %-8s | fresh %6.2f%% | dup %4lld | gaps %4lld | "
+              "sync skips %3lld | max skew %6.1f ms\n",
+              qos_enabled ? "ENABLED" : "off", totals.fresh_ratio() * 100.0,
+              static_cast<long long>(totals.duplicates),
+              static_cast<long long>(totals.gap_skips),
+              static_cast<long long>(totals.sync_skips),
+              trace.max_abs_skew_ms());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("News-on-demand over a congested 6 Mbps access link\n");
+  std::printf("(5 Mbps cross-traffic bursts, ~40 s bulletin)\n\n");
+  run(/*qos_enabled=*/false);
+  run(/*qos_enabled=*/true);
+  std::printf("\nWith grading enabled the server drops the video bitrate "
+              "during bursts\n(video first, audio only if needed) and "
+              "restores it afterwards, so far\nfewer playout slots starve.\n");
+  return 0;
+}

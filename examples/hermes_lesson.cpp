@@ -1,0 +1,119 @@
+// Hermes distance-education session (§6): a student searches the distributed
+// lesson catalogue, views a lesson with pause/resume, and exchanges mail with
+// the tutor through the store-and-forward mailbox.
+//
+// Run: ./build/examples/hermes_lesson
+
+#include <cstdio>
+
+#include "client/browser_session.hpp"
+#include "hermes/deployment.hpp"
+#include "hermes/sample_content.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hyms;
+
+int main() {
+  sim::Simulator sim(/*seed=*/7);
+  hermes::Deployment::Config config;
+  config.server_count = 2;
+  hermes::Deployment deployment(sim, config);
+
+  // Spread a 12-lesson catalogue across the two Hermes servers.
+  const auto catalogue = hermes::lesson_catalogue(12);
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    deployment.server(static_cast<int>(i % 2))
+        .documents()
+        .add(catalogue[i].name, catalogue[i].markup);
+  }
+
+  client::BrowserSession::Config bc;
+  client::BrowserSession student(deployment.network(),
+                                 deployment.client_node(0),
+                                 deployment.server(0).control_endpoint(), bc);
+  student.set_subscription_form(hermes::student_form("maria", "standard"));
+
+  std::printf("== connect & subscribe ==\n");
+  student.connect("maria", "secret-maria");
+  sim.run_until(Time::sec(1));
+  std::printf("state: %s\n", to_string(student.state()).c_str());
+
+  std::printf("\n== topic list on hermes-1 ==\n");
+  student.request_topics();
+  sim.run_until(Time::sec(2));
+  for (const auto& topic : student.topics()) {
+    std::printf("  %s\n", topic.c_str());
+  }
+
+  std::printf("\n== distributed search for 'physics' ==\n");
+  student.search("physics");
+  sim.run_until(Time::sec(4));
+  for (const auto& hit : student.search_results()) {
+    std::printf("  %-22s on %s\n", hit.document.c_str(), hit.server.c_str());
+  }
+
+  std::printf("\n== view a lesson, pausing midway ==\n");
+  student.request_document(student.topics().front());
+  sim.run_until(Time::sec(7));
+  std::printf("viewing '%s'\n", student.current_document().c_str());
+  student.pause();
+  std::printf("paused at t=%s\n", sim.now().str().c_str());
+  sim.run_until(Time::sec(10));
+  student.resume_presentation();
+  std::printf("resumed at t=%s\n", sim.now().str().c_str());
+  sim.run_until(Time::sec(20));
+
+  const auto& trace = student.presentation()->trace();
+  const auto totals = trace.totals();
+  std::printf("playout: %lld fresh / %lld filler slots (%.1f%% fresh)\n",
+              static_cast<long long>(totals.fresh),
+              static_cast<long long>(totals.duplicates + totals.gap_skips),
+              totals.fresh_ratio() * 100.0);
+
+  std::printf("\n== annotating the lesson (§5) ==\n");
+  student.annotate("The second diagram needs a caption.");
+  sim.run_until(Time::seconds(20.5));
+  student.request_annotations(student.current_document());
+  sim.run_until(Time::seconds(20.8));
+  for (const auto& remark : student.annotations()) {
+    std::printf("  remark: %s\n", remark.c_str());
+  }
+
+  std::printf("\n== asynchronous tutor interaction (§6.2.4) ==\n");
+  student.send_mail("tutor", "question on unit 0",
+                    "Could you explain the second diagram?", "text/plain");
+  sim.run_until(Time::sec(21));
+  // The tutor logs in on the same server and reads the mailbox.
+  client::BrowserSession tutor(deployment.network(), deployment.client_node(0),
+                               deployment.server(0).control_endpoint(), bc);
+  tutor.set_subscription_form(hermes::student_form("tutor", "premium"));
+  tutor.connect("tutor", "secret-tutor");
+  sim.run_until(Time::sec(22));
+  tutor.list_mail();
+  sim.run_until(Time::sec(23));
+  for (const auto& subject : tutor.mail_subjects()) {
+    std::printf("  tutor inbox: %s\n", subject.c_str());
+  }
+  tutor.fetch_mail(0);
+  sim.run_until(Time::sec(24));
+  if (tutor.fetched_mail()) {
+    std::printf("  body: %s\n", tutor.fetched_mail()->body.c_str());
+  }
+  tutor.send_mail("maria", "re: question on unit 0",
+                  "See lesson-physics-3, second section.", "text/plain");
+  sim.run_until(Time::sec(25));
+  student.list_mail();
+  sim.run_until(Time::sec(26));
+  for (const auto& subject : student.mail_subjects()) {
+    std::printf("  student inbox: %s\n", subject.c_str());
+  }
+
+  std::printf("\n== account ==\n");
+  std::printf("maria owes %.2f units\n",
+              deployment.server(0).ledger().total("maria"));
+  student.disconnect();
+  tutor.disconnect();
+  sim.run_until(Time::sec(28));
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,173 @@
+// hymsdoc — command-line validator / formatter / inspector for hypermedia
+// markup documents (the authoring-side tool a Hermes deployment would ship).
+//
+// Usage:
+//   hymsdoc check    <file.hml>   parse + validate, report issues
+//   hymsdoc fmt      <file.hml>   print the canonical form
+//   hymsdoc plan     <file.hml>   print the extracted playout scenario
+//   hymsdoc timeline <file.hml>   ASCII playout timeline (like Fig. 2)
+//   hymsdoc sample                print a sample document (Fig. 2)
+//
+// Exit code: 0 on success / valid document, 1 otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "hermes/sample_content.hpp"
+#include "markup/parser.hpp"
+#include "markup/validate.hpp"
+#include "markup/writer.hpp"
+
+using namespace hyms;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hymsdoc check|fmt|plan|timeline <file.hml>\n"
+               "       hymsdoc sample\n");
+  return 1;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "hymsdoc: cannot read '%s'\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int cmd_check(const std::string& text) {
+  auto doc = markup::parse(text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", doc.error().message.c_str());
+    return 1;
+  }
+  const auto report = markup::validate(doc.value());
+  for (const auto& issue : report.issues) {
+    std::fprintf(stderr, "%s: %s\n",
+                 issue.severity == markup::ValidationIssue::Severity::kError
+                     ? "error"
+                     : "warning",
+                 issue.message.c_str());
+  }
+  if (!report.ok()) return 1;
+  std::printf("OK: '%s' (%zu sections)\n", doc.value().title.c_str(),
+              doc.value().sections.size());
+  return 0;
+}
+
+int cmd_fmt(const std::string& text) {
+  auto doc = markup::parse(text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", doc.error().message.c_str());
+    return 1;
+  }
+  std::fputs(markup::write(doc.value()).c_str(), stdout);
+  return 0;
+}
+
+int cmd_plan(const std::string& text) {
+  auto doc = markup::parse(text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", doc.error().message.c_str());
+    return 1;
+  }
+  auto scenario = core::extract_scenario(doc.value());
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "invalid scenario: %s\n",
+                 scenario.error().message.c_str());
+    return 1;
+  }
+  const auto& plan = scenario.value();
+  std::printf("title: %s\n", plan.title.c_str());
+  std::printf("total duration: %s\n", plan.total_duration().str().c_str());
+  std::printf("streams (%zu):\n", plan.streams.size());
+  for (const auto& stream : plan.streams) {
+    std::printf("  %-8s %-6s start=%-8s duration=%-8s source=%s%s\n",
+                stream.id.c_str(), media::to_string(stream.type).c_str(),
+                stream.start.str().c_str(),
+                stream.duration ? stream.duration->str().c_str() : "-",
+                stream.source.c_str(),
+                stream.sync_group.empty()
+                    ? ""
+                    : (" [sync " + stream.sync_group + "]").c_str());
+  }
+  std::printf("links (%zu):\n", plan.links.size());
+  for (const auto& link : plan.links) {
+    std::printf("  -> %s%s%s%s\n", link.target_document.c_str(),
+                link.target_host.empty()
+                    ? ""
+                    : (" @" + link.target_host).c_str(),
+                link.at ? (" AT " + link.at->str()).c_str() : "",
+                link.sequential ? " (sequential)" : " (explorational)");
+  }
+  return 0;
+}
+
+int cmd_timeline(const std::string& text) {
+  auto doc = markup::parse(text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", doc.error().message.c_str());
+    return 1;
+  }
+  auto scenario = core::extract_scenario(doc.value());
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "invalid scenario: %s\n",
+                 scenario.error().message.c_str());
+    return 1;
+  }
+  const auto& plan = scenario.value();
+  const int total_s =
+      static_cast<int>(plan.total_duration().to_seconds() + 0.999);
+  std::printf("%-8s", "t(s)");
+  for (int t = 0; t <= total_s; ++t) std::printf("%-2d", t % 10);
+  std::printf("\n");
+  for (const auto& stream : plan.streams) {
+    const double from = stream.start.to_seconds();
+    const double to = stream.duration
+                          ? (stream.start + *stream.duration).to_seconds()
+                          : total_s + 1.0;
+    std::printf("%-8s", stream.id.c_str());
+    for (int t = 0; t <= total_s; ++t) {
+      const bool on = t + 0.5 >= from && t + 0.5 < to;
+      std::printf("%-2s", on ? "#" : ".");
+    }
+    if (!stream.sync_group.empty()) {
+      std::printf(" [sync %s]", stream.sync_group.c_str());
+    }
+    std::printf("\n");
+  }
+  for (const auto& link : plan.links) {
+    if (link.at) {
+      std::printf("%-8s AT %.1fs -> %s\n", "HLINK",
+                  link.at->to_seconds(), link.target_document.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "sample") {
+    std::fputs(hermes::fig2_lesson_markup().c_str(), stdout);
+    return 0;
+  }
+  if (argc != 3) return usage();
+  const std::string command = argv[1];
+  std::string text;
+  if (!read_file(argv[2], text)) return 1;
+  if (command == "check") return cmd_check(text);
+  if (command == "fmt") return cmd_fmt(text);
+  if (command == "plan") return cmd_plan(text);
+  if (command == "timeline") return cmd_timeline(text);
+  return usage();
+}

@@ -1,0 +1,92 @@
+// Hypermedia navigation across multiple servers (§5): following a link whose
+// target lives on another multimedia server suspends the current connection
+// (the server keeps it alive for a keepalive window) and connects to the new
+// server; going back resumes the suspended session. Timed links auto-advance
+// the course in the author's sequence.
+//
+// Run: ./build/examples/multi_server_browse
+
+#include <cstdio>
+
+#include "client/browser.hpp"
+#include "hermes/deployment.hpp"
+#include "hermes/sample_content.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hyms;
+
+int main() {
+  sim::Simulator sim(/*seed=*/11);
+  hermes::Deployment::Config config;
+  config.server_count = 3;
+  config.with_directory = true;  // browsers learn the server list over the wire
+  config.server_template.suspend_keepalive = Time::sec(30);
+  hermes::Deployment deployment(sim, config);
+
+  // A three-unit course spread over three servers; each unit's timed link
+  // advances to the next unit after 8 seconds ("the writer's way").
+  deployment.server(0).documents().add(
+      "unit-1",
+      hermes::sequenced_lesson_markup("unit-1", "unit-2", "hermes-2", 8.0));
+  deployment.server(1).documents().add(
+      "unit-2",
+      hermes::sequenced_lesson_markup("unit-2", "unit-3", "hermes-3", 8.0));
+  deployment.server(2).documents().add(
+      "unit-3", hermes::fig2_lesson_markup());
+
+  client::Browser::Config bc;
+  client::Browser browser(deployment.network(), deployment.client_node(0), bc);
+  // §6.2.1: fetch "the list of available Hermes servers" from the directory.
+  browser.fetch_directory(deployment.directory()->endpoint());
+  sim.run_until(Time::msec(500));
+
+  std::printf("known servers (from the directory service):");
+  for (const auto& name : browser.known_servers()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
+
+  browser.login("hermes-1", "nikos", "secret-nikos",
+                hermes::student_form("nikos", "standard"));
+  sim.run_until(Time::sec(1));
+  // Auto-follow timed links as they fire.
+  browser.active()->set_on_timed_link(
+      [&browser](const core::LinkSpec& link) { browser.follow_link(link); });
+  browser.open_document("unit-1");
+
+  // Let the course sequence itself across all three servers.
+  for (int t = 5; t <= 30; t += 5) {
+    sim.run_until(Time::sec(t));
+    auto* active = browser.active();
+    std::printf("t=%2ds  server=%-8s  doc=%-8s  state=%s\n", t,
+                browser.active_server().c_str(),
+                active ? active->current_document().c_str() : "-",
+                active ? to_string(active->state()).c_str() : "-");
+    // Each new session needs the auto-follow hook too.
+    if (active != nullptr) {
+      active->set_on_timed_link(
+          [&browser](const core::LinkSpec& link) { browser.follow_link(link); });
+    }
+  }
+
+  std::printf("\nvisit history:\n");
+  for (const auto& visit : browser.history()) {
+    std::printf("  %-8s : %s\n", visit.server.c_str(), visit.document.c_str());
+  }
+
+  std::printf("\nsuspended sessions held by servers:\n");
+  for (int i = 0; i < deployment.server_count(); ++i) {
+    std::printf("  %s: %lld suspend(s), %lld expiries\n",
+                deployment.server(i).name().c_str(),
+                static_cast<long long>(deployment.server(i).stats().suspends),
+                static_cast<long long>(
+                    deployment.server(i).stats().suspend_expiries));
+  }
+
+  std::printf("\ngoing back one unit...\n");
+  browser.back();
+  sim.run_until(Time::sec(36));
+  std::printf("now at server=%s doc=%s\n", browser.active_server().c_str(),
+              browser.active()->current_document().c_str());
+  return 0;
+}

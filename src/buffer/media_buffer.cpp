@@ -1,0 +1,59 @@
+#include "buffer/media_buffer.hpp"
+
+namespace hyms::buffer {
+
+MediaBuffer::MediaBuffer(std::string stream_id, Config config)
+    : stream_id_(std::move(stream_id)), config_(config) {}
+
+bool MediaBuffer::push(BufferedFrame frame) {
+  if (frames_.size() >= config_.capacity_frames) {
+    ++stats_.rejected_capacity;
+    return false;
+  }
+  const Time duration = frame.duration;
+  const auto [it, inserted] = frames_.emplace(frame.index, std::move(frame));
+  (void)it;
+  if (!inserted) {
+    ++stats_.rejected_duplicate;
+    return false;
+  }
+  ++stats_.pushed;
+  occupancy_ += duration;
+  note_occupancy();
+  return true;
+}
+
+std::optional<BufferedFrame> MediaBuffer::pop() {
+  if (frames_.empty()) return std::nullopt;
+  auto it = frames_.begin();
+  BufferedFrame frame = std::move(it->second);
+  frames_.erase(it);
+  ++stats_.popped;
+  occupancy_ -= frame.duration;
+  note_occupancy();
+  return frame;
+}
+
+const BufferedFrame* MediaBuffer::peek() const {
+  if (frames_.empty()) return nullptr;
+  return &frames_.begin()->second;
+}
+
+std::size_t MediaBuffer::drop_before(std::int64_t first_kept) {
+  std::size_t dropped = 0;
+  while (!frames_.empty() && frames_.begin()->first < first_kept) {
+    occupancy_ -= frames_.begin()->second.duration;
+    frames_.erase(frames_.begin());
+    ++dropped;
+  }
+  stats_.dropped += static_cast<std::int64_t>(dropped);
+  if (dropped > 0) note_occupancy();
+  return dropped;
+}
+
+void MediaBuffer::clear() {
+  frames_.clear();
+  occupancy_ = Time::zero();
+}
+
+}  // namespace hyms::buffer

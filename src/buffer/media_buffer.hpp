@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace hyms::buffer {
+
+/// A frame parked in a client-side media buffer awaiting playout.
+struct BufferedFrame {
+  std::int64_t index = 0;   // content frame index within the stream
+  Time media_time;           // stream-relative presentation time
+  Time duration;
+  Time arrival;              // when the reassembled frame reached the buffer
+  std::vector<std::uint8_t> payload;
+};
+
+/// One thread of the paper's "multiple thread queue" buffering layer (§4):
+/// a per-stream reorder buffer whose *length corresponds to a playback time*
+/// — the media time window. Watermarks drive the short-term synchronization
+/// mechanisms (duplication on underflow, dropping on overflow).
+class MediaBuffer {
+ public:
+  struct Config {
+    /// Target buffered playback time ("media time window").
+    Time time_window = Time::msec(500);
+    /// Fractions of the time window that trigger the monitor's actions.
+    double low_watermark = 0.25;
+    double high_watermark = 2.0;
+    /// Hard cap, in frames, against pathological senders.
+    std::size_t capacity_frames = 4096;
+  };
+
+  MediaBuffer(std::string stream_id, Config config);
+
+  /// Insert a frame (kept sorted by index; duplicates are dropped). Returns
+  /// false when the frame was rejected (buffer at hard capacity).
+  bool push(BufferedFrame frame);
+
+  /// Remove and return the earliest buffered frame.
+  std::optional<BufferedFrame> pop();
+  /// Earliest frame without removing it.
+  [[nodiscard]] const BufferedFrame* peek() const;
+  /// Discard all frames with index < first_kept; returns how many went.
+  std::size_t drop_before(std::int64_t first_kept);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return frames_.size(); }
+  [[nodiscard]] bool empty() const { return frames_.empty(); }
+  /// Buffered playback time: sum of durations of queued frames.
+  [[nodiscard]] Time occupancy_time() const { return occupancy_; }
+  [[nodiscard]] double fill_ratio() const {
+    return occupancy_.ratio(config_.time_window);
+  }
+  [[nodiscard]] bool below_low_watermark() const {
+    return fill_ratio() < config_.low_watermark;
+  }
+  [[nodiscard]] bool above_high_watermark() const {
+    return fill_ratio() > config_.high_watermark;
+  }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const std::string& stream_id() const { return stream_id_; }
+
+  struct Stats {
+    std::int64_t pushed = 0;
+    std::int64_t popped = 0;
+    std::int64_t rejected_capacity = 0;
+    std::int64_t rejected_duplicate = 0;
+    std::int64_t dropped = 0;       // via drop_before
+    util::Sampler occupancy_ms;     // sampled on every push/pop
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void note_occupancy() { stats_.occupancy_ms.add(occupancy_.to_ms()); }
+
+  std::string stream_id_;
+  Config config_;
+  std::map<std::int64_t, BufferedFrame> frames_;  // keyed by content index
+  Time occupancy_ = Time::zero();
+  Stats stats_;
+};
+
+}  // namespace hyms::buffer

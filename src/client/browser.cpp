@@ -1,0 +1,170 @@
+#include "client/browser.hpp"
+
+#include "proto/messages.hpp"
+#include "util/log.hpp"
+
+namespace hyms::client {
+
+void Browser::register_server(const std::string& name, net::Endpoint control,
+                              const std::string& description) {
+  directory_[name] = control;
+  descriptions_[name] = description;
+}
+
+void Browser::fetch_directory(net::Endpoint directory_service) {
+  directory_loaded_ = false;
+  directory_conn_ =
+      net::StreamConnection::connect(net_, node_, directory_service);
+  directory_channel_ = std::make_unique<net::MessageChannel>(*directory_conn_);
+  directory_channel_->set_on_message([this](std::vector<std::uint8_t> frame) {
+    auto decoded = proto::decode(frame);
+    if (!decoded.ok()) return;
+    const auto* reply =
+        std::get_if<proto::DirectoryListReply>(&decoded.value());
+    if (reply == nullptr) return;
+    for (const auto& entry : reply->servers) {
+      register_server(entry.name,
+                      net::Endpoint{static_cast<net::NodeId>(entry.node),
+                                    entry.port},
+                      entry.description);
+    }
+    directory_loaded_ = true;
+  });
+  directory_channel_->send_message(
+      proto::encode(proto::DirectoryListRequest{}));
+}
+
+const std::string& Browser::server_description(const std::string& name) const {
+  static const std::string kEmpty;
+  auto it = descriptions_.find(name);
+  return it == descriptions_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> Browser::known_servers() const {
+  std::vector<std::string> names;
+  for (const auto& [name, ep] : directory_) names.push_back(name);
+  return names;
+}
+
+BrowserSession& Browser::ensure_session(const std::string& server_name) {
+  auto it = sessions_.find(server_name);
+  if (it != sessions_.end()) return *it->second;
+  auto session = std::make_unique<BrowserSession>(
+      net_, node_, directory_.at(server_name), config_.session);
+  if (form_) session->set_subscription_form(*form_);
+  BrowserSession* raw = session.get();
+  session->set_on_viewing([this, raw, server_name] {
+    if (navigating_history_) {
+      navigating_history_ = false;  // cursor already points at this visit
+      return;
+    }
+    // A fresh navigation truncates any forward tail, then appends.
+    if (!history_.empty()) {
+      history_.resize(cursor_ + 1);
+    }
+    history_.push_back(Visit{server_name, raw->current_document()});
+    cursor_ = history_.size() - 1;
+  });
+  sessions_[server_name] = std::move(session);
+  return *raw;
+}
+
+void Browser::login(const std::string& server_name, const std::string& user,
+                    const std::string& credential,
+                    std::optional<proto::SubscribeRequest> form) {
+  user_ = user;
+  credential_ = credential;
+  form_ = std::move(form);
+  BrowserSession& session = ensure_session(server_name);
+  active_server_ = server_name;
+  session.connect(user, credential);
+}
+
+void Browser::open_document(const std::string& name) {
+  BrowserSession* session = active();
+  if (session == nullptr) {
+    LOG_WARN << "open_document with no active session";
+    return;
+  }
+  session->queue_document(name);
+}
+
+void Browser::activate_server(const std::string& server_name) {
+  BrowserSession& next = ensure_session(server_name);
+  active_server_ = server_name;
+  switch (next.state()) {
+    case ClientState::kSuspended:
+      next.resume_session();
+      break;
+    case ClientState::kDisconnected:
+    case ClientState::kClosed:
+      next.connect(user_, credential_);
+      break;
+    default:
+      break;  // already usable
+  }
+}
+
+void Browser::follow_link(const core::LinkSpec& link) {
+  BrowserSession* current = active();
+  if (link.target_host.empty() ||
+      link.target_host == active_server_) {
+    open_document(link.target_document);
+    return;
+  }
+  if (!directory_.contains(link.target_host)) {
+    LOG_WARN << "link to unknown server '" << link.target_host << "'";
+    return;
+  }
+  // §5: suspend the old connection (the server keeps it alive for a while in
+  // case the user comes back), then talk to the new server.
+  if (current != nullptr &&
+      (current->state() == ClientState::kViewing ||
+       current->state() == ClientState::kPaused ||
+       current->state() == ClientState::kBrowsing)) {
+    current->suspend();
+  }
+  activate_server(link.target_host);
+  open_document(link.target_document);
+}
+
+void Browser::navigate_to(const Visit& visit) {
+  navigating_history_ = true;
+  if (visit.server == active_server_) {
+    open_document(visit.document);
+    return;
+  }
+  BrowserSession* current = active();
+  if (current != nullptr &&
+      (current->state() == ClientState::kViewing ||
+       current->state() == ClientState::kPaused ||
+       current->state() == ClientState::kBrowsing)) {
+    current->suspend();
+  }
+  activate_server(visit.server);
+  open_document(visit.document);
+}
+
+void Browser::back() {
+  if (cursor_ == 0 || history_.empty()) return;
+  --cursor_;
+  navigate_to(history_[cursor_]);
+}
+
+void Browser::forward() {
+  if (cursor_ + 1 >= history_.size()) return;
+  ++cursor_;
+  navigate_to(history_[cursor_]);
+}
+
+BrowserSession* Browser::active() {
+  auto it = sessions_.find(active_server_);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+BrowserSession* Browser::session(const std::string& server_name) {
+  auto it = sessions_.find(server_name);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace hyms::client

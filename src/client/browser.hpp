@@ -1,0 +1,94 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/browser_session.hpp"
+
+namespace hyms::client {
+
+/// The Hermes browser (§6): navigates documents across multiple multimedia
+/// servers. Following a link whose target lives on another server suspends
+/// the current session (the server holds it for its keepalive window) and
+/// connects — or resumes — a session with the target server, exactly the §5
+/// suspended-connection behaviour. Keeps the viewed-lesson history for
+/// backward navigation (§6.2.3).
+class Browser {
+ public:
+  struct Config {
+    BrowserSession::Config session;
+  };
+
+  Browser(net::Network& net, net::NodeId node, Config config)
+      : net_(net), node_(node), config_(std::move(config)) {}
+
+  /// Directory of known servers ("list of available Hermes servers", each
+  /// with a small description of the lessons it stores — §6.2.1).
+  void register_server(const std::string& name, net::Endpoint control,
+                       const std::string& description = "");
+  /// Populate the directory by querying a DirectoryServer. Asynchronous;
+  /// directory_loaded() flips once the reply lands.
+  void fetch_directory(net::Endpoint directory_service);
+  [[nodiscard]] bool directory_loaded() const { return directory_loaded_; }
+  [[nodiscard]] std::vector<std::string> known_servers() const;
+  [[nodiscard]] const std::string& server_description(
+      const std::string& name) const;
+
+  /// Connect to a named server with this identity (kept for later hops).
+  void login(const std::string& server_name, const std::string& user,
+             const std::string& credential,
+             std::optional<proto::SubscribeRequest> form = std::nullopt);
+
+  /// Request a document on the active server (queued until browsing).
+  void open_document(const std::string& name);
+
+  /// Sequential/explorational link navigation, including cross-server hops.
+  void follow_link(const core::LinkSpec& link);
+
+  /// Go back / forward in the list of already viewed lessons (§6.2.3),
+  /// possibly hopping servers (suspend + resume semantics apply).
+  void back();
+  void forward();
+
+  [[nodiscard]] BrowserSession* active();
+  [[nodiscard]] BrowserSession* session(const std::string& server_name);
+  [[nodiscard]] const std::string& active_server() const {
+    return active_server_;
+  }
+  struct Visit {
+    std::string server;
+    std::string document;
+  };
+  [[nodiscard]] const std::vector<Visit>& history() const { return history_; }
+  /// The visit the browser currently points at (history cursor).
+  [[nodiscard]] const Visit* current_visit() const {
+    return cursor_ < history_.size() ? &history_[cursor_] : nullptr;
+  }
+
+ private:
+  BrowserSession& ensure_session(const std::string& server_name);
+  void activate_server(const std::string& server_name);
+  void navigate_to(const Visit& visit);
+
+  net::Network& net_;
+  net::NodeId node_;
+  Config config_;
+  std::map<std::string, net::Endpoint> directory_;
+  std::map<std::string, std::string> descriptions_;
+  std::unique_ptr<net::StreamConnection> directory_conn_;
+  std::unique_ptr<net::MessageChannel> directory_channel_;
+  bool directory_loaded_ = false;
+  std::map<std::string, std::unique_ptr<BrowserSession>> sessions_;
+  std::string active_server_;
+  std::string user_;
+  std::string credential_;
+  std::optional<proto::SubscribeRequest> form_;
+  std::vector<Visit> history_;
+  std::size_t cursor_ = 0;
+  bool navigating_history_ = false;  // back()/forward() in progress
+};
+
+}  // namespace hyms::client

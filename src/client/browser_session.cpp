@@ -1,0 +1,346 @@
+#include "client/browser_session.hpp"
+
+#include "markup/parser.hpp"
+#include "util/log.hpp"
+
+namespace hyms::client {
+
+std::string to_string(ClientState state) {
+  switch (state) {
+    case ClientState::kDisconnected: return "disconnected";
+    case ClientState::kConnecting: return "connecting";
+    case ClientState::kSubscribing: return "subscribing";
+    case ClientState::kBrowsing: return "browsing";
+    case ClientState::kRequestingDocument: return "requesting-document";
+    case ClientState::kSettingUp: return "setting-up";
+    case ClientState::kViewing: return "viewing";
+    case ClientState::kPaused: return "paused";
+    case ClientState::kSuspended: return "suspended";
+    case ClientState::kClosed: return "closed";
+  }
+  return "?";
+}
+
+BrowserSession::BrowserSession(net::Network& net, net::NodeId node,
+                               net::Endpoint server, Config config)
+    : net_(net), sim_(net.sim()), node_(node), server_(server),
+      config_(std::move(config)) {}
+
+BrowserSession::~BrowserSession() = default;
+
+void BrowserSession::log_event(const std::string& what) {
+  events_.push_back(sim_.now().str() + " " + what);
+}
+
+void BrowserSession::transition(ClientState next) {
+  log_event(to_string(state_) + " -> " + to_string(next));
+  state_ = next;
+}
+
+void BrowserSession::enter_browsing() {
+  transition(ClientState::kBrowsing);
+  if (on_browsing_) on_browsing_();
+  if (!queued_document_.empty() && state_ == ClientState::kBrowsing) {
+    const std::string doc = std::move(queued_document_);
+    queued_document_.clear();
+    request_document(doc);
+  }
+}
+
+void BrowserSession::fail(const std::string& what) {
+  last_error_ = what;
+  log_event("error: " + what);
+  if (on_error_) on_error_(what);
+}
+
+void BrowserSession::send(const proto::Message& msg) {
+  if (!channel_) {
+    fail("send with no connection");
+    return;
+  }
+  channel_->send_message(proto::encode(msg));
+}
+
+void BrowserSession::connect(const std::string& user,
+                             const std::string& credential) {
+  if (state_ != ClientState::kDisconnected && state_ != ClientState::kClosed) {
+    fail("connect in state " + to_string(state_));
+    return;
+  }
+  user_ = user;
+  credential_ = credential;
+  conn_ = net::StreamConnection::connect(net_, node_, server_, config_.tcp);
+  channel_ = std::make_unique<net::MessageChannel>(*conn_);
+  channel_->set_on_message(
+      [this](std::vector<std::uint8_t> frame) { on_frame(std::move(frame)); });
+  conn_->set_on_close([this] {
+    if (state_ != ClientState::kClosed) {
+      transition(ClientState::kClosed);
+      presentation_.reset();
+      if (on_closed_) on_closed_();
+    }
+  });
+  transition(ClientState::kConnecting);
+  send(proto::ConnectRequest{user, credential});
+}
+
+void BrowserSession::request_topics() { send(proto::TopicListRequest{}); }
+
+void BrowserSession::queue_document(const std::string& name) {
+  if (state_ == ClientState::kBrowsing || state_ == ClientState::kViewing ||
+      state_ == ClientState::kPaused) {
+    request_document(name);
+  } else {
+    queued_document_ = name;
+  }
+}
+
+void BrowserSession::request_document(const std::string& name) {
+  if (state_ != ClientState::kBrowsing && state_ != ClientState::kViewing &&
+      state_ != ClientState::kPaused) {
+    fail("request_document in state " + to_string(state_));
+    return;
+  }
+  presentation_.reset();  // navigating away tears the old playout down
+  pending_document_ = name;
+  transition(ClientState::kRequestingDocument);
+  send(proto::DocumentRequest{name});
+}
+
+void BrowserSession::pause() {
+  if (state_ != ClientState::kViewing) {
+    fail("pause while not viewing");
+    return;
+  }
+  send(proto::Pause{});
+  if (presentation_) presentation_->pause();
+  transition(ClientState::kPaused);
+}
+
+void BrowserSession::resume_presentation() {
+  if (state_ != ClientState::kPaused) {
+    fail("resume while not paused");
+    return;
+  }
+  send(proto::Resume{});
+  if (presentation_) presentation_->resume();
+  transition(ClientState::kViewing);
+}
+
+void BrowserSession::stop_stream(const std::string& stream_id) {
+  send(proto::StopStream{stream_id});
+  if (presentation_) presentation_->disable_stream(stream_id);
+}
+
+void BrowserSession::search(const std::string& token) {
+  search_results_.clear();
+  search_completed_ = false;
+  send(proto::SearchRequest{token});
+}
+
+void BrowserSession::suspend() {
+  if (state_ == ClientState::kViewing || state_ == ClientState::kPaused ||
+      state_ == ClientState::kBrowsing) {
+    presentation_.reset();
+    send(proto::Suspend{});
+  } else {
+    fail("suspend in state " + to_string(state_));
+  }
+}
+
+void BrowserSession::resume_session() {
+  if (state_ != ClientState::kSuspended) {
+    fail("resume_session while not suspended");
+    return;
+  }
+  send(proto::ResumeSession{user_});
+}
+
+void BrowserSession::disconnect() {
+  if (!channel_) return;
+  send(proto::Disconnect{});
+  presentation_.reset();
+  if (conn_) conn_->close();
+}
+
+void BrowserSession::send_mail(const std::string& to,
+                               const std::string& subject,
+                               const std::string& body,
+                               const std::string& mime) {
+  send(proto::MailSend{to, subject, body, mime});
+}
+
+void BrowserSession::list_mail() { send(proto::MailList{}); }
+
+void BrowserSession::fetch_mail(std::int64_t index) {
+  send(proto::MailFetch{index});
+}
+
+void BrowserSession::annotate(const std::string& remark) {
+  if (current_document_.empty()) {
+    fail("annotate with no document viewed");
+    return;
+  }
+  send(proto::Annotate{current_document_, remark});
+}
+
+void BrowserSession::request_annotations(const std::string& document) {
+  send(proto::AnnotationListRequest{document});
+}
+
+void BrowserSession::reload_document() {
+  if (current_document_.empty()) {
+    fail("reload with no document viewed");
+    return;
+  }
+  request_document(current_document_);
+}
+
+void BrowserSession::on_frame(std::vector<std::uint8_t> frame) {
+  auto decoded = proto::decode(frame);
+  if (!decoded.ok()) {
+    fail("undecodable server message");
+    return;
+  }
+  std::visit([this](const auto& m) { handle(m); }, decoded.value());
+}
+
+// --- reply handlers ------------------------------------------------------------
+
+void BrowserSession::handle(const proto::ConnectReply& m) {
+  if (m.ok) {
+    enter_browsing();
+    return;
+  }
+  if (m.needs_subscription) {
+    transition(ClientState::kSubscribing);
+    if (subscription_form_) {
+      log_event("submitting subscription form");
+      send(*subscription_form_);
+    }
+    return;
+  }
+  fail("connect refused: " + m.reason);
+}
+
+void BrowserSession::handle(const proto::SubscribeReply& m) {
+  if (!m.ok) {
+    fail("subscription refused: " + m.reason);
+    return;
+  }
+  enter_browsing();
+}
+
+void BrowserSession::handle(const proto::TopicListReply& m) {
+  topics_ = m.documents;
+  log_event("topics: " + std::to_string(topics_.size()));
+  if (on_topics_) on_topics_();
+}
+
+void BrowserSession::handle(const proto::DocumentReply& m) {
+  if (state_ != ClientState::kRequestingDocument) {
+    fail("unexpected DocumentReply");
+    return;
+  }
+  if (!m.ok) {
+    transition(ClientState::kBrowsing);
+    fail("document refused: " + m.reason);
+    return;
+  }
+  auto parsed = markup::parse(m.markup);
+  if (!parsed.ok()) {
+    transition(ClientState::kBrowsing);
+    fail("scenario parse failed: " + parsed.error().message);
+    return;
+  }
+  auto scenario = core::extract_scenario(parsed.value());
+  if (!scenario.ok()) {
+    transition(ClientState::kBrowsing);
+    fail("scenario invalid: " + scenario.error().message);
+    return;
+  }
+  current_document_ = pending_document_;
+  presentation_ = std::make_unique<PresentationRuntime>(
+      net_, node_, std::move(scenario.value()), config_.presentation);
+  presentation_->scheduler().set_on_finished([this] {
+    log_event("presentation finished");
+    if (on_presentation_finished_) on_presentation_finished_();
+  });
+  presentation_->scheduler().set_on_timed_link(
+      [this](const core::LinkSpec& link) {
+        log_event("timed link fired -> " + link.target_document);
+        // Navigation may tear this presentation down; leave the scheduler's
+        // stack first. The user hook is checked at fire time so it may be
+        // installed after the document started playing.
+        sim_.schedule_after(Time::zero(), [this, link] {
+          if (on_timed_link_) on_timed_link_(link);
+        });
+      });
+  if (config_.auto_setup) {
+    transition(ClientState::kSettingUp);
+    send(presentation_->prepare_setup(current_document_));
+  }
+}
+
+void BrowserSession::handle(const proto::StreamSetupReply& m) {
+  if (state_ != ClientState::kSettingUp || !presentation_) {
+    fail("unexpected StreamSetupReply");
+    return;
+  }
+  if (!m.ok) {
+    presentation_.reset();
+    transition(ClientState::kBrowsing);
+    fail("stream setup refused: " + m.reason);
+    return;
+  }
+  presentation_->activate(m, server_.node);
+  transition(ClientState::kViewing);
+  if (on_viewing_) on_viewing_();
+}
+
+void BrowserSession::handle(const proto::SearchReply& m) {
+  search_results_ = m.hits;
+  search_completed_ = true;
+  log_event("search hits: " + std::to_string(m.hits.size()));
+  if (on_search_) on_search_();
+}
+
+void BrowserSession::handle(const proto::SuspendAck& m) {
+  transition(ClientState::kSuspended);
+  log_event("suspend keepalive " + Time::usec(m.keepalive_us).str());
+  if (on_suspended_) on_suspended_();
+}
+
+void BrowserSession::handle(const proto::SuspendExpired&) {
+  log_event("server expired the suspended session");
+}
+
+void BrowserSession::handle(const proto::ResumeSessionReply& m) {
+  if (m.ok) {
+    enter_browsing();
+  } else {
+    fail("session resume refused: " + m.reason);
+  }
+}
+
+void BrowserSession::handle(const proto::MailList& m) {
+  mail_subjects_ = m.subjects;
+  log_event("mailbox: " + std::to_string(m.subjects.size()) + " message(s)");
+}
+
+void BrowserSession::handle(const proto::AnnotationListReply& m) {
+  annotations_ = m.remarks;
+  log_event("annotations for " + m.document + ": " +
+            std::to_string(m.remarks.size()));
+}
+
+void BrowserSession::handle(const proto::MailSend& m) {
+  fetched_mail_ = m;
+  log_event("fetched mail: " + m.subject);
+}
+
+void BrowserSession::handle(const proto::ErrorReply& m) {
+  fail("server error: " + m.what);
+}
+
+}  // namespace hyms::client

@@ -1,0 +1,192 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/presentation.hpp"
+#include "net/tcp.hpp"
+#include "proto/messages.hpp"
+
+namespace hyms::client {
+
+/// Client-side protocol state (the browser's view of Fig. 4).
+enum class ClientState : std::uint8_t {
+  kDisconnected = 0,
+  kConnecting,      // TCP handshake + ConnectRequest in flight
+  kSubscribing,     // server asked for the subscription form
+  kBrowsing,        // authenticated; may list/search/request
+  kRequestingDocument,
+  kSettingUp,       // StreamSetup sent, waiting for stream facts
+  kViewing,
+  kPaused,
+  kSuspended,       // this server is parked while we visit another
+  kClosed,
+};
+
+[[nodiscard]] std::string to_string(ClientState state);
+
+/// The browser's session with ONE multimedia server: drives the §5
+/// application protocol (connect/subscribe/browse/view/suspend/disconnect)
+/// and owns the per-document PresentationRuntime. Multi-server navigation is
+/// the Browser's job (browser.hpp).
+class BrowserSession {
+ public:
+  struct Config {
+    PresentationRuntime::Config presentation;
+    net::TcpParams tcp;
+    /// Auto-send StreamSetup when a DocumentReply arrives.
+    bool auto_setup = true;
+  };
+
+  using Notify = std::function<void()>;
+  using FailFn = std::function<void(const std::string&)>;
+
+  BrowserSession(net::Network& net, net::NodeId node, net::Endpoint server,
+                 Config config);
+  ~BrowserSession();
+  BrowserSession(const BrowserSession&) = delete;
+  BrowserSession& operator=(const BrowserSession&) = delete;
+
+  // --- user primitives (§2) --------------------------------------------------
+  void connect(const std::string& user, const std::string& credential);
+  /// Pre-load the subscription form; sent automatically if the server asks.
+  void set_subscription_form(proto::SubscribeRequest form) {
+    subscription_form_ = std::move(form);
+  }
+  void request_topics();
+  void request_document(const std::string& name);
+  /// Request now if browsing, otherwise remember and request on the next
+  /// transition into browsing (used while a connection is still coming up).
+  void queue_document(const std::string& name);
+  void pause();
+  void resume_presentation();
+  void stop_stream(const std::string& stream_id);
+  void search(const std::string& token);
+  void suspend();
+  void resume_session();
+  void disconnect();
+  void send_mail(const std::string& to, const std::string& subject,
+                 const std::string& body, const std::string& mime);
+  void list_mail();
+  void fetch_mail(std::int64_t index);
+  /// Annotate the currently viewed document with a remark (§5).
+  void annotate(const std::string& remark);
+  void request_annotations(const std::string& document);
+  /// Re-request the current document from scratch (§5 "reload").
+  void reload_document();
+
+  // --- state & results -------------------------------------------------------
+  [[nodiscard]] ClientState state() const { return state_; }
+  [[nodiscard]] const std::vector<std::string>& topics() const {
+    return topics_;
+  }
+  [[nodiscard]] const std::vector<proto::SearchHit>& search_results() const {
+    return search_results_;
+  }
+  [[nodiscard]] bool search_completed() const { return search_completed_; }
+  [[nodiscard]] const std::vector<std::string>& mail_subjects() const {
+    return mail_subjects_;
+  }
+  [[nodiscard]] const std::optional<proto::MailSend>& fetched_mail() const {
+    return fetched_mail_;
+  }
+  [[nodiscard]] const std::vector<std::string>& annotations() const {
+    return annotations_;
+  }
+  [[nodiscard]] PresentationRuntime* presentation() {
+    return presentation_.get();
+  }
+  [[nodiscard]] const std::string& current_document() const {
+    return current_document_;
+  }
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+  /// Chronological log of state transitions and notable protocol events —
+  /// the observable Fig. 4 walk, asserted on by tests and E6.
+  [[nodiscard]] const std::vector<std::string>& event_log() const {
+    return events_;
+  }
+  [[nodiscard]] net::Endpoint server() const { return server_; }
+  [[nodiscard]] const std::string& user() const { return user_; }
+
+  // --- hooks -------------------------------------------------------------------
+  void set_on_browsing(Notify fn) { on_browsing_ = std::move(fn); }
+  void set_on_viewing(Notify fn) { on_viewing_ = std::move(fn); }
+  void set_on_presentation_finished(Notify fn) {
+    on_presentation_finished_ = std::move(fn);
+  }
+  void set_on_timed_link(core::PlayoutScheduler::TimedLinkFn fn) {
+    on_timed_link_ = std::move(fn);
+  }
+  void set_on_search(Notify fn) { on_search_ = std::move(fn); }
+  void set_on_topics(Notify fn) { on_topics_ = std::move(fn); }
+  void set_on_error(FailFn fn) { on_error_ = std::move(fn); }
+  void set_on_closed(Notify fn) { on_closed_ = std::move(fn); }
+  void set_on_suspended(Notify fn) { on_suspended_ = std::move(fn); }
+
+ private:
+  void send(const proto::Message& msg);
+  void transition(ClientState next);
+  void enter_browsing();
+  void log_event(const std::string& what);
+  void fail(const std::string& what);
+  void on_frame(std::vector<std::uint8_t> frame);
+
+  void handle(const proto::ConnectReply& m);
+  void handle(const proto::SubscribeReply& m);
+  void handle(const proto::TopicListReply& m);
+  void handle(const proto::DocumentReply& m);
+  void handle(const proto::StreamSetupReply& m);
+  void handle(const proto::SearchReply& m);
+  void handle(const proto::SuspendAck& m);
+  void handle(const proto::SuspendExpired& m);
+  void handle(const proto::ResumeSessionReply& m);
+  void handle(const proto::MailList& m);
+  void handle(const proto::AnnotationListReply& m);
+  void handle(const proto::MailSend& m);  // fetched-mail reply
+  void handle(const proto::ErrorReply& m);
+  template <typename T>
+  void handle(const T& m) {
+    fail("unexpected " + proto::message_name(proto::Message{m}));
+  }
+
+  net::Network& net_;
+  sim::Simulator& sim_;
+  net::NodeId node_;
+  net::Endpoint server_;
+  Config config_;
+
+  std::unique_ptr<net::StreamConnection> conn_;
+  std::unique_ptr<net::MessageChannel> channel_;
+  ClientState state_ = ClientState::kDisconnected;
+  std::string user_;
+  std::string credential_;
+  std::optional<proto::SubscribeRequest> subscription_form_;
+
+  std::vector<std::string> topics_;
+  std::vector<proto::SearchHit> search_results_;
+  bool search_completed_ = false;
+  std::vector<std::string> mail_subjects_;
+  std::optional<proto::MailSend> fetched_mail_;
+  std::vector<std::string> annotations_;
+  std::string current_document_;
+  std::string pending_document_;
+  std::string queued_document_;  // deferred until kBrowsing
+  std::unique_ptr<PresentationRuntime> presentation_;
+  std::string last_error_;
+  std::vector<std::string> events_;
+
+  Notify on_browsing_;
+  Notify on_viewing_;
+  Notify on_presentation_finished_;
+  core::PlayoutScheduler::TimedLinkFn on_timed_link_;
+  Notify on_search_;
+  Notify on_topics_;
+  FailFn on_error_;
+  Notify on_closed_;
+  Notify on_suspended_;
+};
+
+}  // namespace hyms::client

@@ -1,0 +1,183 @@
+#include "client/presentation.hpp"
+
+#include "media/frame.hpp"
+#include "net/wire.hpp"
+#include "util/log.hpp"
+
+namespace hyms::client {
+
+PresentationRuntime::PresentationRuntime(net::Network& net, net::NodeId node,
+                                         core::PresentationScenario scenario,
+                                         Config config)
+    : net_(net), sim_(net.sim()), node_(node), scenario_(std::move(scenario)),
+      config_(config) {
+  core::PlayoutConfig playout;
+  playout.initial_delay = config_.time_window;
+  playout.sync = config_.sync;
+  playout.rebuffer = config_.rebuffer;
+  playout.drop_on_overflow = config_.drop_on_overflow;
+  playout.record_events = config_.record_events;
+  scheduler_ =
+      std::make_unique<core::PlayoutScheduler>(sim_, scenario_, playout);
+}
+
+PresentationRuntime::~PresentationRuntime() = default;
+
+proto::StreamSetup PresentationRuntime::prepare_setup(
+    const std::string& document_name) {
+  proto::StreamSetup setup;
+  setup.document = document_name;
+  setup.time_window_us = config_.time_window.us();
+
+  for (const auto& spec : scenario_.streams) {
+    auto rt = std::make_unique<StreamRuntime>();
+    rt->spec = spec;
+    buffer::MediaBuffer::Config bc;
+    bc.time_window = config_.time_window;
+    bc.low_watermark = config_.low_watermark;
+    bc.high_watermark = config_.high_watermark;
+    rt->buffer = std::make_unique<buffer::MediaBuffer>(spec.id, bc);
+
+    proto::StreamSetup::StreamPort port;
+    port.stream_id = spec.id;
+    if (spec.type == media::MediaType::kAudio ||
+        spec.type == media::MediaType::kVideo) {
+      // Bind the RTP receive port now; sender RTCP endpoint arrives with the
+      // setup reply, so pass a placeholder and fix it in activate().
+      rtp::RtpReceiver::Params rp;
+      rp.local_ssrc = media::hash_source_name("client/" + spec.id) | 1u;
+      rp.rr_interval = config_.rtcp_rr_interval;
+      rt->receiver = std::make_unique<rtp::RtpReceiver>(
+          net_, node_, 0, net::Endpoint{}, rp);
+      port.rtp_port = rt->receiver->rtp_endpoint().port;
+    }
+    setup.streams.push_back(port);
+    streams_[spec.id] = std::move(rt);
+  }
+  return setup;
+}
+
+void PresentationRuntime::activate(const proto::StreamSetupReply& reply,
+                                   net::NodeId server_node) {
+  for (const auto& info : reply.streams) {
+    auto it = streams_.find(info.stream_id);
+    if (it == streams_.end()) {
+      LOG_WARN << "setup reply names unknown stream '" << info.stream_id << "'";
+      continue;
+    }
+    StreamRuntime& rt = *it->second;
+    rt.frame_interval = Time::usec(info.frame_interval_us);
+    rt.frame_count = info.frame_count;
+    // Playout length is bounded by the scenario DURATION when present.
+    if (rt.spec.duration && rt.frame_interval > Time::zero()) {
+      rt.frame_count = std::min<std::int64_t>(
+          rt.frame_count, rt.spec.duration->us() / rt.frame_interval.us());
+    }
+
+    if (info.via_rtp && rt.receiver != nullptr) {
+      rt.receiver->set_clock(rtp::MediaClock{info.clock_rate});
+      rt.receiver->set_sender_rtcp(net::Endpoint{
+          static_cast<net::NodeId>(info.sender_rtcp_node),
+          info.sender_rtcp_port});
+      // The Client QoS Manager supplies the APP("QOSM") metrics that ride
+      // each receiver report (the paper's feedback reports, §4).
+      qos_.attach(rt.spec.id, rt.buffer.get(), rt.receiver.get());
+      StreamRuntime* rt_ptr = &rt;
+      rt.receiver->set_on_frame([this, rt_ptr](rtp::ReceivedFrame&& frame) {
+        on_frame(*rt_ptr, std::move(frame));
+      });
+    } else if (!info.via_rtp) {
+      fetch_object(rt, server_node, info);
+    }
+
+    scheduler_->attach_stream(rt.spec.id, rt.buffer.get(), rt.frame_interval,
+                              rt.frame_count);
+  }
+  scheduler_->start();
+}
+
+void PresentationRuntime::on_frame(StreamRuntime& rt,
+                                   rtp::ReceivedFrame&& frame) {
+  ++stats_.frames_received;
+  if (!media::verify_frame_payload(frame.payload)) {
+    ++stats_.payload_corruptions;
+    return;
+  }
+  buffer::BufferedFrame bf;
+  bf.media_time = frame.media_time;
+  bf.index = rt.frame_interval > Time::zero()
+                 ? frame.media_time.us() / rt.frame_interval.us()
+                 : 0;
+  bf.duration = rt.frame_interval;
+  bf.arrival = frame.arrival;
+  bf.payload = std::move(frame.payload);
+  LOG_TRACE << "push " << rt.spec.id << " idx " << bf.index;
+  if (rt.buffer->push(std::move(bf))) ++stats_.frames_buffered;
+}
+
+void PresentationRuntime::fetch_object(
+    StreamRuntime& rt, net::NodeId /*server_node*/,
+    const proto::StreamSetupReply::StreamInfo& info) {
+  // The object lives on its media server's host (which may differ from the
+  // control server when media servers run on their own machines, Fig. 3).
+  rt.object_conn = net::StreamConnection::connect(
+      net_, node_,
+      net::Endpoint{static_cast<net::NodeId>(info.tcp_node), info.tcp_port},
+      config_.tcp);
+  StreamRuntime* rt_ptr = &rt;
+  rt.object_conn->set_on_data([this, rt_ptr](
+                                  std::span<const std::uint8_t> chunk) {
+    StreamRuntime& stream = *rt_ptr;
+    stream.object_rx.insert(stream.object_rx.end(), chunk.begin(), chunk.end());
+    if (stream.object_expected == 0 && stream.object_rx.size() >= 8) {
+      net::WireReader r(stream.object_rx.data(), 8);
+      stream.object_expected = r.u64();
+    }
+    if (!stream.object_done && stream.object_expected > 0 &&
+        stream.object_rx.size() >= 8 + stream.object_expected) {
+      stream.object_done = true;
+      ++stats_.objects_fetched;
+      buffer::BufferedFrame bf;
+      bf.index = 0;
+      bf.media_time = Time::zero();
+      bf.duration = stream.spec.duration.value_or(Time::zero());
+      bf.arrival = sim_.now();
+      bf.payload.assign(
+          stream.object_rx.begin() + 8,
+          stream.object_rx.begin() +
+              static_cast<std::ptrdiff_t>(8 + stream.object_expected));
+      stream.buffer->push(std::move(bf));
+    }
+  });
+}
+
+void PresentationRuntime::pause() { scheduler_->pause(); }
+
+void PresentationRuntime::resume() { scheduler_->resume(); }
+
+void PresentationRuntime::disable_stream(const std::string& stream_id) {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return;
+  qos_.detach(stream_id);
+  it->second->receiver.reset();  // stop consuming packets
+  it->second->buffer->clear();
+}
+
+buffer::MediaBuffer* PresentationRuntime::buffer(const std::string& stream_id) {
+  auto it = streams_.find(stream_id);
+  return it == streams_.end() ? nullptr : it->second->buffer.get();
+}
+
+rtp::RtpReceiver* PresentationRuntime::receiver(const std::string& stream_id) {
+  auto it = streams_.find(stream_id);
+  return it == streams_.end() ? nullptr : it->second->receiver.get();
+}
+
+bool PresentationRuntime::objects_complete() const {
+  for (const auto& [id, rt] : streams_) {
+    if (rt->object_conn != nullptr && !rt->object_done) return false;
+  }
+  return true;
+}
+
+}  // namespace hyms::client

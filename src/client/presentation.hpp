@@ -1,0 +1,104 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buffer/media_buffer.hpp"
+#include "client/qos_manager.hpp"
+#include "core/playout.hpp"
+#include "core/scenario.hpp"
+#include "net/tcp.hpp"
+#include "proto/messages.hpp"
+#include "rtp/session.hpp"
+
+namespace hyms::client {
+
+/// Everything the browser instantiates to play one document: per-stream
+/// media buffers, RTP receivers (time-sensitive media), TCP object fetchers
+/// (images/text), the playout scheduler, and the client QoS manager feeding
+/// APP("QOSM") metrics into each stream's RTCP receiver reports.
+class PresentationRuntime {
+ public:
+  struct Config {
+    Time time_window = Time::msec(500);  // media time window per buffer
+    double low_watermark = 0.25;
+    double high_watermark = 2.0;
+    core::SyncPolicy sync;
+    core::RebufferPolicy rebuffer;  // off by default
+    bool drop_on_overflow = true;
+    bool record_events = false;
+    Time rtcp_rr_interval = Time::sec(1);
+    net::TcpParams tcp;
+  };
+
+  PresentationRuntime(net::Network& net, net::NodeId node,
+                      core::PresentationScenario scenario, Config config);
+  ~PresentationRuntime();
+  PresentationRuntime(const PresentationRuntime&) = delete;
+  PresentationRuntime& operator=(const PresentationRuntime&) = delete;
+
+  /// Phase 1: allocate buffers + RTP receive ports; returns the StreamSetup
+  /// message for the server (ports for every time-sensitive stream).
+  proto::StreamSetup prepare_setup(const std::string& document_name);
+
+  /// Phase 2: wire the server's reply (receivers learn sender RTCP
+  /// endpoints, object fetchers connect) and start the playout scheduler.
+  void activate(const proto::StreamSetupReply& reply, net::NodeId server_node);
+
+  void pause();
+  void resume();
+  /// Stop consuming a single stream (user disabled the media).
+  void disable_stream(const std::string& stream_id);
+
+  [[nodiscard]] core::PlayoutScheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] const core::PlayoutTrace& trace() const {
+    return scheduler_->trace();
+  }
+  [[nodiscard]] const core::PresentationScenario& scenario() const {
+    return scenario_;
+  }
+  [[nodiscard]] buffer::MediaBuffer* buffer(const std::string& stream_id);
+  [[nodiscard]] rtp::RtpReceiver* receiver(const std::string& stream_id);
+  [[nodiscard]] ClientQosManager& qos_manager() { return qos_; }
+  [[nodiscard]] bool objects_complete() const;
+
+  struct Stats {
+    std::int64_t frames_received = 0;
+    std::int64_t frames_buffered = 0;
+    std::int64_t payload_corruptions = 0;
+    std::int64_t objects_fetched = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct StreamRuntime {
+    core::StreamSpec spec;
+    std::unique_ptr<buffer::MediaBuffer> buffer;
+    std::unique_ptr<rtp::RtpReceiver> receiver;  // RTP streams only
+    Time frame_interval;
+    std::int64_t frame_count = 1;
+    // TCP object fetch state:
+    std::unique_ptr<net::StreamConnection> object_conn;
+    std::vector<std::uint8_t> object_rx;
+    std::uint64_t object_expected = 0;
+    bool object_done = false;
+  };
+
+  void on_frame(StreamRuntime& rt, rtp::ReceivedFrame&& frame);
+  void fetch_object(StreamRuntime& rt, net::NodeId server_node,
+                    const proto::StreamSetupReply::StreamInfo& info);
+
+  net::Network& net_;
+  sim::Simulator& sim_;
+  net::NodeId node_;
+  core::PresentationScenario scenario_;
+  Config config_;
+  std::map<std::string, std::unique_ptr<StreamRuntime>> streams_;
+  std::unique_ptr<core::PlayoutScheduler> scheduler_;
+  ClientQosManager qos_;
+  Stats stats_;
+};
+
+}  // namespace hyms::client

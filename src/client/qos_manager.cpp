@@ -1,0 +1,81 @@
+#include "client/qos_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hyms::client {
+
+void ClientQosManager::attach(const std::string& stream_id,
+                              buffer::MediaBuffer* buffer,
+                              rtp::RtpReceiver* receiver) {
+  streams_[stream_id] = StreamRef{buffer, receiver};
+  if (receiver != nullptr) {
+    receiver->set_extra_metrics(
+        [this, stream_id] { return metrics_for(stream_id); });
+  }
+}
+
+void ClientQosManager::detach(const std::string& stream_id) {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return;
+  if (it->second.receiver != nullptr) {
+    it->second.receiver->set_extra_metrics({});
+  }
+  streams_.erase(it);
+}
+
+std::vector<std::pair<std::string, double>> ClientQosManager::metrics_for(
+    const std::string& stream_id) const {
+  std::vector<std::pair<std::string, double>> metrics;
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return metrics;
+  const StreamRef& ref = it->second;
+  if (config_.report_buffer && ref.buffer != nullptr) {
+    metrics.emplace_back("buffer_ms", ref.buffer->occupancy_time().to_ms());
+  }
+  if (ref.receiver != nullptr) {
+    if (config_.report_jitter) {
+      metrics.emplace_back("jitter_ms", ref.receiver->stats().jitter_ms);
+    }
+    if (config_.report_incomplete) {
+      metrics.emplace_back(
+          "incomplete",
+          static_cast<double>(ref.receiver->stats().frames_incomplete));
+    }
+  }
+  return metrics;
+}
+
+double ClientQosManager::min_buffer_ms() const {
+  double lowest = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& [id, ref] : streams_) {
+    if (ref.buffer != nullptr) {
+      lowest = std::min(lowest, ref.buffer->occupancy_time().to_ms());
+      any = true;
+    }
+  }
+  return any ? lowest : 0.0;
+}
+
+double ClientQosManager::worst_jitter_ms() const {
+  double worst = 0.0;
+  for (const auto& [id, ref] : streams_) {
+    if (ref.receiver != nullptr) {
+      worst = std::max(worst, ref.receiver->stats().jitter_ms);
+    }
+  }
+  return worst;
+}
+
+std::int64_t ClientQosManager::total_incomplete_frames() const {
+  std::int64_t total = 0;
+  for (const auto& [id, ref] : streams_) {
+    if (ref.receiver != nullptr) {
+      total += ref.receiver->stats().frames_incomplete;
+    }
+  }
+  return total;
+}
+
+}  // namespace hyms::client

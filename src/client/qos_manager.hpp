@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buffer/media_buffer.hpp"
+#include "rtp/session.hpp"
+
+namespace hyms::client {
+
+/// The Client QoS Manager box of Fig. 3: watches each stream's buffer and
+/// RTP receiver statistics and assembles the feedback report the paper
+/// describes — "the client QoS manager, periodically or in specifically
+/// calculated intervals, sends feedback reports to the sending side". The
+/// wire carrier is the receiver's RTCP RR + APP("QOSM") compound packet;
+/// this class decides what goes into the APP part and keeps client-side
+/// aggregate statistics.
+class ClientQosManager {
+ public:
+  struct Config {
+    /// Report the buffer's occupancy so the server sees imminent underflow.
+    bool report_buffer = true;
+    /// Report the RFC jitter estimate in milliseconds.
+    bool report_jitter = true;
+    /// Report the count of frames that failed reassembly.
+    bool report_incomplete = true;
+  };
+
+  ClientQosManager() = default;
+  explicit ClientQosManager(Config config) : config_(config) {}
+
+  /// Register a stream: wires this manager as the receiver's APP-metrics
+  /// source. Pointers are non-owning and must outlive the manager's use.
+  void attach(const std::string& stream_id, buffer::MediaBuffer* buffer,
+              rtp::RtpReceiver* receiver);
+  void detach(const std::string& stream_id);
+
+  /// The metrics for one stream's next feedback report.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> metrics_for(
+      const std::string& stream_id) const;
+
+  /// Client-side aggregates across all attached streams.
+  [[nodiscard]] double min_buffer_ms() const;
+  [[nodiscard]] double worst_jitter_ms() const;
+  [[nodiscard]] std::int64_t total_incomplete_frames() const;
+  [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
+
+ private:
+  struct StreamRef {
+    buffer::MediaBuffer* buffer = nullptr;
+    rtp::RtpReceiver* receiver = nullptr;
+  };
+
+  Config config_{};
+  std::map<std::string, StreamRef> streams_;
+};
+
+}  // namespace hyms::client

@@ -1,0 +1,359 @@
+#include "core/playout.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace hyms::core {
+
+ConsumeMode default_mode(media::MediaType type) {
+  switch (type) {
+    case media::MediaType::kAudio: return ConsumeMode::kContinuityDriven;
+    case media::MediaType::kVideo: return ConsumeMode::kDeadlineDriven;
+    case media::MediaType::kImage:
+    case media::MediaType::kText: return ConsumeMode::kOneShot;
+  }
+  return ConsumeMode::kDeadlineDriven;
+}
+
+PlayoutScheduler::PlayoutScheduler(sim::Simulator& sim,
+                                   PresentationScenario scenario,
+                                   PlayoutConfig config)
+    : sim_(sim), scenario_(std::move(scenario)), config_(config) {
+  trace_.set_record_events(config_.record_events);
+}
+
+PlayoutScheduler::~PlayoutScheduler() {
+  for (auto& [id, process] : processes_) sim_.cancel(process->tick_event);
+  for (auto event : link_events_) sim_.cancel(event);
+}
+
+void PlayoutScheduler::attach_stream(const std::string& stream_id,
+                                     buffer::MediaBuffer* buffer,
+                                     Time frame_interval,
+                                     std::int64_t frame_count) {
+  const StreamSpec* spec = scenario_.find_stream(stream_id);
+  if (spec == nullptr) {
+    LOG_WARN << "attach_stream: '" << stream_id << "' not in scenario";
+    return;
+  }
+  auto process = std::make_unique<Process>();
+  process->spec = *spec;
+  process->buffer = buffer;
+  process->mode = default_mode(spec->type);
+  process->interval =
+      frame_interval > Time::zero() ? frame_interval : config_.image_poll;
+  process->frame_count = std::max<std::int64_t>(1, frame_count);
+  processes_[stream_id] = std::move(process);
+}
+
+void PlayoutScheduler::start() {
+  if (started_) return;
+  started_ = true;
+  running_ = true;
+  epoch_ = sim_.now() + config_.initial_delay;
+  for (auto& [id, process] : processes_) start_process(*process);
+  schedule_timed_links();
+}
+
+void PlayoutScheduler::start_process(Process& p) {
+  p.active = true;
+  const Time first_tick = epoch_ + p.spec.start;
+  p.tick_event = sim_.schedule_at(first_tick, [this, proc = &p] {
+    proc->tick_event = sim::kNoEvent;
+    tick(*proc);
+  });
+}
+
+void PlayoutScheduler::schedule_timed_links() {
+  for (const auto& link : scenario_.links) {
+    if (!link.at) continue;
+    link_events_.push_back(
+        sim_.schedule_at(epoch_ + *link.at, [this, link] {
+          // Paused presentations hold their links; a *finished* one still
+          // fires them — the "writer's way" advances past the last stream.
+          if (!paused_ && on_timed_link_) on_timed_link_(link);
+        }));
+  }
+}
+
+void PlayoutScheduler::pause() {
+  if (paused_ || !started_) return;
+  paused_ = true;
+  running_ = false;
+  pause_began_ = sim_.now();
+  for (auto& [id, process] : processes_) {
+    sim_.cancel(process->tick_event);
+    process->tick_event = sim::kNoEvent;
+  }
+  for (auto event : link_events_) sim_.cancel(event);
+  link_events_.clear();
+}
+
+void PlayoutScheduler::resume() {
+  if (!paused_ || !started_) return;
+  paused_ = false;
+  running_ = true;
+  epoch_ += sim_.now() - pause_began_;  // scenario clock stood still
+  for (auto& [id, process] : processes_) {
+    if (process->done || !process->active) continue;
+    Process* proc = process.get();
+    proc->tick_event = sim_.schedule_after(proc->interval, [this, proc] {
+      proc->tick_event = sim::kNoEvent;
+      tick(*proc);
+    });
+  }
+  // Re-arm timed links that have not fired yet.
+  for (const auto& link : scenario_.links) {
+    if (!link.at) continue;
+    const Time when = epoch_ + *link.at;
+    if (when > sim_.now()) {
+      link_events_.push_back(sim_.schedule_at(when, [this, link] {
+        if (!paused_ && on_timed_link_) on_timed_link_(link);
+      }));
+    }
+  }
+}
+
+bool PlayoutScheduler::finished() const {
+  for (const auto& [id, process] : processes_) {
+    if (!process->done) return false;
+  }
+  return started_;
+}
+
+Time PlayoutScheduler::content_position(const std::string& stream_id) const {
+  auto it = processes_.find(stream_id);
+  return it == processes_.end() ? Time::zero()
+                                : it->second->content_position();
+}
+
+void PlayoutScheduler::play_slot(Process& p, PlayoutAction action) {
+  PlayoutEvent event;
+  event.stream_id = p.spec.id;
+  event.action = action;
+  event.frame_index = p.next_index;
+  event.at = sim_.now();
+  event.content_position = p.content_position();
+  trace_.note(std::move(event));
+}
+
+void PlayoutScheduler::handle_overflow(Process& p) {
+  if (!config_.drop_on_overflow || p.buffer == nullptr) return;
+  // One-shot objects (images, text) are not a stream: their single entry may
+  // legitimately "fill" the buffer far past any time window.
+  if (p.mode == ConsumeMode::kOneShot) return;
+  if (!p.buffer->above_high_watermark()) return;
+  // Drain the oldest frames until the buffer is back at its time window,
+  // then jump the content position to the new head (the dropped content's
+  // slots are gone).
+  while (p.buffer->occupancy_time() > p.buffer->config().time_window &&
+         !p.buffer->empty()) {
+    const std::int64_t head_index = p.buffer->peek()->index;
+    p.buffer->drop_before(head_index + 1);
+    play_slot(p, PlayoutAction::kOverflowDrop);
+  }
+  if (const auto* head = p.buffer->peek();
+      head != nullptr && head->index > p.next_index) {
+    p.next_index = head->index;
+  }
+}
+
+void PlayoutScheduler::enforce_sync(Process& p) {
+  const SyncPolicy& policy = config_.sync;
+  if (p.spec.sync_group.empty()) return;
+
+  // Collect the live members of my sync group.
+  std::vector<Process*> group;
+  for (auto& [id, process] : processes_) {
+    if (process->spec.sync_group == p.spec.sync_group && process->active &&
+        !process->done) {
+      group.push_back(process.get());
+    }
+  }
+  if (group.size() < 2) return;
+
+  Process* leader = group.front();
+  Process* laggard = group.front();
+  std::string first_id = group.front()->spec.id;
+  for (Process* member : group) {
+    if (member->content_position() > leader->content_position()) {
+      leader = member;
+    }
+    if (member->content_position() < laggard->content_position()) {
+      laggard = member;
+    }
+    first_id = std::min(first_id, member->spec.id);
+  }
+  const Time skew = leader->content_position() - laggard->content_position();
+  // One member (the lexicographically first) samples the group's skew so
+  // each group tick contributes a single data point. Sampling happens even
+  // with the controller disabled — the E4 experiment compares exactly that.
+  if (p.spec.id == first_id) trace_.note_skew(p.spec.sync_group, skew);
+  if (!policy.enabled) return;
+  if (skew <= policy.max_skew) return;
+
+  const Time excess = skew - policy.target_skew;
+
+  if (&p == laggard && policy.allow_skip && !p.buffer->empty()) {
+    // Jump forward through buffered (and lost) content to catch up.
+    const auto slots =
+        std::max<std::int64_t>(1, excess.us() / p.interval.us());
+    for (std::int64_t i = 0; i < slots; ++i) {
+      play_slot(p, PlayoutAction::kSyncSkip);
+      ++p.next_index;
+    }
+    p.buffer->drop_before(p.next_index);
+    return;
+  }
+
+  if (&p == leader && policy.allow_pause) {
+    // Pause only when the laggard cannot skip itself back into sync.
+    const bool laggard_can_skip =
+        policy.allow_skip && laggard->buffer != nullptr &&
+        !laggard->buffer->empty();
+    if (!laggard_can_skip) {
+      p.pause_ticks = std::max<std::int64_t>(1, excess.us() / p.interval.us());
+    }
+  }
+}
+
+void PlayoutScheduler::tick(Process& p) {
+  if (!running_ || p.done) return;
+
+  enforce_sync(p);
+  handle_overflow(p);
+
+  bool advanced_past_end = false;
+
+  if (p.pause_ticks > 0) {
+    --p.pause_ticks;
+    play_slot(p, PlayoutAction::kSyncPause);
+  } else {
+    // Discard frames whose slot has already passed.
+    while (const auto* head = p.buffer->peek()) {
+      if (head->index >= p.next_index) break;
+      p.buffer->drop_before(head->index + 1);
+      play_slot(p, PlayoutAction::kLateDiscard);
+    }
+
+    const auto* head = p.buffer->peek();
+    switch (p.mode) {
+      case ConsumeMode::kOneShot:
+        if (head != nullptr) {
+          play_slot(p, PlayoutAction::kFresh);
+          p.buffer->pop();
+          p.next_index = p.frame_count;  // done
+        }
+        break;
+      case ConsumeMode::kDeadlineDriven:
+        if (head != nullptr && head->index == p.next_index) {
+          play_slot(p, PlayoutAction::kFresh);
+          p.buffer->pop();
+          p.starved_run = 0;
+        } else if (head != nullptr) {
+          play_slot(p, PlayoutAction::kGapSkip);  // lost slot, freeze frame
+          ++p.starved_run;  // missing data counts toward the rebuffer trigger
+        } else {
+          play_slot(p, PlayoutAction::kDuplicate);  // starved, freeze frame
+          ++p.starved_run;
+        }
+        ++p.next_index;
+        break;
+      case ConsumeMode::kContinuityDriven:
+        if (head != nullptr && head->index == p.next_index) {
+          play_slot(p, PlayoutAction::kFresh);
+          p.buffer->pop();
+          ++p.next_index;
+          p.starved_run = 0;
+        } else if (head != nullptr) {
+          // The slot's frame is lost but later content is here: the slot is
+          // unrecoverable, consume it as a gap.
+          play_slot(p, PlayoutAction::kGapSkip);
+          ++p.next_index;
+          ++p.starved_run;  // missing data counts toward the rebuffer trigger
+        } else if (p.starved_run >= config_.starvation_advance_after) {
+          // Liveness: the data is clearly not coming (e.g. the stream's tail
+          // was lost). Consume remaining slots as gaps so the presentation
+          // can still end.
+          play_slot(p, PlayoutAction::kGapSkip);
+          ++p.next_index;
+        } else {
+          // Starved: play filler WITHOUT advancing — the content position
+          // now lags the wall clock (the skew the controller watches).
+          play_slot(p, PlayoutAction::kDuplicate);
+          ++p.starved_run;
+        }
+        break;
+    }
+  }
+
+  if (p.next_index >= p.frame_count) {
+    advanced_past_end = true;
+  }
+
+  if (advanced_past_end) {
+    finish_process(p);
+    return;
+  }
+
+  // Persistent starvation: optionally stop playing filler and rebuffer —
+  // unless the liveness cap has engaged (the data is not coming; gap-skip
+  // to the end instead of pausing forever).
+  if (config_.rebuffer.enabled && !rebuffering_ &&
+      p.starved_run >= config_.rebuffer.starvation_ticks &&
+      p.starved_run < config_.starvation_advance_after) {
+    begin_rebuffer(p);
+    return;  // pause() cancelled every tick; resume re-arms them
+  }
+
+  Process* proc = &p;
+  p.tick_event = sim_.schedule_after(p.interval, [this, proc] {
+    proc->tick_event = sim::kNoEvent;
+    tick(*proc);
+  });
+}
+
+void PlayoutScheduler::begin_rebuffer(Process& p) {
+  rebuffering_ = true;
+  // starved_run keeps accumulating across rebuffer attempts so the
+  // starvation_advance_after liveness cap still engages eventually.
+  play_slot(p, PlayoutAction::kRebuffer);
+  pause();
+  const Time began = sim_.now();
+  Process* proc = &p;
+  sim_.schedule_after(config_.rebuffer.poll,
+                      [this, proc, began] { poll_rebuffer(proc, began); });
+}
+
+void PlayoutScheduler::poll_rebuffer(Process* p, Time began) {
+  if (!rebuffering_) return;
+  const bool refilled =
+      p->buffer != nullptr &&
+      p->buffer->occupancy_time() >= config_.rebuffer.target;
+  const bool timed_out = sim_.now() - began >= config_.rebuffer.max_wait;
+  if (refilled || timed_out) {
+    rebuffering_ = false;
+    resume();
+    return;
+  }
+  sim_.schedule_after(config_.rebuffer.poll,
+                      [this, p, began] { poll_rebuffer(p, began); });
+}
+
+void PlayoutScheduler::finish_process(Process& p) {
+  p.done = true;
+  p.active = false;
+  sim_.cancel(p.tick_event);
+  p.tick_event = sim::kNoEvent;
+  check_all_finished();
+}
+
+void PlayoutScheduler::check_all_finished() {
+  if (finished_notified_ || !finished()) return;
+  finished_notified_ = true;
+  running_ = false;
+  if (on_finished_) on_finished_();
+}
+
+}  // namespace hyms::core

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buffer/media_buffer.hpp"
+#include "core/scenario.hpp"
+#include "core/trace.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace hyms::core {
+
+/// Short-term intermedia synchronization policy (§4, after [LIT 92]): when
+/// the content positions of a sync group drift past max_skew, the scheduler
+/// skips the lagging stream forward through its buffer and/or pauses the
+/// leading stream until positions realign to target_skew.
+struct SyncPolicy {
+  bool enabled = true;
+  Time max_skew = Time::msec(80);
+  Time target_skew = Time::msec(20);
+  bool allow_skip = true;   // jump the lagging stream forward (drops content)
+  bool allow_pause = true;  // hold the leading stream (duplicates frames)
+};
+
+/// Extension of the paper's future work ("improvement of the synchronization
+/// method used in conjunction with the buffer's monitoring mechanisms"):
+/// when a stream plays `starvation_ticks` consecutive slots without fresh
+/// data (starved or gapped), pause the whole presentation and let the
+/// buffers refill to `target` (bounded by `max_wait`), instead of playing
+/// filler indefinitely — delayed frames get a chance to arrive.
+struct RebufferPolicy {
+  bool enabled = false;
+  int starvation_ticks = 10;
+  Time target = Time::msec(300);
+  Time max_wait = Time::sec(3);
+  Time poll = Time::msec(50);
+};
+
+struct PlayoutConfig {
+  /// The deliberate presentation start delay that prefills each media buffer
+  /// to its media time window (§4).
+  Time initial_delay = Time::msec(500);
+  SyncPolicy sync;
+  RebufferPolicy rebuffer;
+  /// Drain buffers above their high watermark by dropping oldest frames.
+  bool drop_on_overflow = true;
+  bool record_events = false;
+  /// Poll period for one-shot media (images) waiting for their payload.
+  Time image_poll = Time::msec(50);
+  /// Liveness bound for continuity streams: after this many consecutive
+  /// starved slots the process starts consuming slots as gaps (otherwise a
+  /// stream whose tail is lost would stall the presentation forever).
+  int starvation_advance_after = 250;
+};
+
+/// How a playout process consumes its buffer.
+enum class ConsumeMode : std::uint8_t {
+  /// Video: wall-clock slots; a missing frame freezes the previous one and
+  /// the slot is gone (content stays aligned with the clock).
+  kDeadlineDriven,
+  /// Audio: continuity first; starvation stalls the content position (the
+  /// stream then *lags* its sync peers until the skew controller acts).
+  kContinuityDriven,
+  /// Images: a single object, played the moment it is available.
+  kOneShot,
+};
+
+[[nodiscard]] ConsumeMode default_mode(media::MediaType type);
+
+/// The client-side playout scheduler of Fig. 3: one concurrent playout
+/// process per stream (the paper's playout algorithm in §3.1), the buffer
+/// occupancy monitor, and the short-term skew controller. The caller binds
+/// each scenario stream to the MediaBuffer its transport feeds.
+class PlayoutScheduler {
+ public:
+  using FinishedFn = std::function<void()>;
+  using TimedLinkFn = std::function<void(const LinkSpec&)>;
+
+  PlayoutScheduler(sim::Simulator& sim, PresentationScenario scenario,
+                   PlayoutConfig config);
+  ~PlayoutScheduler();
+  PlayoutScheduler(const PlayoutScheduler&) = delete;
+  PlayoutScheduler& operator=(const PlayoutScheduler&) = delete;
+
+  /// Bind a scenario stream to its buffer. `frame_interval`/`frame_count`
+  /// come from the stream setup handshake with the media server.
+  void attach_stream(const std::string& stream_id,
+                     buffer::MediaBuffer* buffer, Time frame_interval,
+                     std::int64_t frame_count);
+
+  /// Begin the presentation: processes fire at now + initial_delay + t_i.
+  void start();
+  /// Pause all playout processes (user pressed pause / link followed).
+  void pause();
+  /// Resume from the paused position.
+  void resume();
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] bool finished() const;
+
+  [[nodiscard]] PlayoutTrace& trace() { return trace_; }
+  [[nodiscard]] const PresentationScenario& scenario() const {
+    return scenario_;
+  }
+  /// Simulation time the presentation's scenario clock started (T0).
+  [[nodiscard]] Time presentation_epoch() const { return epoch_; }
+  /// Scenario-relative content position of a stream (next slot to play).
+  [[nodiscard]] Time content_position(const std::string& stream_id) const;
+
+  void set_on_finished(FinishedFn fn) { on_finished_ = std::move(fn); }
+  void set_on_timed_link(TimedLinkFn fn) { on_timed_link_ = std::move(fn); }
+
+ private:
+  struct Process {
+    StreamSpec spec;
+    buffer::MediaBuffer* buffer = nullptr;
+    ConsumeMode mode = ConsumeMode::kDeadlineDriven;
+    Time interval;
+    std::int64_t frame_count = 0;
+    std::int64_t next_index = 0;      // k: next content slot
+    std::int64_t pause_ticks = 0;     // sync controller hold
+    int starved_run = 0;              // consecutive slots without fresh data
+    bool active = false;
+    bool done = false;
+    sim::EventId tick_event = sim::kNoEvent;
+
+    [[nodiscard]] Time content_position() const {
+      return spec.start + interval * next_index;
+    }
+  };
+
+  void start_process(Process& p);
+  void tick(Process& p);
+  void begin_rebuffer(Process& p);
+  void poll_rebuffer(Process* p, Time began);
+  void play_slot(Process& p, PlayoutAction action);
+  void handle_overflow(Process& p);
+  void enforce_sync(Process& p);
+  void finish_process(Process& p);
+  void check_all_finished();
+  void schedule_timed_links();
+
+  sim::Simulator& sim_;
+  PresentationScenario scenario_;
+  PlayoutConfig config_;
+  std::map<std::string, std::unique_ptr<Process>> processes_;
+  std::vector<sim::EventId> link_events_;
+  PlayoutTrace trace_;
+  Time epoch_;
+  bool started_ = false;
+  bool running_ = false;
+  bool paused_ = false;
+  bool rebuffering_ = false;
+  bool finished_notified_ = false;
+  Time pause_began_;
+  FinishedFn on_finished_;
+  TimedLinkFn on_timed_link_;
+};
+
+}  // namespace hyms::core

@@ -1,0 +1,135 @@
+#include "core/scenario.hpp"
+
+#include "markup/validate.hpp"
+
+namespace hyms::core {
+
+Time PresentationScenario::total_duration() const {
+  Time end = Time::zero();
+  for (const auto& stream : streams) {
+    if (stream.duration) {
+      const Time stream_end = stream.start + *stream.duration;
+      if (stream_end > end) end = stream_end;
+    }
+  }
+  return end;
+}
+
+const LinkSpec* PresentationScenario::next_timed_link() const {
+  const LinkSpec* best = nullptr;
+  for (const auto& link : links) {
+    if (!link.at) continue;
+    if (best == nullptr || *link.at < *best->at) best = &link;
+  }
+  return best;
+}
+
+const StreamSpec* PresentationScenario::find_stream(
+    const std::string& id) const {
+  for (const auto& stream : streams) {
+    if (stream.id == id) return &stream;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> PresentationScenario::sync_peers(
+    const std::string& id) const {
+  const StreamSpec* self = find_stream(id);
+  std::vector<std::string> peers;
+  if (self == nullptr || self->sync_group.empty()) return peers;
+  for (const auto& stream : streams) {
+    if (stream.id != id && stream.sync_group == self->sync_group) {
+      peers.push_back(stream.id);
+    }
+  }
+  return peers;
+}
+
+namespace {
+
+StreamSpec from_attrs(const markup::MediaAttrs& attrs, media::MediaType type) {
+  StreamSpec spec;
+  spec.id = attrs.id;
+  spec.type = type;
+  spec.source = attrs.source;
+  spec.start = attrs.startime.value_or(Time::zero());
+  spec.duration = attrs.duration;
+  spec.note = attrs.note;
+  spec.where = attrs.where;
+  spec.width = attrs.width;
+  spec.height = attrs.height;
+  return spec;
+}
+
+struct Extractor {
+  PresentationScenario& scenario;
+
+  void operator()(const markup::TextBlock& block) const {
+    for (const auto& run : block.runs) {
+      if (!scenario.text_content.empty()) scenario.text_content += ' ';
+      scenario.text_content += run.text;
+    }
+  }
+  void operator()(const markup::ImageElement& img) const {
+    scenario.streams.push_back(from_attrs(img.attrs, media::MediaType::kImage));
+  }
+  void operator()(const markup::AudioElement& au) const {
+    scenario.streams.push_back(from_attrs(au.attrs, media::MediaType::kAudio));
+  }
+  void operator()(const markup::VideoElement& vi) const {
+    scenario.streams.push_back(from_attrs(vi.attrs, media::MediaType::kVideo));
+  }
+  void operator()(const markup::AudioVideoElement& av) const {
+    StreamSpec audio = from_attrs(av.audio, media::MediaType::kAudio);
+    StreamSpec video = from_attrs(av.video, media::MediaType::kVideo);
+    const std::string group = audio.id + "+" + video.id;
+    audio.sync_group = group;
+    video.sync_group = group;
+    scenario.streams.push_back(std::move(audio));
+    scenario.streams.push_back(std::move(video));
+  }
+  void operator()(const markup::HyperLink& link) const {
+    LinkSpec spec;
+    spec.target_document = link.target_document;
+    spec.target_host = link.target_host;
+    spec.at = link.at;
+    spec.sequential = link.kind == markup::HyperLink::Kind::kSequential;
+    spec.note = link.note;
+    scenario.links.push_back(std::move(spec));
+  }
+  void operator()(const markup::Paragraph&) const {
+    scenario.text_content += '\n';
+  }
+};
+
+}  // namespace
+
+util::Result<PresentationScenario> extract_scenario(
+    const markup::Document& doc) {
+  const auto report = markup::validate(doc);
+  if (!report.ok()) {
+    std::string msg = "scenario extraction refused, document invalid:";
+    for (const auto& issue : report.issues) {
+      if (issue.severity == markup::ValidationIssue::Severity::kError) {
+        msg += " " + issue.message + ";";
+      }
+    }
+    return util::validation_error(std::move(msg));
+  }
+
+  PresentationScenario scenario;
+  scenario.title = doc.title;
+  for (const auto& section : doc.sections) {
+    if (section.heading) {
+      if (!scenario.text_content.empty()) scenario.text_content += '\n';
+      scenario.text_content += section.heading->text;
+      scenario.text_content += '\n';
+    }
+    for (const auto& element : section.body) {
+      std::visit(Extractor{scenario}, element);
+    }
+  }
+  return scenario;
+}
+
+}  // namespace hyms::core

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "markup/ast.hpp"
+#include "media/types.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace hyms::core {
+
+/// One media stream of a presentation scenario: the timing/spatial facts the
+/// client's preprocessing step extracts per stream ("a structure E_i is
+/// informed", §3.1) and the server's flow scheduler plans transmission from.
+struct StreamSpec {
+  std::string id;            // unique component ID from the markup
+  media::MediaType type = media::MediaType::kImage;
+  std::string source;        // SOURCE= retrieval options
+  Time start;                // t_i: scenario-relative playout start
+  std::optional<Time> duration;  // d_i; images may show until the end
+  /// Streams sharing a non-empty sync_group must stay lip-synced (AU_VI).
+  std::string sync_group;
+  std::string note;
+  std::string where;
+  int width = 0;
+  int height = 0;
+};
+
+/// A hyperlink as the navigation layer sees it.
+struct LinkSpec {
+  std::string target_document;
+  std::string target_host;   // empty: same server
+  std::optional<Time> at;    // timed: auto-follow at this scenario time
+  bool sequential = false;
+  std::string note;
+};
+
+/// The machine-usable form of a hypermedia document's playout scenario.
+struct PresentationScenario {
+  std::string title;
+  std::string text_content;          // all <TEXT> runs (always visible)
+  std::vector<StreamSpec> streams;
+  std::vector<LinkSpec> links;
+
+  /// Scenario end: the latest stream end time (streams without duration do
+  /// not bound it). Zero for a text-only document.
+  [[nodiscard]] Time total_duration() const;
+  /// The earliest timed sequential link, if any (drives auto-navigation).
+  [[nodiscard]] const LinkSpec* next_timed_link() const;
+  [[nodiscard]] const StreamSpec* find_stream(const std::string& id) const;
+  /// IDs of the other members of a stream's sync group.
+  [[nodiscard]] std::vector<std::string> sync_peers(const std::string& id) const;
+};
+
+/// Walk a parsed document and extract its presentation scenario. Fails if
+/// the document does not validate (the scheduler refuses ill-timed input).
+util::Result<PresentationScenario> extract_scenario(
+    const markup::Document& doc);
+
+}  // namespace hyms::core

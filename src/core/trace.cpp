@@ -1,0 +1,102 @@
+#include "core/trace.hpp"
+
+#include <stdexcept>
+
+namespace hyms::core {
+
+std::string to_string(PlayoutAction action) {
+  switch (action) {
+    case PlayoutAction::kFresh: return "fresh";
+    case PlayoutAction::kDuplicate: return "duplicate";
+    case PlayoutAction::kSyncPause: return "sync-pause";
+    case PlayoutAction::kSyncSkip: return "sync-skip";
+    case PlayoutAction::kOverflowDrop: return "overflow-drop";
+    case PlayoutAction::kLateDiscard: return "late-discard";
+    case PlayoutAction::kGapSkip: return "gap-skip";
+    case PlayoutAction::kRebuffer: return "rebuffer";
+  }
+  return "?";
+}
+
+void PlayoutTrace::note(PlayoutEvent event) {
+  StreamPlayoutStats& s = streams_[event.stream_id];
+  switch (event.action) {
+    case PlayoutAction::kFresh:
+      if (s.fresh == 0) s.first_play = event.at;
+      s.last_play = event.at;
+      ++s.fresh;
+      break;
+    case PlayoutAction::kDuplicate: ++s.duplicates; break;
+    case PlayoutAction::kSyncPause: ++s.sync_pauses; break;
+    case PlayoutAction::kSyncSkip: ++s.sync_skips; break;
+    case PlayoutAction::kOverflowDrop: ++s.overflow_drops; break;
+    case PlayoutAction::kLateDiscard: ++s.late_discards; break;
+    case PlayoutAction::kGapSkip: ++s.gap_skips; break;
+    case PlayoutAction::kRebuffer: ++s.rebuffers; break;
+  }
+  if (record_events_) events_.push_back(std::move(event));
+}
+
+void PlayoutTrace::note_skew(const std::string& sync_group, Time skew) {
+  skew_[sync_group].add(skew.abs().to_ms());
+}
+
+const StreamPlayoutStats& PlayoutTrace::stream(const std::string& id) const {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    static const StreamPlayoutStats kEmpty{};
+    return kEmpty;
+  }
+  return it->second;
+}
+
+const util::Sampler& PlayoutTrace::skew_ms(const std::string& group) const {
+  auto it = skew_.find(group);
+  if (it == skew_.end()) {
+    static const util::Sampler kEmpty{};
+    return kEmpty;
+  }
+  return it->second;
+}
+
+double PlayoutTrace::max_abs_skew_ms() const {
+  double max_skew = 0.0;
+  for (const auto& [group, sampler] : skew_) {
+    if (!sampler.empty()) max_skew = std::max(max_skew, sampler.max());
+  }
+  return max_skew;
+}
+
+std::string PlayoutTrace::events_csv() const {
+  std::string out = "stream,action,frame,at_us,pos_us\n";
+  for (const auto& event : events_) {
+    out += event.stream_id;
+    out += ',';
+    out += to_string(event.action);
+    out += ',';
+    out += std::to_string(event.frame_index);
+    out += ',';
+    out += std::to_string(event.at.us());
+    out += ',';
+    out += std::to_string(event.content_position.us());
+    out += '\n';
+  }
+  return out;
+}
+
+StreamPlayoutStats PlayoutTrace::totals() const {
+  StreamPlayoutStats total;
+  for (const auto& [id, s] : streams_) {
+    total.fresh += s.fresh;
+    total.duplicates += s.duplicates;
+    total.sync_pauses += s.sync_pauses;
+    total.sync_skips += s.sync_skips;
+    total.overflow_drops += s.overflow_drops;
+    total.late_discards += s.late_discards;
+    total.gap_skips += s.gap_skips;
+    total.rebuffers += s.rebuffers;
+  }
+  return total;
+}
+
+}  // namespace hyms::core

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace hyms::core {
+
+/// What the playout process did at one content slot.
+enum class PlayoutAction : std::uint8_t {
+  kFresh = 0,       // the right frame was buffered and played on time
+  kDuplicate,       // buffer starved: previous frame repeated (underflow)
+  kSyncPause,       // leading stream paused by the skew controller
+  kSyncSkip,        // lagging stream jumped forward by the skew controller
+  kOverflowDrop,    // frames discarded because the buffer overflowed
+  kLateDiscard,     // frame arrived after its slot had passed
+  kGapSkip,         // slot's frame never arrived (lost)
+  kRebuffer,        // persistent starvation paused the presentation to refill
+};
+
+[[nodiscard]] std::string to_string(PlayoutAction action);
+
+struct PlayoutEvent {
+  std::string stream_id;
+  PlayoutAction action;
+  std::int64_t frame_index = 0;  // content slot involved
+  Time at;                       // simulation time of the event
+  Time content_position;         // stream's scenario-relative content time
+};
+
+/// Per-stream playout accounting used by every experiment and example.
+struct StreamPlayoutStats {
+  std::int64_t fresh = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t sync_pauses = 0;
+  std::int64_t sync_skips = 0;
+  std::int64_t overflow_drops = 0;
+  std::int64_t late_discards = 0;
+  std::int64_t gap_skips = 0;
+  std::int64_t rebuffers = 0;
+  Time first_play;
+  Time last_play;
+
+  [[nodiscard]] std::int64_t total_slots() const {
+    return fresh + duplicates + sync_pauses + gap_skips;
+  }
+  /// Fraction of slots that showed the intended content.
+  [[nodiscard]] double fresh_ratio() const {
+    const auto total = total_slots();
+    return total > 0 ? static_cast<double>(fresh) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// Aggregated record of an entire presentation run: the event log (optional,
+/// for tests and examples), per-stream stats, and intermedia skew samples.
+class PlayoutTrace {
+ public:
+  void set_record_events(bool record) { record_events_ = record; }
+
+  void note(PlayoutEvent event);
+  void note_skew(const std::string& sync_group, Time skew);
+
+  [[nodiscard]] const std::vector<PlayoutEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const StreamPlayoutStats& stream(const std::string& id) const;
+  [[nodiscard]] const std::map<std::string, StreamPlayoutStats>& streams()
+      const {
+    return streams_;
+  }
+  /// Skew samples per sync group, in milliseconds (absolute value).
+  [[nodiscard]] const util::Sampler& skew_ms(const std::string& group) const;
+  [[nodiscard]] double max_abs_skew_ms() const;
+
+  /// Totals across all streams.
+  [[nodiscard]] StreamPlayoutStats totals() const;
+
+  /// Render recorded events as CSV ("stream,action,frame,at_us,pos_us\n"
+  /// header included) for offline analysis/plotting. Requires
+  /// set_record_events(true) before the run.
+  [[nodiscard]] std::string events_csv() const;
+
+ private:
+  bool record_events_ = false;
+  std::vector<PlayoutEvent> events_;
+  std::map<std::string, StreamPlayoutStats> streams_;
+  std::map<std::string, util::Sampler> skew_;
+};
+
+}  // namespace hyms::core

@@ -1,0 +1,61 @@
+#include "hermes/deployment.hpp"
+
+namespace hyms::hermes {
+
+Deployment::Deployment(sim::Simulator& sim, Config config) : sim_(sim) {
+  network_ = std::make_unique<net::Network>(sim);
+  router_ = network_->add_router("backbone");
+
+  for (int i = 0; i < config.server_count; ++i) {
+    const std::string name = "hermes-" + std::to_string(i + 1);
+    const net::NodeId node = network_->add_host(name + "-host");
+    network_->connect(node, router_, config.backbone);
+    server_nodes_.push_back(node);
+
+    auto server_config = config.server_template;
+    server_config.name = name;
+    servers_.push_back(std::make_unique<server::MultimediaServer>(
+        *network_, node, server_config));
+
+    if (config.separate_media_hosts) {
+      // One media-server host per time-sensitive/bulk media type, attached
+      // to the backbone beside the multimedia server (Fig. 3).
+      for (auto [type, label] :
+           {std::pair{media::MediaType::kAudio, "-audio"},
+            std::pair{media::MediaType::kVideo, "-video"},
+            std::pair{media::MediaType::kImage, "-image"}}) {
+        const net::NodeId media_node = network_->add_host(name + label);
+        network_->connect(media_node, router_, config.backbone);
+        servers_.back()->attach_media_host(type, media_node);
+      }
+    }
+  }
+  // Full-mesh peering for distributed search (§6.2.2).
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    for (std::size_t j = 0; j < servers_.size(); ++j) {
+      if (i == j) continue;
+      servers_[i]->add_peer(servers_[j]->name(),
+                            servers_[j]->control_endpoint());
+    }
+  }
+
+  if (config.with_directory) {
+    const net::NodeId node = network_->add_host("directory");
+    network_->connect(node, router_, config.backbone);
+    directory_ = std::make_unique<server::DirectoryServer>(*network_, node,
+                                                           5999);
+    for (const auto& server : servers_) {
+      directory_->register_server(server->name(), server->description(),
+                                  server->control_endpoint());
+    }
+  }
+
+  for (int i = 0; i < config.client_count; ++i) {
+    const net::NodeId node =
+        network_->add_host("client-" + std::to_string(i + 1));
+    network_->connect(node, router_, config.client_access);
+    client_nodes_.push_back(node);
+  }
+}
+
+}  // namespace hyms::hermes

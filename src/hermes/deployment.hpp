@@ -1,0 +1,98 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/cross_traffic.hpp"
+#include "net/network.hpp"
+#include "server/directory.hpp"
+#include "server/multimedia_server.hpp"
+#include "sim/simulator.hpp"
+
+namespace hyms::hermes {
+
+/// Stands up a complete Hermes deployment on the emulated internetwork:
+/// N server hosts and M client hosts hanging off a shared backbone router,
+/// every server peered with every other for distributed search. The
+/// bottleneck is each client's access link — where the paper's congestion
+/// phenomena live.
+class Deployment {
+ public:
+  struct Config {
+    int server_count = 1;
+    int client_count = 1;
+    /// Stand up a DirectoryServer that browsers can query for the server
+    /// list (§6.2.1) instead of static registration.
+    bool with_directory = false;
+    /// Give each server dedicated audio/video/image media-server hosts
+    /// (Fig. 3); media flows then originate from those hosts instead of the
+    /// multimedia server's own.
+    bool separate_media_hosts = false;
+    net::LinkParams backbone;       // router <-> server links
+    net::LinkParams client_access;  // router <-> client links
+    server::MultimediaServer::Config server_template;
+
+    Config() {
+      backbone.bandwidth_bps = 100e6;
+      backbone.propagation = Time::msec(2);
+      backbone.queue_capacity_bytes = 512 * 1024;
+      client_access.bandwidth_bps = 10e6;
+      client_access.propagation = Time::msec(8);
+      client_access.queue_capacity_bytes = 96 * 1024;
+    }
+  };
+
+  Deployment(sim::Simulator& sim, Config config);
+
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] server::MultimediaServer& server(int i) {
+    return *servers_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] int server_count() const {
+    return static_cast<int>(servers_.size());
+  }
+  [[nodiscard]] net::NodeId client_node(int i) const {
+    return client_nodes_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] net::NodeId router() const { return router_; }
+  [[nodiscard]] net::NodeId server_node(int i) const {
+    return server_nodes_.at(static_cast<std::size_t>(i));
+  }
+  /// Media host of server i for a given type (== server_node(i) unless
+  /// separate_media_hosts was requested).
+  [[nodiscard]] net::NodeId media_node(int i, media::MediaType type) {
+    return servers_.at(static_cast<std::size_t>(i))->media_host(type);
+  }
+  /// The directory service (null unless with_directory was set).
+  [[nodiscard]] server::DirectoryServer* directory() {
+    return directory_.get();
+  }
+  /// The router->client direction of a client's access link (the bottleneck
+  /// media traffic crosses; attach loss/jitter models here).
+  [[nodiscard]] net::Link* client_downlink(int i) {
+    return network_->find_link(router_, client_node(i));
+  }
+
+  /// Register every server in a Browser's directory.
+  template <typename BrowserT>
+  void fill_directory(BrowserT& browser) const {
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      browser.register_server(servers_[i]->name(),
+                              servers_[i]->control_endpoint(),
+                              servers_[i]->description());
+    }
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::unique_ptr<net::Network> network_;
+  net::NodeId router_;
+  std::vector<net::NodeId> server_nodes_;
+  std::vector<net::NodeId> client_nodes_;
+  std::vector<std::unique_ptr<server::MultimediaServer>> servers_;
+  std::unique_ptr<server::DirectoryServer> directory_;
+};
+
+}  // namespace hyms::hermes

@@ -1,0 +1,117 @@
+#include "hermes/lesson_builder.hpp"
+
+#include "markup/writer.hpp"
+
+namespace hyms::hermes {
+
+LessonBuilder::LessonBuilder(std::string title) {
+  doc_.title = std::move(title);
+}
+
+markup::Section& LessonBuilder::current() {
+  if (doc_.sections.empty() || doc_.sections.back().separator_after) {
+    doc_.sections.emplace_back();
+  }
+  return doc_.sections.back();
+}
+
+LessonBuilder& LessonBuilder::heading(int level, std::string text) {
+  doc_.sections.emplace_back();
+  doc_.sections.back().heading = markup::Heading{level, std::move(text)};
+  return *this;
+}
+
+LessonBuilder& LessonBuilder::paragraph() {
+  current().body.emplace_back(markup::Paragraph{});
+  return *this;
+}
+
+LessonBuilder& LessonBuilder::text(std::string content, bool bold,
+                                   bool italic) {
+  markup::TextBlock block;
+  block.runs.push_back(markup::InlineRun{std::move(content), bold, italic,
+                                         /*underline=*/false});
+  current().body.emplace_back(std::move(block));
+  return *this;
+}
+
+LessonBuilder& LessonBuilder::separator() {
+  current().separator_after = true;
+  return *this;
+}
+
+LessonBuilder& LessonBuilder::image(const std::string& id,
+                                    const std::string& source, Time start,
+                                    std::optional<Time> duration, int width,
+                                    int height) {
+  markup::ImageElement img;
+  img.attrs.id = id;
+  img.attrs.source = source;
+  img.attrs.startime = start;
+  img.attrs.duration = duration;
+  img.attrs.width = width;
+  img.attrs.height = height;
+  current().body.emplace_back(std::move(img));
+  return *this;
+}
+
+LessonBuilder& LessonBuilder::audio(const std::string& id,
+                                    const std::string& source, Time start,
+                                    Time duration) {
+  markup::AudioElement au;
+  au.attrs.id = id;
+  au.attrs.source = source;
+  au.attrs.startime = start;
+  au.attrs.duration = duration;
+  current().body.emplace_back(std::move(au));
+  return *this;
+}
+
+LessonBuilder& LessonBuilder::video(const std::string& id,
+                                    const std::string& source, Time start,
+                                    Time duration) {
+  markup::VideoElement vi;
+  vi.attrs.id = id;
+  vi.attrs.source = source;
+  vi.attrs.startime = start;
+  vi.attrs.duration = duration;
+  current().body.emplace_back(std::move(vi));
+  return *this;
+}
+
+LessonBuilder& LessonBuilder::av_pair(const std::string& audio_id,
+                                      const std::string& audio_source,
+                                      const std::string& video_id,
+                                      const std::string& video_source,
+                                      Time start, Time duration) {
+  markup::AudioVideoElement av;
+  av.audio.id = audio_id;
+  av.audio.source = audio_source;
+  av.audio.startime = start;
+  av.audio.duration = duration;
+  av.video.id = video_id;
+  av.video.source = video_source;
+  av.video.startime = start;
+  av.video.duration = duration;
+  current().body.emplace_back(std::move(av));
+  return *this;
+}
+
+LessonBuilder& LessonBuilder::link(const std::string& target,
+                                   const std::string& host,
+                                   std::optional<Time> at,
+                                   const std::string& note) {
+  markup::HyperLink link;
+  link.target_document = target;
+  link.target_host = host;
+  link.at = at;
+  link.note = note;
+  link.kind = at ? markup::HyperLink::Kind::kSequential
+                 : markup::HyperLink::Kind::kExplorational;
+  current().body.emplace_back(std::move(link));
+  return *this;
+}
+
+std::string LessonBuilder::markup_text() const { return markup::write(doc_); }
+
+}  // namespace hyms::hermes

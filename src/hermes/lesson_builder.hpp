@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "markup/ast.hpp"
+#include "util/time.hpp"
+
+namespace hyms::hermes {
+
+/// Fluent authoring helper for Hermes lessons: builds a markup::Document
+/// programmatically (the tutor's authoring tool), serializable with
+/// markup::write(). Keeps SOURCE strings in the catalog convention
+/// (`type:format:name[:dur_s[:kbps]]`).
+class LessonBuilder {
+ public:
+  explicit LessonBuilder(std::string title);
+
+  LessonBuilder& heading(int level, std::string text);
+  LessonBuilder& paragraph();
+  LessonBuilder& text(std::string content, bool bold = false,
+                      bool italic = false);
+  LessonBuilder& separator();
+
+  LessonBuilder& image(const std::string& id, const std::string& source,
+                       Time start, std::optional<Time> duration = std::nullopt,
+                       int width = 0, int height = 0);
+  LessonBuilder& audio(const std::string& id, const std::string& source,
+                       Time start, Time duration);
+  LessonBuilder& video(const std::string& id, const std::string& source,
+                       Time start, Time duration);
+  /// Lip-synced audio+video pair (AU_VI): both start and stop together.
+  LessonBuilder& av_pair(const std::string& audio_id,
+                         const std::string& audio_source,
+                         const std::string& video_id,
+                         const std::string& video_source, Time start,
+                         Time duration);
+  LessonBuilder& link(const std::string& target,
+                      const std::string& host = "",
+                      std::optional<Time> at = std::nullopt,
+                      const std::string& note = "");
+
+  [[nodiscard]] const markup::Document& document() const { return doc_; }
+  [[nodiscard]] std::string markup_text() const;
+
+ private:
+  markup::Section& current();
+
+  markup::Document doc_;
+};
+
+}  // namespace hyms::hermes

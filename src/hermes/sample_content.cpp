@@ -1,0 +1,95 @@
+#include "hermes/sample_content.hpp"
+
+#include "hermes/lesson_builder.hpp"
+
+namespace hyms::hermes {
+
+std::string fig2_lesson_markup() {
+  LessonBuilder lesson("Figure 2 scenario");
+  lesson.heading(1, "A pre-orchestrated multimedia scenario")
+      .text("This formatted text is shown throughout the presentation.")
+      .paragraph()
+      .text("It reproduces the timing diagram of Figure 2.", /*bold=*/true)
+      .image("I1", "image:jpeg:fig2-first", Time::zero(), Time::sec(4), 320,
+             240)
+      .image("I2", "image:gif:fig2-second", Time::sec(5), Time::sec(4), 320,
+             240)
+      .av_pair("A1", "audio:pcm:fig2-narration:6", "V",
+               "video:mpeg:fig2-clip:6:900", Time::sec(2), Time::sec(6))
+      .audio("A2", "audio:adpcm:fig2-coda:4", Time::sec(10), Time::sec(4));
+  return lesson.markup_text();
+}
+
+std::string intro_lesson_markup() {
+  LessonBuilder lesson("Introduction to Hermes");
+  lesson.heading(1, "Welcome")
+      .text("Hermes delivers pre-orchestrated hypermedia lessons on demand.")
+      .av_pair("AU0", "audio:pcm:welcome-voice:8", "VI0",
+               "video:mpeg:welcome-clip:8:600", Time::sec(1), Time::sec(8))
+      .image("IM0", "image:jpeg:welcome-still", Time::zero(), Time::sec(9))
+      .link("lesson-networks-1", "", Time::sec(10), "continue the course");
+  return lesson.markup_text();
+}
+
+std::string sequenced_lesson_markup(const std::string& title,
+                                    const std::string& next,
+                                    const std::string& next_host,
+                                    double at_seconds) {
+  LessonBuilder lesson(title);
+  lesson.heading(1, title)
+      .text("Sequential unit of the course; advances automatically.")
+      .av_pair("SA", "audio:pcm:" + title + "-voice:6", "SV",
+               "video:mpeg:" + title + "-clip:6:700", Time::zero(),
+               Time::sec(6))
+      .link(next, next_host, Time::seconds(at_seconds), "next unit");
+  return lesson.markup_text();
+}
+
+std::vector<CatalogueEntry> lesson_catalogue(int count) {
+  static const char* kTopics[] = {"networks", "algebra",   "history",
+                                  "physics",  "chemistry", "literature",
+                                  "geography", "biology"};
+  std::vector<CatalogueEntry> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::string topic = kTopics[i % (sizeof(kTopics) / sizeof(*kTopics))];
+    const std::string name = "lesson-" + topic + "-" + std::to_string(i);
+    LessonBuilder lesson("Lesson " + std::to_string(i) + " on " + topic);
+    lesson.heading(1, "Studying " + topic)
+        .text("This lesson covers the fundamentals of " + topic +
+              " with synchronized narration.")
+        .paragraph()
+        .text("Unit " + std::to_string(i) + " of the " + topic + " course.")
+        .image("IMG" + std::to_string(i), "image:jpeg:" + name + "-slide",
+               Time::zero(), Time::sec(6))
+        .av_pair("AUD" + std::to_string(i),
+                 "audio:pcm:" + name + "-voice:6", "VID" + std::to_string(i),
+                 "video:mpeg:" + name + "-clip:6:800", Time::sec(1),
+                 Time::sec(5));
+    if (i + 1 < count) {
+      const std::string next_topic =
+          kTopics[(i + 1) % (sizeof(kTopics) / sizeof(*kTopics))];
+      lesson.link("lesson-" + next_topic + "-" + std::to_string(i + 1), "",
+                  std::nullopt, "related material");
+    }
+    out.push_back(CatalogueEntry{name, lesson.markup_text(), topic});
+  }
+  return out;
+}
+
+proto::SubscribeRequest student_form(const std::string& user,
+                                     const std::string& contract) {
+  proto::SubscribeRequest form;
+  form.user = user;
+  form.credential = "secret-" + user;
+  form.real_name = "Student " + user;
+  form.address = "Riga Feraiou 61, Patras";
+  form.telephone = "+30-61-000000";
+  form.email = user + "@hermes.example";
+  form.contract = contract;
+  form.video_floor_level = 3;
+  form.audio_floor_level = 2;
+  return form;
+}
+
+}  // namespace hyms::hermes

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "proto/messages.hpp"
+
+namespace hyms::hermes {
+
+/// The exact multimedia scenario of the paper's Fig. 2: always-visible text;
+/// image I1 from the presentation start; image I2 after it; an audio segment
+/// A1 lip-synced with a video V (AU_VI); and a trailing audio segment A2.
+/// Timing: I1 [0s,4s), I2 [5s,9s), A1‖V [2s,8s), A2 [10s,14s).
+[[nodiscard]] std::string fig2_lesson_markup();
+
+/// A short lesson with one synced AV pair, used by the quickstart.
+[[nodiscard]] std::string intro_lesson_markup();
+
+/// A lesson whose timed HLINK auto-advances to `next` after `at_seconds`
+/// (the "writer's way" sequencing of §3).
+[[nodiscard]] std::string sequenced_lesson_markup(const std::string& title,
+                                                  const std::string& next,
+                                                  const std::string& next_host,
+                                                  double at_seconds);
+
+/// A deterministic catalogue of `count` distance-education lessons covering
+/// distinct topics (for search and browsing experiments). Lesson i is named
+/// "lesson-<topic>-<i>".
+struct CatalogueEntry {
+  std::string name;
+  std::string markup;
+  std::string topic;
+};
+[[nodiscard]] std::vector<CatalogueEntry> lesson_catalogue(int count);
+
+/// A filled §5 subscription form for examples and tests.
+[[nodiscard]] proto::SubscribeRequest student_form(const std::string& user,
+                                                   const std::string& contract);
+
+}  // namespace hyms::hermes

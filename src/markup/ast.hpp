@@ -1,0 +1,117 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace hyms::markup {
+
+/// One run of inline text with style flags (<B>, <I>, <U> in the language).
+struct InlineRun {
+  std::string text;
+  bool bold = false;
+  bool italic = false;
+  bool underline = false;
+
+  friend bool operator==(const InlineRun&, const InlineRun&) = default;
+};
+
+/// A <TEXT>...</TEXT> block: styled runs, always visible (text carries no
+/// STARTIME in the grammar — it shows for the whole presentation).
+struct TextBlock {
+  std::vector<InlineRun> runs;
+
+  friend bool operator==(const TextBlock&, const TextBlock&) = default;
+};
+
+/// Shared attributes of timed inline media (IMG/AU/VI and each half of
+/// AU_VI). STARTIME/DURATION are the paper's media-relative playout window.
+struct MediaAttrs {
+  std::string source;              // SOURCE= retrieval options
+  std::string id;                  // ID= unique component id
+  std::optional<Time> startime;    // STARTIME= relative playout start
+  std::optional<Time> duration;    // DURATION= playout duration
+  std::string note;                // NOTE= annotation
+  std::string where;               // WHERE= placement coordinates
+  int width = 0;                   // WIDTH= (images)
+  int height = 0;                  // HEIGHT= (images)
+
+  friend bool operator==(const MediaAttrs&, const MediaAttrs&) = default;
+};
+
+struct ImageElement {
+  MediaAttrs attrs;
+  friend bool operator==(const ImageElement&, const ImageElement&) = default;
+};
+
+struct AudioElement {
+  MediaAttrs attrs;
+  friend bool operator==(const AudioElement&, const AudioElement&) = default;
+};
+
+struct VideoElement {
+  MediaAttrs attrs;
+  friend bool operator==(const VideoElement&, const VideoElement&) = default;
+};
+
+/// <AU_VI>: an audio and a video stream that must start and stop together
+/// (the Fig. 2 "A1 synchronized with V" pair). Grammar gives each half its
+/// own SOURCE/ID/STARTIME; the validator requires the STARTIMEs to be equal.
+struct AudioVideoElement {
+  MediaAttrs audio;
+  MediaAttrs video;
+  friend bool operator==(const AudioVideoElement&,
+                         const AudioVideoElement&) = default;
+};
+
+/// <HLINK>: interconnection between documents. Sequential links preserve the
+/// author's reading order (and may fire automatically via AT); explorational
+/// links branch to related material.
+struct HyperLink {
+  enum class Kind { kSequential, kExplorational };
+
+  std::string target_document;       // linked document name
+  std::string target_host;           // empty = same multimedia server
+  std::optional<Time> at;            // AT: auto-follow when this time elapses
+  std::string note;
+  Kind kind = Kind::kExplorational;
+
+  friend bool operator==(const HyperLink&, const HyperLink&) = default;
+};
+
+/// <PAR> — explicit paragraph break.
+struct Paragraph {
+  friend bool operator==(const Paragraph&, const Paragraph&) = default;
+};
+
+using BodyElement = std::variant<TextBlock, ImageElement, AudioElement,
+                                 VideoElement, AudioVideoElement, HyperLink,
+                                 Paragraph>;
+
+struct Heading {
+  int level = 1;  // H1..H3
+  std::string text;
+  friend bool operator==(const Heading&, const Heading&) = default;
+};
+
+/// One <HSentence> of the grammar: optional heading, body, optional <SEP>.
+struct Section {
+  std::optional<Heading> heading;
+  std::vector<BodyElement> body;
+  bool separator_after = false;
+
+  friend bool operator==(const Section&, const Section&) = default;
+};
+
+/// A complete hypermedia document (the presentation scenario's carrier).
+struct Document {
+  std::string title;
+  std::vector<Section> sections;
+
+  friend bool operator==(const Document&, const Document&) = default;
+};
+
+}  // namespace hyms::markup

@@ -1,0 +1,135 @@
+#include "markup/lexer.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace hyms::markup {
+
+namespace {
+
+bool is_keyword_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         std::isdigit(static_cast<unsigned char>(c));
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < s_.size() ? s_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = s_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return col_; }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+util::Result<std::vector<Token>> lex(std::string_view input) {
+  std::vector<Token> tokens;
+  Cursor cur(input);
+
+  auto error_at = [&](const std::string& msg) {
+    return util::parse_error(msg + " at line " + std::to_string(cur.line()) +
+                             ", column " + std::to_string(cur.column()));
+  };
+
+  while (!cur.done()) {
+    const int line = cur.line();
+    const int col = cur.column();
+
+    if (cur.peek() == '<') {
+      cur.advance();  // '<'
+      bool closing = false;
+      if (cur.peek() == '/') {
+        closing = true;
+        cur.advance();
+      }
+      std::string keyword;
+      while (!cur.done() && is_keyword_char(cur.peek())) {
+        keyword.push_back(cur.advance());
+      }
+      while (!cur.done() && cur.peek() != '>') {
+        if (!std::isspace(static_cast<unsigned char>(cur.peek()))) {
+          return error_at("unexpected character in tag <" + keyword + ">");
+        }
+        cur.advance();
+      }
+      if (cur.done()) return error_at("unterminated tag <" + keyword);
+      cur.advance();  // '>'
+      if (keyword.empty()) return error_at("empty tag");
+      tokens.push_back(Token{closing ? TokenKind::kTagClose : TokenKind::kTagOpen,
+                             util::to_upper(keyword), line, col});
+      continue;
+    }
+
+    if (std::isspace(static_cast<unsigned char>(cur.peek()))) {
+      cur.advance();
+      continue;
+    }
+
+    if (cur.peek() == '"') {
+      cur.advance();  // opening quote
+      std::string value;
+      while (!cur.done() && cur.peek() != '"') {
+        if (cur.peek() == '\\' && cur.peek(1) == '"') cur.advance();
+        value.push_back(cur.advance());
+      }
+      if (cur.done()) return error_at("unterminated string");
+      cur.advance();  // closing quote
+      tokens.push_back(Token{TokenKind::kString, std::move(value), line, col});
+      continue;
+    }
+
+    // A word: possibly an attribute key (ends with '='), an upper-case
+    // operand keyword (AT), or free text / bare value.
+    std::string word;
+    while (!cur.done() && cur.peek() != '<' && cur.peek() != '"' &&
+           !std::isspace(static_cast<unsigned char>(cur.peek()))) {
+      word.push_back(cur.advance());
+    }
+    if (!word.empty() && word.back() == '=') {
+      word.pop_back();
+      tokens.push_back(
+          Token{TokenKind::kAttrKey, util::to_upper(word), line, col});
+      continue;
+    }
+    tokens.push_back(Token{TokenKind::kWord, std::move(word), line, col});
+  }
+
+  tokens.push_back(Token{TokenKind::kEnd, "", cur.line(), cur.column()});
+  return tokens;
+}
+
+std::string token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kTagOpen: return "tag-open";
+    case TokenKind::kTagClose: return "tag-close";
+    case TokenKind::kAttrKey: return "attribute";
+    case TokenKind::kWord: return "word";
+    case TokenKind::kString: return "string";
+    case TokenKind::kText: return "text";
+    case TokenKind::kEnd: return "end-of-input";
+  }
+  return "?";
+}
+
+}  // namespace hyms::markup

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace hyms::markup {
+
+/// Token kinds produced by the lexer. The concrete syntax follows the paper's
+/// examples: `<KEYWORD>` opens an element, `</KEYWORD>` closes it, and inside
+/// media/link elements attributes appear as `KEY= value` pairs.
+enum class TokenKind {
+  kTagOpen,    // <IMG>, <TEXT>, <PAR>, ...  text = keyword
+  kTagClose,   // </IMG>, ...                text = keyword
+  kAttrKey,    // SOURCE=, ID=, STARTIME=, ... text = keyword (no '=')
+  kWord,       // bare attribute value or AT operand
+  kString,     // quoted "..." value (quotes stripped)
+  kText,       // free text run between tags
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenize a document. Keywords are case-insensitive and normalized to
+/// upper case. Returns a parse error with line/column on malformed input
+/// (unterminated tag or string).
+util::Result<std::vector<Token>> lex(std::string_view input);
+
+/// Human-readable token kind name for diagnostics.
+std::string token_kind_name(TokenKind kind);
+
+}  // namespace hyms::markup

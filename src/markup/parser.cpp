@@ -1,0 +1,381 @@
+#include "markup/parser.hpp"
+
+#include <cstdlib>
+
+#include "markup/lexer.hpp"
+#include "util/strings.hpp"
+
+namespace hyms::markup {
+
+util::Result<Time> parse_time_value(std::string_view text) {
+  std::string s{util::trim(text)};
+  double scale = 1.0;
+  if (s.size() > 2 && s.ends_with("ms")) {
+    scale = 1e-3;
+    s.resize(s.size() - 2);
+  } else if (s.size() > 1 && s.ends_with("s")) {
+    s.resize(s.size() - 1);
+  }
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return util::parse_error("invalid time value '" + std::string(text) + "'");
+  }
+  if (v < 0) {
+    return util::parse_error("negative time value '" + std::string(text) + "'");
+  }
+  return Time::seconds(v * scale);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  util::Result<Document> run() {
+    Document doc;
+    auto title = parse_title();
+    if (!title.ok()) return title.error();
+    doc.title = title.value();
+
+    while (!at(TokenKind::kEnd)) {
+      auto section = parse_section();
+      if (!section.ok()) return section.error();
+      Section& s = section.value();
+      // A trailing <SEP> can yield a completely empty section; dropping it
+      // keeps write/parse a fixed point.
+      if (s.heading || !s.body.empty() || s.separator_after) {
+        doc.sections.push_back(std::move(s));
+      }
+    }
+    return doc;
+  }
+
+ private:
+  // --- token helpers ---------------------------------------------------------
+
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+  [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+  [[nodiscard]] bool at_tag(TokenKind kind, std::string_view keyword) const {
+    return peek().kind == kind && peek().text == keyword;
+  }
+
+  util::Error error_here(const std::string& msg) const {
+    const Token& t = peek();
+    return util::parse_error(msg + " at line " + std::to_string(t.line) +
+                             ", column " + std::to_string(t.column) +
+                             " (found " + token_kind_name(t.kind) +
+                             (t.text.empty() ? "" : " '" + t.text + "'") + ")");
+  }
+
+  util::Status expect_close(std::string_view keyword) {
+    if (!at_tag(TokenKind::kTagClose, keyword)) {
+      return error_here("expected </" + std::string(keyword) + ">");
+    }
+    advance();
+    return {};
+  }
+
+  /// Collect words/strings into a single space-joined string until a tag.
+  std::string collect_text() {
+    std::string out;
+    while (at(TokenKind::kWord) || at(TokenKind::kString)) {
+      if (!out.empty()) out += ' ';
+      out += advance().text;
+    }
+    return out;
+  }
+
+  // --- grammar productions ---------------------------------------------------
+
+  util::Result<std::string> parse_title() {
+    if (!at_tag(TokenKind::kTagOpen, "TITLE")) {
+      return error_here("document must begin with <TITLE>");
+    }
+    advance();
+    std::string title = collect_text();
+    if (auto st = expect_close("TITLE"); !st.ok()) return st.error();
+    return title;
+  }
+
+  util::Result<Section> parse_section() {
+    Section section;
+    if (at(TokenKind::kTagOpen) &&
+        (peek().text == "H1" || peek().text == "H2" || peek().text == "H3")) {
+      const int level = peek().text[1] - '0';
+      advance();
+      Heading heading;
+      heading.level = level;
+      heading.text = collect_text();
+      if (auto st = expect_close("H" + std::to_string(level)); !st.ok()) {
+        return st.error();
+      }
+      section.heading = std::move(heading);
+    }
+
+    while (true) {
+      if (at(TokenKind::kEnd)) break;
+      if (at(TokenKind::kTagOpen)) {
+        const std::string& kw = peek().text;
+        if (kw == "H1" || kw == "H2" || kw == "H3") break;  // next section
+        if (kw == "SEP" || kw == "SEPARATOR") {
+          advance();
+          section.separator_after = true;
+          break;
+        }
+        auto element = parse_body_element();
+        if (!element.ok()) return element.error();
+        section.body.push_back(std::move(element.value()));
+        continue;
+      }
+      return error_here("expected a tag");
+    }
+    return section;
+  }
+
+  util::Result<BodyElement> parse_body_element() {
+    const std::string kw = peek().text;
+    if (kw == "PAR" || kw == "PARAGRAPH") {
+      advance();
+      return BodyElement{Paragraph{}};
+    }
+    if (kw == "TEXT") return parse_text();
+    if (kw == "IMG") {
+      auto attrs = parse_media_attrs("IMG");
+      if (!attrs.ok()) return attrs.error();
+      return BodyElement{ImageElement{std::move(attrs.value())}};
+    }
+    if (kw == "AU") {
+      auto attrs = parse_media_attrs("AU");
+      if (!attrs.ok()) return attrs.error();
+      return BodyElement{AudioElement{std::move(attrs.value())}};
+    }
+    if (kw == "VI") {
+      auto attrs = parse_media_attrs("VI");
+      if (!attrs.ok()) return attrs.error();
+      return BodyElement{VideoElement{std::move(attrs.value())}};
+    }
+    if (kw == "AU_VI") return parse_audio_video();
+    if (kw == "HLINK") return parse_hyperlink();
+    return error_here("unknown element <" + kw + ">");
+  }
+
+  util::Result<BodyElement> parse_text() {
+    advance();  // <TEXT>
+    TextBlock block;
+    bool bold = false, italic = false, underline = false;
+    std::string run_text;
+
+    auto flush = [&] {
+      if (!run_text.empty()) {
+        block.runs.push_back(InlineRun{run_text, bold, italic, underline});
+        run_text.clear();
+      }
+    };
+
+    while (true) {
+      if (at(TokenKind::kEnd)) return error_here("unterminated <TEXT>");
+      if (at(TokenKind::kWord) || at(TokenKind::kString)) {
+        if (!run_text.empty()) run_text += ' ';
+        run_text += advance().text;
+        continue;
+      }
+      const bool open = at(TokenKind::kTagOpen);
+      const std::string& kw = peek().text;
+      if (kw == "B" || kw == "I" || kw == "U") {
+        flush();
+        bool& flag = (kw == "B") ? bold : (kw == "I") ? italic : underline;
+        if (open == flag) {
+          return error_here(open ? "nested <" + kw + ">"
+                                 : "</" + kw + "> without opener");
+        }
+        flag = open;
+        advance();
+        continue;
+      }
+      if (at_tag(TokenKind::kTagClose, "TEXT")) {
+        if (bold || italic || underline) {
+          return error_here("unclosed style tag inside <TEXT>");
+        }
+        flush();
+        advance();
+        return BodyElement{std::move(block)};
+      }
+      return error_here("unexpected tag inside <TEXT>");
+    }
+  }
+
+  /// Read one attribute value (word or string) after KEY=.
+  util::Result<std::string> attr_value(const std::string& key) {
+    if (!at(TokenKind::kWord) && !at(TokenKind::kString)) {
+      return error_here("expected value after " + key + "=");
+    }
+    return advance().text;
+  }
+
+  util::Result<MediaAttrs> parse_media_attrs(std::string_view element) {
+    advance();  // opening tag
+    MediaAttrs attrs;
+    while (!at_tag(TokenKind::kTagClose, element)) {
+      if (!at(TokenKind::kAttrKey)) {
+        return error_here("expected attribute inside <" + std::string(element) +
+                          ">");
+      }
+      const std::string key = advance().text;
+      auto value = attr_value(key);
+      if (!value.ok()) return value.error();
+      auto status = apply_attr(attrs, key, value.value());
+      if (!status.ok()) return status.error();
+    }
+    advance();  // closing tag
+    return attrs;
+  }
+
+  util::Status apply_attr(MediaAttrs& attrs, const std::string& key,
+                          const std::string& value) {
+    if (key == "SOURCE") {
+      attrs.source = value;
+    } else if (key == "ID") {
+      attrs.id = value;
+    } else if (key == "STARTIME") {
+      auto t = parse_time_value(value);
+      if (!t.ok()) return t.error();
+      attrs.startime = t.value();
+    } else if (key == "DURATION") {
+      auto t = parse_time_value(value);
+      if (!t.ok()) return t.error();
+      attrs.duration = t.value();
+    } else if (key == "NOTE") {
+      attrs.note = value;
+    } else if (key == "WHERE") {
+      attrs.where = value;
+    } else if (key == "WIDTH") {
+      attrs.width = std::atoi(value.c_str());
+    } else if (key == "HEIGHT") {
+      attrs.height = std::atoi(value.c_str());
+    } else {
+      return error_here("unknown attribute " + key + "=");
+    }
+    return {};
+  }
+
+  util::Result<BodyElement> parse_audio_video() {
+    advance();  // <AU_VI>
+    AudioVideoElement av;
+    int sources = 0, ids = 0, startimes = 0, durations = 0;
+    while (!at_tag(TokenKind::kTagClose, "AU_VI")) {
+      if (!at(TokenKind::kAttrKey)) {
+        return error_here("expected attribute inside <AU_VI>");
+      }
+      const std::string key = advance().text;
+      auto value = attr_value(key);
+      if (!value.ok()) return value.error();
+
+      // Grammar: attribute pairs are given audio-first, video-second.
+      if (key == "SOURCE") {
+        MediaAttrs& half = (sources++ == 0) ? av.audio : av.video;
+        half.source = value.value();
+      } else if (key == "ID") {
+        MediaAttrs& half = (ids++ == 0) ? av.audio : av.video;
+        half.id = value.value();
+      } else if (key == "STARTIME") {
+        auto t = parse_time_value(value.value());
+        if (!t.ok()) return t.error();
+        MediaAttrs& half = (startimes++ == 0) ? av.audio : av.video;
+        half.startime = t.value();
+      } else if (key == "DURATION") {
+        auto t = parse_time_value(value.value());
+        if (!t.ok()) return t.error();
+        if (durations++ == 0) {
+          av.audio.duration = t.value();
+          av.video.duration = t.value();  // single DURATION covers the pair
+        } else {
+          av.video.duration = t.value();
+        }
+      } else if (key == "NOTE") {
+        av.audio.note = value.value();
+        av.video.note = value.value();
+      } else {
+        return error_here("unknown attribute " + key + "= inside <AU_VI>");
+      }
+    }
+    advance();  // </AU_VI>
+    if (sources > 2 || ids > 2 || startimes > 2 || durations > 2) {
+      return error_here("too many repeated attributes in <AU_VI>");
+    }
+    // A single STARTIME applies to both halves (they start together anyway).
+    if (startimes == 1) av.video.startime = av.audio.startime;
+    return BodyElement{std::move(av)};
+  }
+
+  util::Result<BodyElement> parse_hyperlink() {
+    advance();  // <HLINK>
+    HyperLink link;
+    bool rel_given = false;
+    while (!at_tag(TokenKind::kTagClose, "HLINK")) {
+      if (at(TokenKind::kEnd)) return error_here("unterminated <HLINK>");
+      if (at(TokenKind::kWord) && util::iequals(peek().text, "AT")) {
+        advance();
+        if (!at(TokenKind::kWord) && !at(TokenKind::kString)) {
+          return error_here("expected time after AT");
+        }
+        auto t = parse_time_value(advance().text);
+        if (!t.ok()) return t.error();
+        link.at = t.value();
+        continue;
+      }
+      if (at(TokenKind::kAttrKey)) {
+        const std::string key = advance().text;
+        auto value = attr_value(key);
+        if (!value.ok()) return value.error();
+        if (key == "NOTE") {
+          link.note = value.value();
+        } else if (key == "HOST") {
+          link.target_host = value.value();
+        } else if (key == "REL") {
+          rel_given = true;
+          if (util::iequals(value.value(), "SEQ")) {
+            link.kind = HyperLink::Kind::kSequential;
+          } else if (util::iequals(value.value(), "EXP")) {
+            link.kind = HyperLink::Kind::kExplorational;
+          } else {
+            return error_here("REL= must be SEQ or EXP");
+          }
+        } else {
+          return error_here("unknown attribute " + key + "= inside <HLINK>");
+        }
+        continue;
+      }
+      if (at(TokenKind::kWord) || at(TokenKind::kString)) {
+        if (!link.target_document.empty()) {
+          return error_here("multiple link targets in <HLINK>");
+        }
+        link.target_document = advance().text;
+        continue;
+      }
+      return error_here("unexpected token inside <HLINK>");
+    }
+    advance();  // </HLINK>
+    if (!rel_given) {
+      // Timed links default to the author's sequence; plain links explore.
+      link.kind = link.at ? HyperLink::Kind::kSequential
+                          : HyperLink::Kind::kExplorational;
+    }
+    return BodyElement{std::move(link)};
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<Document> parse(std::string_view input) {
+  auto tokens = lex(input);
+  if (!tokens.ok()) return tokens.error();
+  return Parser(std::move(tokens).take()).run();
+}
+
+}  // namespace hyms::markup

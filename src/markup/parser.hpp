@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string_view>
+
+#include "markup/ast.hpp"
+#include "util/result.hpp"
+
+namespace hyms::markup {
+
+/// Parse a document in the hypermedia markup language (grammar of Fig. 1).
+/// Returns a parse error with line/column on malformed input. Whitespace in
+/// free text is normalized to single spaces (the canonical form the writer
+/// emits), so parse(write(parse(x))) is a fixed point.
+util::Result<Document> parse(std::string_view input);
+
+/// Parse a time attribute value: decimal seconds ("12.5"), with optional
+/// "s" or "ms" suffix ("750ms", "1.5s").
+util::Result<Time> parse_time_value(std::string_view text);
+
+}  // namespace hyms::markup

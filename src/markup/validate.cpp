@@ -1,0 +1,135 @@
+#include "markup/validate.hpp"
+
+#include <set>
+
+namespace hyms::markup {
+
+namespace {
+
+class Validator {
+ public:
+  ValidationReport run(const Document& doc) {
+    if (doc.title.empty()) warning("document has an empty <TITLE>");
+    if (doc.sections.empty()) warning("document has no content sections");
+
+    for (const auto& section : doc.sections) {
+      for (const auto& element : section.body) {
+        std::visit([this](const auto& e) { check(e); }, element);
+      }
+    }
+    return std::move(report_);
+  }
+
+ private:
+  void error(std::string msg) {
+    report_.issues.push_back(
+        {ValidationIssue::Severity::kError, std::move(msg)});
+  }
+  void warning(std::string msg) {
+    report_.issues.push_back(
+        {ValidationIssue::Severity::kWarning, std::move(msg)});
+  }
+
+  void check_value(const std::string& what, const std::string& v) {
+    if (v.find('"') != std::string::npos) {
+      error(what + " contains a quote character");
+    }
+  }
+
+  void register_id(const std::string& id, const char* element) {
+    if (id.empty()) {
+      error(std::string(element) + " is missing ID=");
+      return;
+    }
+    if (!ids_.insert(id).second) {
+      error("duplicate component ID '" + id + "'");
+    }
+  }
+
+  void check_common(const MediaAttrs& a, const char* element) {
+    register_id(a.id, element);
+    if (a.source.empty()) {
+      error(std::string(element) + " '" + a.id + "' is missing SOURCE=");
+    }
+    check_value("SOURCE of " + a.id, a.source);
+    check_value("NOTE of " + a.id, a.note);
+    if (a.startime && a.startime->us() < 0) {
+      error("negative STARTIME on '" + a.id + "'");
+    }
+    if (a.duration && a.duration->us() <= 0) {
+      error("non-positive DURATION on '" + a.id + "'");
+    }
+  }
+
+  void check_timed(const MediaAttrs& a, const char* element) {
+    check_common(a, element);
+    if (!a.startime) {
+      error(std::string(element) + " '" + a.id + "' is missing STARTIME=");
+    }
+    if (!a.duration) {
+      error(std::string(element) + " '" + a.id + "' is missing DURATION=");
+    }
+  }
+
+  void check(const TextBlock& block) {
+    for (const auto& run : block.runs) {
+      if (run.text.empty()) warning("empty inline run in <TEXT>");
+    }
+  }
+
+  void check(const ImageElement& img) {
+    // Images may omit DURATION (shown until the presentation ends) but need
+    // STARTIME to join the playout schedule.
+    check_common(img.attrs, "<IMG>");
+    if (!img.attrs.startime) {
+      error("<IMG> '" + img.attrs.id + "' is missing STARTIME=");
+    }
+    if (img.attrs.width < 0 || img.attrs.height < 0) {
+      error("<IMG> '" + img.attrs.id + "' has negative dimensions");
+    }
+  }
+
+  void check(const AudioElement& au) { check_timed(au.attrs, "<AU>"); }
+  void check(const VideoElement& vi) { check_timed(vi.attrs, "<VI>"); }
+
+  void check(const AudioVideoElement& av) {
+    check_timed(av.audio, "<AU_VI> audio half");
+    check_timed(av.video, "<AU_VI> video half");
+    // "The two media should start and stop playing at the same time."
+    if (av.audio.startime && av.video.startime &&
+        *av.audio.startime != *av.video.startime) {
+      error("<AU_VI> halves '" + av.audio.id + "'/'" + av.video.id +
+            "' have different STARTIMEs");
+    }
+    if (av.audio.duration && av.video.duration &&
+        *av.audio.duration != *av.video.duration) {
+      error("<AU_VI> halves '" + av.audio.id + "'/'" + av.video.id +
+            "' have different DURATIONs");
+    }
+  }
+
+  void check(const HyperLink& link) {
+    if (link.target_document.empty()) {
+      error("<HLINK> has no target document");
+    }
+    check_value("HLINK target", link.target_document);
+    check_value("HLINK note", link.note);
+    if (link.at && link.at->us() < 0) error("<HLINK> has negative AT time");
+    if (link.at && link.kind == HyperLink::Kind::kExplorational) {
+      warning("timed <HLINK> to '" + link.target_document +
+              "' marked explorational; timed links usually preserve the "
+              "author's sequence");
+    }
+  }
+
+  void check(const Paragraph&) {}
+
+  ValidationReport report_;
+  std::set<std::string> ids_;
+};
+
+}  // namespace
+
+ValidationReport validate(const Document& doc) { return Validator{}.run(doc); }
+
+}  // namespace hyms::markup

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "markup/ast.hpp"
+
+namespace hyms::markup {
+
+struct ValidationIssue {
+  enum class Severity { kError, kWarning };
+  Severity severity;
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  [[nodiscard]] bool ok() const {
+    for (const auto& issue : issues) {
+      if (issue.severity == ValidationIssue::Severity::kError) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::size_t error_count() const {
+    std::size_t n = 0;
+    for (const auto& issue : issues) {
+      if (issue.severity == ValidationIssue::Severity::kError) ++n;
+    }
+    return n;
+  }
+};
+
+/// Structural validation beyond the grammar: unique component IDs, complete
+/// timing on time-sensitive media, AU_VI halves starting and stopping
+/// together (the paper's sync-pair contract), well-formed hyperlinks.
+[[nodiscard]] ValidationReport validate(const Document& doc);
+
+}  // namespace hyms::markup

@@ -1,0 +1,175 @@
+#include "markup/writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hyms::markup {
+
+std::string write_time_value(Time t) {
+  // Seconds with up to 3 decimals, trailing zeros trimmed ("2", "1.5",
+  // "0.04") — always re-parsable by parse_time_value at exact precision.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", t.to_seconds());
+  std::string s = buf;
+  while (s.find('.') != std::string::npos && (s.back() == '0')) s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+namespace {
+
+bool needs_quotes(const std::string& v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '<' || c == '>' || c == '"') {
+      return true;
+    }
+  }
+  return v.back() == '=';
+}
+
+void write_value(std::string& out, const std::string& v) {
+  if (needs_quotes(v)) {
+    out += '"';
+    out += v;  // values may not contain '"' (validator enforces)
+    out += '"';
+  } else {
+    out += v;
+  }
+}
+
+void write_attr(std::string& out, const char* key, const std::string& v) {
+  out += ' ';
+  out += key;
+  out += "= ";
+  write_value(out, v);
+}
+
+void write_media_attrs(std::string& out, const MediaAttrs& a) {
+  if (!a.source.empty()) write_attr(out, "SOURCE", a.source);
+  if (!a.id.empty()) write_attr(out, "ID", a.id);
+  if (a.startime) write_attr(out, "STARTIME", write_time_value(*a.startime));
+  if (a.duration) write_attr(out, "DURATION", write_time_value(*a.duration));
+  if (!a.where.empty()) write_attr(out, "WHERE", a.where);
+  if (a.width != 0) write_attr(out, "WIDTH", std::to_string(a.width));
+  if (a.height != 0) write_attr(out, "HEIGHT", std::to_string(a.height));
+  if (!a.note.empty()) write_attr(out, "NOTE", a.note);
+}
+
+struct BodyWriter {
+  std::string& out;
+
+  void operator()(const TextBlock& block) const {
+    out += "<TEXT>";
+    bool bold = false, italic = false, underline = false;
+    for (const auto& run : block.runs) {
+      auto toggle = [&](bool want, bool& cur, const char* tag) {
+        if (want && !cur) {
+          out += " <";
+          out += tag;
+          out += ">";
+          cur = true;
+        } else if (!want && cur) {
+          out += " </";
+          out += tag;
+          out += ">";
+          cur = false;
+        }
+      };
+      toggle(run.bold, bold, "B");
+      toggle(run.italic, italic, "I");
+      toggle(run.underline, underline, "U");
+      out += ' ';
+      out += run.text;
+    }
+    if (bold) out += " </B>";
+    if (italic) out += " </I>";
+    if (underline) out += " </U>";
+    out += " </TEXT>\n";
+  }
+
+  void operator()(const ImageElement& img) const {
+    out += "<IMG>";
+    write_media_attrs(out, img.attrs);
+    out += " </IMG>\n";
+  }
+
+  void operator()(const AudioElement& au) const {
+    out += "<AU>";
+    write_media_attrs(out, au.attrs);
+    out += " </AU>\n";
+  }
+
+  void operator()(const VideoElement& vi) const {
+    out += "<VI>";
+    write_media_attrs(out, vi.attrs);
+    out += " </VI>\n";
+  }
+
+  void operator()(const AudioVideoElement& av) const {
+    out += "<AU_VI>";
+    // Audio-first attribute order, as the grammar prescribes.
+    if (!av.audio.source.empty()) write_attr(out, "SOURCE", av.audio.source);
+    if (!av.video.source.empty()) write_attr(out, "SOURCE", av.video.source);
+    if (!av.audio.id.empty()) write_attr(out, "ID", av.audio.id);
+    if (!av.video.id.empty()) write_attr(out, "ID", av.video.id);
+    if (av.audio.startime) {
+      write_attr(out, "STARTIME", write_time_value(*av.audio.startime));
+    }
+    if (av.video.startime) {
+      write_attr(out, "STARTIME", write_time_value(*av.video.startime));
+    }
+    if (av.audio.duration) {
+      write_attr(out, "DURATION", write_time_value(*av.audio.duration));
+    }
+    if (av.video.duration && av.video.duration != av.audio.duration) {
+      write_attr(out, "DURATION", write_time_value(*av.video.duration));
+    }
+    if (!av.audio.note.empty()) write_attr(out, "NOTE", av.audio.note);
+    out += " </AU_VI>\n";
+  }
+
+  void operator()(const HyperLink& link) const {
+    out += "<HLINK>";
+    if (link.at) {
+      out += " AT ";
+      out += write_time_value(*link.at);
+    }
+    out += ' ';
+    write_value(out, link.target_document);
+    if (!link.target_host.empty()) write_attr(out, "HOST", link.target_host);
+    // Emit REL= only when it differs from what the parser would infer.
+    const auto inferred = link.at ? HyperLink::Kind::kSequential
+                                  : HyperLink::Kind::kExplorational;
+    if (link.kind != inferred) {
+      write_attr(out, "REL",
+                 link.kind == HyperLink::Kind::kSequential ? "SEQ" : "EXP");
+    }
+    if (!link.note.empty()) write_attr(out, "NOTE", link.note);
+    out += " </HLINK>\n";
+  }
+
+  void operator()(const Paragraph&) const { out += "<PAR>\n"; }
+};
+
+}  // namespace
+
+std::string write(const Document& doc) {
+  std::string out;
+  out += "<TITLE> ";
+  out += doc.title;
+  out += " </TITLE>\n";
+  for (const auto& section : doc.sections) {
+    if (section.heading) {
+      const std::string tag = "H" + std::to_string(section.heading->level);
+      out += "<" + tag + "> " + section.heading->text + " </" + tag + ">\n";
+    }
+    for (const auto& element : section.body) {
+      std::visit(BodyWriter{out}, element);
+    }
+    if (section.separator_after) out += "<SEP>\n";
+  }
+  return out;
+}
+
+}  // namespace hyms::markup

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "markup/ast.hpp"
+
+namespace hyms::markup {
+
+/// Serialize a document back to canonical markup text. The writer emits
+/// quoted values for attributes containing whitespace, and time values in
+/// seconds with millisecond precision; parse(write(doc)) == doc for any
+/// valid document (round-trip property, tested in the suite).
+[[nodiscard]] std::string write(const Document& doc);
+
+/// Serialize one time value the way write() does ("12.5" seconds).
+[[nodiscard]] std::string write_time_value(Time t);
+
+}  // namespace hyms::markup

@@ -1,0 +1,77 @@
+#include "media/frame.hpp"
+
+#include "net/wire.hpp"
+
+namespace hyms::media {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x48594D46;  // "HYMF"
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 1 + 4;
+
+std::uint64_t body_stream_seed(std::uint32_t source_hash, std::int64_t index,
+                               int level) {
+  std::uint64_t x = (static_cast<std::uint64_t>(source_hash) << 32) ^
+                    static_cast<std::uint64_t>(index) ^
+                    (static_cast<std::uint64_t>(level) << 56);
+  x ^= 0x9E3779B97F4A7C15ULL;
+  return x;
+}
+
+std::uint8_t next_body_byte(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return static_cast<std::uint8_t>(state);
+}
+}  // namespace
+
+std::uint32_t hash_source_name(const std::string& name) {
+  std::uint32_t h = 2166136261u;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> encode_frame_payload(std::uint32_t source_hash,
+                                               std::int64_t index,
+                                               int quality_level,
+                                               std::size_t total_bytes) {
+  if (total_bytes < kHeaderBytes) total_bytes = kHeaderBytes;
+  const std::size_t body_len = total_bytes - kHeaderBytes;
+  std::vector<std::uint8_t> out;
+  out.reserve(total_bytes);
+  net::WireWriter w(out);
+  w.u32(kMagic);
+  w.u32(source_hash);
+  w.i64(index);
+  w.u8(static_cast<std::uint8_t>(quality_level));
+  w.u32(static_cast<std::uint32_t>(body_len));
+  std::uint64_t state = body_stream_seed(source_hash, index, quality_level);
+  for (std::size_t i = 0; i < body_len; ++i) {
+    out.push_back(next_body_byte(state));
+  }
+  return out;
+}
+
+std::optional<FrameBody> verify_frame_payload(
+    const std::vector<std::uint8_t>& payload) {
+  if (payload.size() < kHeaderBytes) return std::nullopt;
+  net::WireReader r(payload);
+  if (r.u32() != kMagic) return std::nullopt;
+  FrameBody meta;
+  meta.source_hash = r.u32();
+  meta.index = r.i64();
+  meta.quality_level = r.u8();
+  const std::uint32_t body_len = r.u32();
+  if (r.remaining() != body_len) return std::nullopt;
+  std::uint64_t state =
+      body_stream_seed(meta.source_hash, meta.index, meta.quality_level);
+  for (std::uint32_t i = 0; i < body_len; ++i) {
+    if (r.u8() != next_body_byte(state)) return std::nullopt;
+  }
+  return meta;
+}
+
+}  // namespace hyms::media

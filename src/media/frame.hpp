@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace hyms::media {
+
+/// One access unit of a media stream: a video frame, an audio block, or a
+/// whole image. `media_time` is presentation time relative to the stream's
+/// own start (the playout scheduler adds the scenario STARTIME).
+struct MediaFrame {
+  std::int64_t index = 0;
+  Time media_time;
+  Time duration;
+  int quality_level = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Frame payload layout (deterministic, integrity-checkable):
+///   magic(4) source_hash(4) index(8) level(1) body_len(4) body(body_len)
+/// Body bytes are a cheap xorshift stream keyed by (source_hash, index,
+/// level), so any truncation or corruption en route is detectable without
+/// shipping real codec data.
+struct FrameBody {
+  std::uint32_t source_hash = 0;
+  std::int64_t index = 0;
+  int quality_level = 0;
+};
+
+[[nodiscard]] std::uint32_t hash_source_name(const std::string& name);
+
+/// Build a payload of exactly `total_bytes` (minimum 21 header bytes).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame_payload(
+    std::uint32_t source_hash, std::int64_t index, int quality_level,
+    std::size_t total_bytes);
+
+/// Verify header + body integrity; returns decoded metadata on success.
+[[nodiscard]] std::optional<FrameBody> verify_frame_payload(
+    const std::vector<std::uint8_t>& payload);
+
+}  // namespace hyms::media

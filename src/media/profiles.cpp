@@ -1,0 +1,142 @@
+#include "media/profiles.hpp"
+
+#include <cmath>
+
+namespace hyms::media {
+
+std::string to_string(MediaType t) {
+  switch (t) {
+    case MediaType::kText: return "text";
+    case MediaType::kImage: return "image";
+    case MediaType::kAudio: return "audio";
+    case MediaType::kVideo: return "video";
+  }
+  return "?";
+}
+
+std::string to_string(ImageFormat f) {
+  switch (f) {
+    case ImageFormat::kGif: return "gif";
+    case ImageFormat::kTiff: return "tiff";
+    case ImageFormat::kBmp: return "bmp";
+    case ImageFormat::kJpeg: return "jpeg";
+  }
+  return "?";
+}
+
+std::string to_string(AudioFormat f) {
+  switch (f) {
+    case AudioFormat::kPcm: return "pcm";
+    case AudioFormat::kAdpcm: return "adpcm";
+    case AudioFormat::kVadpcm: return "vadpcm";
+  }
+  return "?";
+}
+
+std::string to_string(VideoFormat f) {
+  switch (f) {
+    case VideoFormat::kAvi: return "avi";
+    case VideoFormat::kMpeg: return "mpeg";
+  }
+  return "?";
+}
+
+std::vector<QualityLevel> VideoProfile::levels() const {
+  std::vector<QualityLevel> out;
+  for (int i = 0; i < level_count(); ++i) {
+    QualityLevel level;
+    level.index = i;
+    level.bitrate_bps = base_bitrate_bps / compression_factors[static_cast<std::size_t>(i)];
+    level.name = to_string(format) + " cf" +
+                 std::to_string(compression_factors[static_cast<std::size_t>(i)]) + " " +
+                 std::to_string(static_cast<int>(level.bitrate_bps / 1000)) +
+                 "kbps";
+    out.push_back(std::move(level));
+  }
+  return out;
+}
+
+std::size_t VideoProfile::mean_frame_bytes(int level) const {
+  const double bitrate =
+      base_bitrate_bps / compression_factors[static_cast<std::size_t>(level)];
+  return static_cast<std::size_t>(bitrate / 8.0 / fps);
+}
+
+std::size_t VideoProfile::frame_bytes(int level, std::int64_t frame_index) const {
+  // Keep the GOP's average at mean_frame_bytes: one I-frame of weight R and
+  // (g-1) P-frames of weight p, with (R + (g-1)p)/g == 1.
+  const double mean = static_cast<double>(mean_frame_bytes(level));
+  const double g = static_cast<double>(gop_size);
+  const double p_weight = (g - i_frame_ratio) / (g - 1.0);
+  const bool is_i = (frame_index % gop_size) == 0;
+  const double weight = is_i ? i_frame_ratio : p_weight;
+  return static_cast<std::size_t>(std::max(64.0, mean * weight));
+}
+
+int AudioProfile::bits_per_sample() const {
+  switch (format) {
+    case AudioFormat::kPcm: return 16;
+    case AudioFormat::kAdpcm: return 4;
+    case AudioFormat::kVadpcm: return 3;
+  }
+  return 16;
+}
+
+double AudioProfile::bitrate_bps(int level) const {
+  return static_cast<double>(sample_rates[static_cast<std::size_t>(level)]) *
+         bits_per_sample() * channels;
+}
+
+std::vector<QualityLevel> AudioProfile::levels() const {
+  std::vector<QualityLevel> out;
+  for (int i = 0; i < level_count(); ++i) {
+    QualityLevel level;
+    level.index = i;
+    level.bitrate_bps = bitrate_bps(i);
+    level.name = to_string(format) + " " +
+                 std::to_string(sample_rates[static_cast<std::size_t>(i)]) + "Hz " +
+                 std::to_string(static_cast<int>(level.bitrate_bps / 1000)) +
+                 "kbps";
+    out.push_back(std::move(level));
+  }
+  return out;
+}
+
+std::size_t AudioProfile::frame_bytes(int level) const {
+  const double bytes =
+      bitrate_bps(level) / 8.0 * block_duration.to_seconds();
+  return static_cast<std::size_t>(std::max(16.0, bytes));
+}
+
+std::vector<QualityLevel> ImageProfile::levels() const {
+  std::vector<QualityLevel> out;
+  for (int i = 0; i < level_count(); ++i) {
+    QualityLevel level;
+    level.index = i;
+    level.bitrate_bps = 0;  // not a stream; one-shot transfer
+    level.name = to_string(format) + " q" +
+                 std::to_string(quality_scales[static_cast<std::size_t>(i)]) + " " +
+                 std::to_string(bytes(i) / 1024) + "KiB";
+    out.push_back(std::move(level));
+  }
+  return out;
+}
+
+std::size_t ImageProfile::bytes(int level) const {
+  // Base size approximates a compressed raster: ~1.2 bits/pixel for JPEG at
+  // best quality, more for the lossless-ish legacy formats.
+  double bits_per_pixel;
+  switch (format) {
+    case ImageFormat::kJpeg: bits_per_pixel = 1.2; break;
+    case ImageFormat::kGif: bits_per_pixel = 3.0; break;
+    case ImageFormat::kTiff: bits_per_pixel = 8.0; break;
+    case ImageFormat::kBmp: bits_per_pixel = 24.0; break;
+    default: bits_per_pixel = 8.0; break;
+  }
+  const double base =
+      static_cast<double>(width) * height * bits_per_pixel / 8.0;
+  return static_cast<std::size_t>(
+      base * quality_scales[static_cast<std::size_t>(level)]);
+}
+
+}  // namespace hyms::media

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "media/types.hpp"
+#include "util/time.hpp"
+
+namespace hyms::media {
+
+/// One rung of a stream's quality ladder. Level 0 is the best quality; the
+/// Media Stream Quality Converter moves a stream down (degrade) or up
+/// (upgrade) this ladder under server QoS-manager control (§4).
+struct QualityLevel {
+  int index = 0;
+  std::string name;        // human-readable, e.g. "mpeg q1.0 1200kbps"
+  double bitrate_bps = 0;  // average media bitrate at this level
+};
+
+/// Parameterized synthetic video codec. Real MPEG/AVI decoding is out of
+/// scope (DESIGN.md substitution): the service only schedules and grades
+/// rate x size x deadline, which this profile exposes. `compression_factors`
+/// is the knob §4 names — "increasing video compression factor" lowers the
+/// per-frame byte budget.
+struct VideoProfile {
+  VideoFormat format = VideoFormat::kMpeg;
+  int width = 320;
+  int height = 240;
+  double fps = 25.0;
+  double base_bitrate_bps = 1.2e6;  // at compression factor 1.0
+  std::vector<double> compression_factors = {1.0, 1.5, 2.25, 3.4, 5.0};
+  /// Group-of-pictures structure: every gop_size-th frame is an I-frame
+  /// i_frame_ratio times larger than a P-frame, creating realistic burstiness.
+  int gop_size = 12;
+  double i_frame_ratio = 3.0;
+
+  [[nodiscard]] std::vector<QualityLevel> levels() const;
+  [[nodiscard]] Time frame_interval() const {
+    return Time::seconds(1.0 / fps);
+  }
+  /// Mean frame size in bytes at a quality level.
+  [[nodiscard]] std::size_t mean_frame_bytes(int level) const;
+  /// Size of a specific frame (I/P pattern applied), deterministic.
+  [[nodiscard]] std::size_t frame_bytes(int level, std::int64_t frame_index) const;
+  [[nodiscard]] int level_count() const {
+    return static_cast<int>(compression_factors.size());
+  }
+};
+
+/// Parameterized synthetic audio codec. The ladder varies the sampling
+/// frequency ("decreasing audio sampling frequency", §4); bits/sample come
+/// from the encoding (PCM 16, ADPCM 4, VADPCM 3).
+struct AudioProfile {
+  AudioFormat format = AudioFormat::kPcm;
+  std::vector<int> sample_rates = {44100, 22050, 11025, 8000};
+  int channels = 1;
+  Time block_duration = Time::msec(40);  // one frame = one block
+
+  [[nodiscard]] int bits_per_sample() const;
+  [[nodiscard]] std::vector<QualityLevel> levels() const;
+  [[nodiscard]] Time frame_interval() const { return block_duration; }
+  [[nodiscard]] std::size_t frame_bytes(int level) const;
+  [[nodiscard]] double bitrate_bps(int level) const;
+  [[nodiscard]] int level_count() const {
+    return static_cast<int>(sample_rates.size());
+  }
+};
+
+/// Still images transfer once; the ladder varies compression quality.
+struct ImageProfile {
+  ImageFormat format = ImageFormat::kJpeg;
+  int width = 640;
+  int height = 480;
+  std::vector<double> quality_scales = {1.0, 0.6, 0.35, 0.2};
+
+  [[nodiscard]] std::vector<QualityLevel> levels() const;
+  [[nodiscard]] std::size_t bytes(int level) const;
+  [[nodiscard]] int level_count() const {
+    return static_cast<int>(quality_scales.size());
+  }
+};
+
+}  // namespace hyms::media

@@ -1,0 +1,33 @@
+#include "media/quality.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hyms::media {
+
+QualityConverter::QualityConverter(const MediaSource& source, int floor_level)
+    : source_(source),
+      floor_(std::clamp(floor_level, 0, source.level_count() - 1)) {}
+
+bool QualityConverter::degrade() {
+  if (level_ >= floor_) return false;
+  ++level_;
+  ++stats_.degrades;
+  return true;
+}
+
+bool QualityConverter::upgrade() {
+  if (level_ == 0) return false;
+  --level_;
+  ++stats_.upgrades;
+  return true;
+}
+
+void QualityConverter::set_level(int level) {
+  if (level < 0 || level >= source_.level_count()) {
+    throw std::out_of_range("QualityConverter::set_level");
+  }
+  level_ = level;
+}
+
+}  // namespace hyms::media

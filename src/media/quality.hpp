@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "media/source.hpp"
+
+namespace hyms::media {
+
+/// The paper's Media Stream Quality Converter (§4): walks a stream's quality
+/// ladder under server QoS-manager control. Degrading never passes the
+/// user's acceptance floor — "when falling to the lower threshold, the
+/// service may choose to stop transmitting the specific stream", which the
+/// converter signals by returning false from degrade() at the floor.
+class QualityConverter {
+ public:
+  /// `floor_level` is the worst level (highest index) the user accepts, as
+  /// negotiated at connection setup.
+  QualityConverter(const MediaSource& source, int floor_level);
+
+  [[nodiscard]] int current_level() const { return level_; }
+  [[nodiscard]] int floor_level() const { return floor_; }
+  [[nodiscard]] bool at_floor() const { return level_ >= floor_; }
+  [[nodiscard]] bool at_best() const { return level_ == 0; }
+  [[nodiscard]] double current_bitrate_bps() const {
+    return source_.bitrate_bps(level_);
+  }
+
+  /// Move one rung down in quality (up in compression). Returns false when
+  /// already at the user's floor — the caller decides whether to stop the
+  /// stream entirely.
+  bool degrade();
+  /// Move one rung up in quality. Returns false at the best level.
+  bool upgrade();
+  void set_level(int level);
+
+  struct Stats {
+    std::int64_t degrades = 0;
+    std::int64_t upgrades = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  const MediaSource& source_;
+  int floor_;
+  int level_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hyms::media

@@ -1,0 +1,99 @@
+#include "media/source.hpp"
+
+#include <stdexcept>
+
+namespace hyms::media {
+
+namespace {
+void check_range(std::int64_t index, std::int64_t count, int level,
+                 int level_count, const std::string& name) {
+  if (index < 0 || index >= count) {
+    throw std::out_of_range("frame index " + std::to_string(index) +
+                            " out of range for " + name);
+  }
+  if (level < 0 || level >= level_count) {
+    throw std::out_of_range("quality level " + std::to_string(level) +
+                            " out of range for " + name);
+  }
+}
+}  // namespace
+
+VideoSource::VideoSource(std::string name, VideoProfile profile, Time duration)
+    : name_(std::move(name)), profile_(std::move(profile)),
+      duration_(duration) {}
+
+std::int64_t VideoSource::frame_count() const {
+  return duration_.us() / profile_.frame_interval().us();
+}
+
+double VideoSource::bitrate_bps(int level) const {
+  return profile_.base_bitrate_bps /
+         profile_.compression_factors[static_cast<std::size_t>(level)];
+}
+
+MediaFrame VideoSource::frame(std::int64_t index, int level) const {
+  check_range(index, frame_count(), level, level_count(), name_);
+  MediaFrame f;
+  f.index = index;
+  f.media_time = profile_.frame_interval() * index;
+  f.duration = profile_.frame_interval();
+  f.quality_level = level;
+  f.payload = encode_frame_payload(source_hash(), index, level,
+                                   profile_.frame_bytes(level, index));
+  return f;
+}
+
+AudioSource::AudioSource(std::string name, AudioProfile profile, Time duration)
+    : name_(std::move(name)), profile_(std::move(profile)),
+      duration_(duration) {}
+
+std::int64_t AudioSource::frame_count() const {
+  return duration_.us() / profile_.frame_interval().us();
+}
+
+MediaFrame AudioSource::frame(std::int64_t index, int level) const {
+  check_range(index, frame_count(), level, level_count(), name_);
+  MediaFrame f;
+  f.index = index;
+  f.media_time = profile_.frame_interval() * index;
+  f.duration = profile_.frame_interval();
+  f.quality_level = level;
+  f.payload = encode_frame_payload(source_hash(), index, level,
+                                   profile_.frame_bytes(level));
+  return f;
+}
+
+ImageSource::ImageSource(std::string name, ImageProfile profile)
+    : name_(std::move(name)), profile_(std::move(profile)) {}
+
+MediaFrame ImageSource::frame(std::int64_t index, int level) const {
+  check_range(index, 1, level, level_count(), name_);
+  MediaFrame f;
+  f.index = 0;
+  f.media_time = Time::zero();
+  f.duration = Time::zero();
+  f.quality_level = level;
+  f.payload =
+      encode_frame_payload(source_hash(), 0, level, profile_.bytes(level));
+  return f;
+}
+
+TextSource::TextSource(std::string name, std::string content)
+    : name_(std::move(name)), content_(std::move(content)) {}
+
+std::vector<QualityLevel> TextSource::levels() const {
+  return {QualityLevel{0, "plain text", 0.0}};
+}
+
+MediaFrame TextSource::frame(std::int64_t index, int level) const {
+  check_range(index, 1, level, 1, name_);
+  MediaFrame f;
+  f.index = 0;
+  f.media_time = Time::zero();
+  f.duration = Time::zero();
+  f.quality_level = 0;
+  f.payload.assign(content_.begin(), content_.end());
+  return f;
+}
+
+}  // namespace hyms::media

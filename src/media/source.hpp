@@ -1,0 +1,143 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "media/frame.hpp"
+#include "media/profiles.hpp"
+#include "media/types.hpp"
+#include "util/time.hpp"
+
+namespace hyms::media {
+
+/// A stored media object on a media server: deterministic frame generator
+/// standing in for a real encoded file (DESIGN.md substitution). Frames are
+/// a pure function of (name, index, quality level), so a re-request after a
+/// quality change or a seek is exact.
+class MediaSource {
+ public:
+  virtual ~MediaSource() = default;
+
+  [[nodiscard]] virtual MediaType type() const = 0;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  /// Intrinsic content length (an image reports zero; it has no timeline).
+  [[nodiscard]] virtual Time duration() const = 0;
+  [[nodiscard]] virtual Time frame_interval() const = 0;
+  [[nodiscard]] virtual std::int64_t frame_count() const = 0;
+  [[nodiscard]] virtual std::vector<QualityLevel> levels() const = 0;
+  [[nodiscard]] virtual int level_count() const = 0;
+  /// Average media bitrate at a level (0 for one-shot images).
+  [[nodiscard]] virtual double bitrate_bps(int level) const = 0;
+  /// Generate frame `index` encoded at `level`. Preconditions: valid range.
+  [[nodiscard]] virtual MediaFrame frame(std::int64_t index,
+                                         int level) const = 0;
+
+  [[nodiscard]] std::uint32_t source_hash() const {
+    return hash_source_name(name());
+  }
+};
+
+class VideoSource final : public MediaSource {
+ public:
+  VideoSource(std::string name, VideoProfile profile, Time duration);
+
+  [[nodiscard]] MediaType type() const override { return MediaType::kVideo; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] Time duration() const override { return duration_; }
+  [[nodiscard]] Time frame_interval() const override {
+    return profile_.frame_interval();
+  }
+  [[nodiscard]] std::int64_t frame_count() const override;
+  [[nodiscard]] std::vector<QualityLevel> levels() const override {
+    return profile_.levels();
+  }
+  [[nodiscard]] int level_count() const override {
+    return profile_.level_count();
+  }
+  [[nodiscard]] double bitrate_bps(int level) const override;
+  [[nodiscard]] MediaFrame frame(std::int64_t index, int level) const override;
+  [[nodiscard]] const VideoProfile& profile() const { return profile_; }
+
+ private:
+  std::string name_;
+  VideoProfile profile_;
+  Time duration_;
+};
+
+class AudioSource final : public MediaSource {
+ public:
+  AudioSource(std::string name, AudioProfile profile, Time duration);
+
+  [[nodiscard]] MediaType type() const override { return MediaType::kAudio; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] Time duration() const override { return duration_; }
+  [[nodiscard]] Time frame_interval() const override {
+    return profile_.frame_interval();
+  }
+  [[nodiscard]] std::int64_t frame_count() const override;
+  [[nodiscard]] std::vector<QualityLevel> levels() const override {
+    return profile_.levels();
+  }
+  [[nodiscard]] int level_count() const override {
+    return profile_.level_count();
+  }
+  [[nodiscard]] double bitrate_bps(int level) const override {
+    return profile_.bitrate_bps(level);
+  }
+  [[nodiscard]] MediaFrame frame(std::int64_t index, int level) const override;
+  [[nodiscard]] const AudioProfile& profile() const { return profile_; }
+
+ private:
+  std::string name_;
+  AudioProfile profile_;
+  Time duration_;
+};
+
+/// A still image: a single one-shot "frame" per quality level.
+class ImageSource final : public MediaSource {
+ public:
+  ImageSource(std::string name, ImageProfile profile);
+
+  [[nodiscard]] MediaType type() const override { return MediaType::kImage; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] Time duration() const override { return Time::zero(); }
+  [[nodiscard]] Time frame_interval() const override { return Time::zero(); }
+  [[nodiscard]] std::int64_t frame_count() const override { return 1; }
+  [[nodiscard]] std::vector<QualityLevel> levels() const override {
+    return profile_.levels();
+  }
+  [[nodiscard]] int level_count() const override {
+    return profile_.level_count();
+  }
+  [[nodiscard]] double bitrate_bps(int) const override { return 0.0; }
+  [[nodiscard]] MediaFrame frame(std::int64_t index, int level) const override;
+  [[nodiscard]] const ImageProfile& profile() const { return profile_; }
+
+ private:
+  std::string name_;
+  ImageProfile profile_;
+};
+
+/// A text document body: one-shot payload carrying the actual bytes.
+class TextSource final : public MediaSource {
+ public:
+  TextSource(std::string name, std::string content);
+
+  [[nodiscard]] MediaType type() const override { return MediaType::kText; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] Time duration() const override { return Time::zero(); }
+  [[nodiscard]] Time frame_interval() const override { return Time::zero(); }
+  [[nodiscard]] std::int64_t frame_count() const override { return 1; }
+  [[nodiscard]] std::vector<QualityLevel> levels() const override;
+  [[nodiscard]] int level_count() const override { return 1; }
+  [[nodiscard]] double bitrate_bps(int) const override { return 0.0; }
+  [[nodiscard]] MediaFrame frame(std::int64_t index, int level) const override;
+  [[nodiscard]] const std::string& content() const { return content_; }
+
+ private:
+  std::string name_;
+  std::string content_;
+};
+
+}  // namespace hyms::media

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hyms::media {
+
+/// The inline media kinds of the markup language (Table 1: TEXT, IMG, AU, VI).
+enum class MediaType : std::uint8_t { kText = 0, kImage, kAudio, kVideo };
+
+/// Image encodings supported by the prototype (Fig. 5).
+enum class ImageFormat : std::uint8_t { kGif = 0, kTiff, kBmp, kJpeg };
+
+/// Audio encodings supported by the prototype (Fig. 5).
+enum class AudioFormat : std::uint8_t { kPcm = 0, kAdpcm, kVadpcm };
+
+/// Video encodings supported by the prototype (Fig. 5).
+enum class VideoFormat : std::uint8_t { kAvi = 0, kMpeg };
+
+[[nodiscard]] std::string to_string(MediaType t);
+[[nodiscard]] std::string to_string(ImageFormat f);
+[[nodiscard]] std::string to_string(AudioFormat f);
+[[nodiscard]] std::string to_string(VideoFormat f);
+
+}  // namespace hyms::media

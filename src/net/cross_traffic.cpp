@@ -1,0 +1,98 @@
+#include "net/cross_traffic.hpp"
+
+namespace hyms::net {
+
+PacketSink::PacketSink(Network& net, NodeId node, Port port) : net_(net) {
+  DatagramSocket& sock = net_.bind(node, port, [this](const Packet& pkt) {
+    ++received_;
+    bytes_ += static_cast<std::int64_t>(pkt.payload.size());
+  });
+  ep_ = sock.local();
+}
+
+PacketSink::~PacketSink() { net_.unbind(ep_); }
+
+CbrSource::CbrSource(Network& net, NodeId from, Endpoint to, double rate_bps,
+                     std::size_t packet_bytes)
+    : net_(net), sim_(net.sim()), to_(to),
+      socket_(&net.bind(from, 0, [](const Packet&) {})),
+      rate_bps_(rate_bps), packet_bytes_(packet_bytes) {}
+
+CbrSource::~CbrSource() {
+  stop();
+  net_.unbind(socket_->local());
+}
+
+void CbrSource::start() {
+  if (next_ == sim::kNoEvent) emit();
+}
+
+void CbrSource::stop() {
+  sim_.cancel(next_);
+  next_ = sim::kNoEvent;
+}
+
+void CbrSource::emit() {
+  socket_->send(to_, Payload(packet_bytes_, 0xCB));
+  ++sent_;
+  const double interval_s =
+      static_cast<double>(packet_bytes_) * 8.0 / rate_bps_;
+  next_ = sim_.schedule_after(Time::seconds(interval_s), [this] { emit(); });
+}
+
+OnOffSource::OnOffSource(Network& net, NodeId from, Endpoint to, Params params,
+                         std::uint64_t seed_stream)
+    : net_(net), sim_(net.sim()), to_(to),
+      socket_(&net.bind(from, 0, [](const Packet&) {})),
+      params_(params), rng_(net.sim().rng().fork(seed_stream)),
+      on_(params.start_in_on) {}
+
+OnOffSource::~OnOffSource() {
+  stop();
+  net_.unbind(socket_->local());
+}
+
+void OnOffSource::start() {
+  if (running_) return;
+  running_ = true;
+  if (on_) emit();
+  next_toggle_ = sim_.schedule_after(
+      Time::seconds(rng_.exponential(
+          (on_ ? params_.mean_on : params_.mean_off).to_seconds())),
+      [this] { toggle(); });
+}
+
+void OnOffSource::stop() {
+  running_ = false;
+  sim_.cancel(next_packet_);
+  sim_.cancel(next_toggle_);
+  next_packet_ = sim::kNoEvent;
+  next_toggle_ = sim::kNoEvent;
+}
+
+void OnOffSource::toggle() {
+  if (!running_) return;
+  on_ = !on_;
+  if (on_) {
+    emit();
+  } else {
+    sim_.cancel(next_packet_);
+    next_packet_ = sim::kNoEvent;
+  }
+  next_toggle_ = sim_.schedule_after(
+      Time::seconds(rng_.exponential(
+          (on_ ? params_.mean_on : params_.mean_off).to_seconds())),
+      [this] { toggle(); });
+}
+
+void OnOffSource::emit() {
+  if (!running_ || !on_) return;
+  socket_->send(to_, Payload(params_.packet_bytes, 0xB0));
+  ++sent_;
+  const double interval_s =
+      static_cast<double>(params_.packet_bytes) * 8.0 / params_.rate_bps_on;
+  next_packet_ =
+      sim_.schedule_after(Time::seconds(interval_s), [this] { emit(); });
+}
+
+}  // namespace hyms::net

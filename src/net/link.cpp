@@ -1,0 +1,68 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace hyms::net {
+
+Link::Link(sim::Simulator& sim, std::string name, LinkParams params,
+           NodeId to_node, DeliverFn deliver, util::Rng rng)
+    : sim_(sim), name_(std::move(name)), params_(std::move(params)),
+      to_(to_node), deliver_(std::move(deliver)), rng_(rng) {}
+
+Time Link::serialization_time(std::size_t bytes) const {
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / params_.bandwidth_bps;
+  return Time::seconds(seconds);
+}
+
+void Link::transmit(Packet&& pkt) {
+  ++stats_.offered;
+  const std::size_t size = pkt.wire_size();
+
+  if (queued_bytes_ + size > params_.queue_capacity_bytes) {
+    ++stats_.dropped_queue;
+    LOG_TRACE << "link " << name_ << " queue drop pkt " << pkt.id;
+    return;
+  }
+  if (params_.loss && params_.loss->drop(rng_)) {
+    ++stats_.dropped_loss;
+    LOG_TRACE << "link " << name_ << " random loss pkt " << pkt.id;
+    return;
+  }
+
+  const Time now = sim_.now();
+  const Time start = std::max(now, busy_until_);
+  stats_.queueing_delay_ms.add((start - now).to_ms());
+  const Time finish = start + serialization_time(size);
+  busy_until_ = finish;
+  queued_bytes_ += size;
+
+  if (params_.corruption_prob > 0 && !pkt.payload.empty() &&
+      rng_.bernoulli(params_.corruption_prob)) {
+    // Flip one bit of a random payload byte (classic line-noise model).
+    const auto at = static_cast<std::size_t>(rng_.below(pkt.payload.size()));
+    pkt.payload[at] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+    ++stats_.corrupted;
+  }
+
+  Time extra = Time::zero();
+  if (params_.jitter_stddev > Time::zero() || params_.jitter_mean > Time::zero()) {
+    const double j = rng_.normal(params_.jitter_mean.to_seconds(),
+                                 params_.jitter_stddev.to_seconds());
+    extra = Time::seconds(std::max(0.0, j));
+  }
+  const Time arrival = finish + params_.propagation + extra;
+
+  sim_.schedule_at(finish, [this, size] { queued_bytes_ -= size; });
+  sim_.schedule_at(arrival,
+                   [this, p = std::move(pkt), size]() mutable {
+                     ++stats_.delivered;
+                     stats_.bytes_delivered += static_cast<std::int64_t>(size);
+                     deliver_(std::move(p));
+                   });
+}
+
+}  // namespace hyms::net

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/loss.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace hyms::net {
+
+/// Static configuration of one unidirectional link.
+struct LinkParams {
+  double bandwidth_bps = 10e6;          // serialization rate
+  Time propagation = Time::msec(5);     // fixed one-way latency
+  std::size_t queue_capacity_bytes = 64 * 1024;  // drop-tail buffer
+  /// Extra per-packet delay variance (models OS scheduling + downstream
+  /// equipment): packet gets max(0, N(jitter_mean, jitter_stddev)).
+  Time jitter_mean = Time::zero();
+  Time jitter_stddev = Time::zero();
+  std::shared_ptr<LossModel> loss;      // optional random loss process
+  /// Bit-error injection: probability that a traversing packet has one
+  /// random payload byte flipped (transports must detect or tolerate it).
+  double corruption_prob = 0.0;
+};
+
+/// One unidirectional link: drop-tail queue + serialization at bandwidth_bps
+/// + propagation + optional jitter and random loss. Queueing delay emerges
+/// from the busy-until horizon, so congestion (e.g. cross traffic) produces
+/// exactly the delay/jitter/loss behaviour the paper's recovery mechanisms
+/// are designed to absorb.
+class Link {
+ public:
+  using DeliverFn = std::function<void(Packet&&)>;
+
+  Link(sim::Simulator& sim, std::string name, LinkParams params,
+       NodeId to_node, DeliverFn deliver, util::Rng rng);
+
+  /// Offer a packet to the link. May drop (queue full or loss model); on
+  /// success schedules delivery at the far end.
+  void transmit(Packet&& pkt);
+
+  [[nodiscard]] NodeId to_node() const { return to_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const LinkParams& params() const { return params_; }
+
+  /// Replace link parameters mid-run (e.g. for step-change experiments).
+  /// Takes effect for packets offered after the call; packets already
+  /// accepted keep the serialization schedule they were admitted under (the
+  /// busy-until horizon is not recomputed).
+  void set_params(LinkParams params) { params_ = std::move(params); }
+
+  struct Stats {
+    std::int64_t offered = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped_queue = 0;
+    std::int64_t dropped_loss = 0;
+    std::int64_t corrupted = 0;
+    std::int64_t bytes_delivered = 0;
+    util::Sampler queueing_delay_ms;  // time spent waiting for serialization
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queued_bytes() const { return queued_bytes_; }
+
+ private:
+  [[nodiscard]] Time serialization_time(std::size_t bytes) const;
+
+  sim::Simulator& sim_;
+  std::string name_;
+  LinkParams params_;
+  NodeId to_;
+  DeliverFn deliver_;
+  util::Rng rng_;
+
+  Time busy_until_ = Time::zero();
+  std::size_t queued_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hyms::net

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace hyms::net {
+
+/// Per-link random loss process (independent of queue drops, which the link
+/// computes from occupancy).
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// Returns true if the packet about to traverse the link is lost.
+  virtual bool drop(util::Rng& rng) = 0;
+};
+
+/// Independent (Bernoulli) loss with fixed probability.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p) : p_(p) {}
+  bool drop(util::Rng& rng) override { return rng.bernoulli(p_); }
+
+ private:
+  double p_;
+};
+
+/// Two-state Gilbert-Elliott bursty loss: a "good" and a "bad" state with
+/// different loss rates and geometric sojourn times. Models the correlated
+/// loss bursts that break intermedia sync in the paper's §4.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.0005;
+    double p_bad_to_good = 0.05;
+    double loss_good = 0.0;
+    double loss_bad = 0.3;
+  };
+
+  explicit GilbertElliottLoss(Params p) : p_(p) {}
+
+  bool drop(util::Rng& rng) override {
+    if (bad_) {
+      if (rng.bernoulli(p_.p_bad_to_good)) bad_ = false;
+    } else {
+      if (rng.bernoulli(p_.p_good_to_bad)) bad_ = true;
+    }
+    return rng.bernoulli(bad_ ? p_.loss_bad : p_.loss_good);
+  }
+
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+
+ private:
+  Params p_;
+  bool bad_ = false;
+};
+
+}  // namespace hyms::net

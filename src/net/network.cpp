@@ -1,0 +1,152 @@
+#include "net/network.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace hyms::net {
+
+void DatagramSocket::send(Endpoint dst, Payload payload) {
+  net_.send(local_, dst, std::move(payload));
+}
+
+NodeId Network::add_host(std::string name) {
+  return add_node(std::move(name), /*is_host=*/true);
+}
+
+NodeId Network::add_router(std::string name) {
+  return add_node(std::move(name), /*is_host=*/false);
+}
+
+NodeId Network::add_node(std::string name, bool is_host) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  auto node = std::make_unique<Node>();
+  node->id = id;
+  node->name = std::move(name);
+  node->is_host = is_host;
+  nodes_.push_back(std::move(node));
+  routes_dirty_ = true;
+  return id;
+}
+
+std::pair<Link*, Link*> Network::connect(NodeId a, NodeId b,
+                                         const LinkParams& both) {
+  return connect(a, b, both, both);
+}
+
+std::pair<Link*, Link*> Network::connect(NodeId a, NodeId b,
+                                         const LinkParams& ab,
+                                         const LinkParams& ba) {
+  if (a >= nodes_.size() || b >= nodes_.size() || a == b) {
+    throw std::invalid_argument("Network::connect: bad node ids");
+  }
+  auto make = [this](NodeId from, NodeId to, const LinkParams& p) {
+    auto link = std::make_unique<Link>(
+        sim_, nodes_[from]->name + "->" + nodes_[to]->name, p, to,
+        [this, to](Packet&& pkt) { deliver_at(to, std::move(pkt)); },
+        rng_.fork(next_link_rng_++));
+    Link* raw = link.get();
+    nodes_[from]->out_links.push_back(std::move(link));
+    return raw;
+  };
+  Link* fwd = make(a, b, ab);
+  Link* rev = make(b, a, ba);
+  routes_dirty_ = true;
+  return {fwd, rev};
+}
+
+void Network::compute_routes() {
+  // All-pairs next hop by BFS from every node (hop-count shortest path).
+  for (auto& src : nodes_) {
+    src->next_hop.clear();
+    std::deque<NodeId> frontier{src->id};
+    std::vector<Link*> via(nodes_.size(), nullptr);  // first-hop link from src
+    std::vector<bool> seen(nodes_.size(), false);
+    seen[src->id] = true;
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop_front();
+      for (auto& link : nodes_[cur]->out_links) {
+        const NodeId nxt = link->to_node();
+        if (seen[nxt]) continue;
+        seen[nxt] = true;
+        via[nxt] = (cur == src->id) ? link.get() : via[cur];
+        src->next_hop[nxt] = via[nxt];
+        frontier.push_back(nxt);
+      }
+    }
+  }
+  routes_dirty_ = false;
+}
+
+DatagramSocket& Network::bind(NodeId host, Port port,
+                              DatagramSocket::ReceiveFn fn) {
+  if (host >= nodes_.size()) throw std::invalid_argument("bind: bad host");
+  Node& node = *nodes_[host];
+  if (port == 0) {
+    while (node.sockets.contains(node.next_ephemeral)) ++node.next_ephemeral;
+    port = node.next_ephemeral++;
+  }
+  if (node.sockets.contains(port)) {
+    throw std::invalid_argument("bind: port in use on " + node.name);
+  }
+  auto sock = std::make_unique<DatagramSocket>(*this, Endpoint{host, port});
+  sock->set_receiver(std::move(fn));
+  DatagramSocket& ref = *sock;
+  node.sockets[port] = std::move(sock);
+  return ref;
+}
+
+void Network::unbind(Endpoint ep) {
+  if (ep.node >= nodes_.size()) return;
+  nodes_[ep.node]->sockets.erase(ep.port);
+}
+
+void Network::send(Endpoint src, Endpoint dst, Payload payload) {
+  if (routes_dirty_) compute_routes();
+  ++stats_.sent;
+  Packet pkt;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.payload = std::move(payload);
+  pkt.id = next_packet_id_++;
+  pkt.injected_at = sim_.now();
+  deliver_at(src.node, std::move(pkt));
+}
+
+void Network::deliver_at(NodeId node_id, Packet&& pkt) {
+  Node& node = *nodes_[node_id];
+  if (pkt.dst.node == node_id) {
+    auto it = node.sockets.find(pkt.dst.port);
+    if (it == node.sockets.end()) {
+      ++stats_.dropped_no_socket;
+      LOG_TRACE << "no socket at " << node.name << ":" << pkt.dst.port;
+      return;
+    }
+    ++stats_.delivered;
+    stats_.end_to_end_delay_ms.add((sim_.now() - pkt.injected_at).to_ms());
+    it->second->deliver(pkt);
+    return;
+  }
+  auto it = node.next_hop.find(pkt.dst.node);
+  if (it == node.next_hop.end()) {
+    ++stats_.dropped_no_route;
+    LOG_WARN << "no route from " << node.name << " to node " << pkt.dst.node;
+    return;
+  }
+  it->second->transmit(std::move(pkt));
+}
+
+const std::string& Network::node_name(NodeId id) const {
+  return nodes_.at(id)->name;
+}
+
+Link* Network::find_link(NodeId from, NodeId to) {
+  for (auto& link : nodes_.at(from)->out_links) {
+    if (link->to_node() == to) return link.get();
+  }
+  return nullptr;
+}
+
+}  // namespace hyms::net

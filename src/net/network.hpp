@@ -1,0 +1,108 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace hyms::net {
+
+class Network;
+
+/// UDP-like unreliable datagram endpoint. Obtained from Network::bind; the
+/// receive callback fires in simulation time as packets arrive (possibly
+/// reordered, duplicated-free, lossy — exactly what RTP must cope with).
+class DatagramSocket {
+ public:
+  using ReceiveFn = std::function<void(const Packet&)>;
+
+  DatagramSocket(Network& net, Endpoint local) : net_(net), local_(local) {}
+  DatagramSocket(const DatagramSocket&) = delete;
+  DatagramSocket& operator=(const DatagramSocket&) = delete;
+
+  void send(Endpoint dst, Payload payload);
+  void set_receiver(ReceiveFn fn) { on_receive_ = std::move(fn); }
+  [[nodiscard]] Endpoint local() const { return local_; }
+
+ private:
+  friend class Network;
+  void deliver(const Packet& pkt) {
+    if (on_receive_) on_receive_(pkt);
+  }
+
+  Network& net_;
+  Endpoint local_;
+  ReceiveFn on_receive_;
+};
+
+/// The emulated internetwork: hosts and routers joined by Links, static
+/// shortest-path (hop count) routing, and a datagram service on top. All of
+/// the paper's traffic — scenario download, media streams, RTCP feedback,
+/// service control — crosses this substrate.
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(sim), rng_(sim.rng().fork(0x4E4554)) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  NodeId add_host(std::string name);
+  NodeId add_router(std::string name);
+
+  /// Duplex connect with symmetric parameters.
+  std::pair<Link*, Link*> connect(NodeId a, NodeId b, const LinkParams& both);
+  /// Duplex connect with per-direction parameters (a->b, b->a).
+  std::pair<Link*, Link*> connect(NodeId a, NodeId b, const LinkParams& ab,
+                                  const LinkParams& ba);
+
+  /// Bind a datagram socket; port 0 picks an ephemeral port.
+  DatagramSocket& bind(NodeId host, Port port, DatagramSocket::ReceiveFn fn);
+  void unbind(Endpoint ep);
+
+  /// Inject a datagram from src (bypasses socket lookup on the sender side).
+  void send(Endpoint src, Endpoint dst, Payload payload);
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  [[nodiscard]] Link* find_link(NodeId from, NodeId to);
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  struct Stats {
+    std::int64_t sent = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped_no_route = 0;
+    std::int64_t dropped_no_socket = 0;
+    util::Sampler end_to_end_delay_ms;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    NodeId id;
+    std::string name;
+    bool is_host;
+    std::vector<std::unique_ptr<Link>> out_links;
+    std::map<NodeId, Link*> next_hop;          // dst -> link
+    std::map<Port, std::unique_ptr<DatagramSocket>> sockets;
+    Port next_ephemeral = 49152;
+  };
+
+  NodeId add_node(std::string name, bool is_host);
+  void compute_routes();
+  void deliver_at(NodeId node, Packet&& pkt);
+
+  sim::Simulator& sim_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool routes_dirty_ = true;
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t next_link_rng_ = 1;
+  Stats stats_;
+};
+
+}  // namespace hyms::net

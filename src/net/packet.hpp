@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace hyms::net {
+
+using NodeId = std::uint32_t;
+using Port = std::uint16_t;
+using Payload = std::vector<std::uint8_t>;
+
+inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
+
+/// Per-datagram IP+UDP header overhead charged on the wire (bytes).
+inline constexpr std::size_t kIpUdpOverhead = 28;
+
+struct Endpoint {
+  NodeId node = kNoNode;
+  Port port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// A datagram in flight. The emulator charges wire_size() bits of link
+/// capacity per hop; payload bytes are the application's serialized data
+/// (e.g. an RTP packet or a TCP-like segment).
+struct Packet {
+  Endpoint src;
+  Endpoint dst;
+  Payload payload;
+  std::uint64_t id = 0;   // unique per network, for tracing
+  Time injected_at;        // when the sender handed it to the network
+
+  [[nodiscard]] std::size_t wire_size() const {
+    return payload.size() + kIpUdpOverhead;
+  }
+};
+
+}  // namespace hyms::net

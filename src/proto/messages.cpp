@@ -1,0 +1,478 @@
+#include "proto/messages.hpp"
+
+#include "net/wire.hpp"
+
+namespace hyms::proto {
+
+using net::WireReader;
+using net::WireWriter;
+
+namespace {
+
+void put_strings(WireWriter& w, const std::vector<std::string>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto& s : v) w.str(s);
+}
+
+/// Validate a wire-supplied element count against the bytes actually left
+/// in the frame (each element needs at least `min_bytes`); a hostile or
+/// corrupted count must fail the parse, not drive a giant allocation.
+std::uint32_t checked_count(const WireReader& r, std::uint32_t n,
+                            std::size_t min_bytes) {
+  if (static_cast<std::size_t>(n) * min_bytes > r.remaining()) {
+    throw std::out_of_range("element count exceeds frame size");
+  }
+  return n;
+}
+
+std::vector<std::string> get_strings(WireReader& r) {
+  std::vector<std::string> v(checked_count(r, r.u32(), 4));
+  for (auto& s : v) s = r.str();
+  return v;
+}
+
+void put_hits(WireWriter& w, const std::vector<SearchHit>& hits) {
+  w.u32(static_cast<std::uint32_t>(hits.size()));
+  for (const auto& hit : hits) {
+    w.str(hit.document);
+    w.str(hit.server);
+  }
+}
+
+std::vector<SearchHit> get_hits(WireReader& r) {
+  std::vector<SearchHit> hits(checked_count(r, r.u32(), 8));
+  for (auto& hit : hits) {
+    hit.document = r.str();
+    hit.server = r.str();
+  }
+  return hits;
+}
+
+struct Encoder {
+  WireWriter& w;
+
+  void operator()(const ConnectRequest& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kConnectRequest));
+    w.str(m.user);
+    w.str(m.credential);
+  }
+  void operator()(const ConnectReply& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kConnectReply));
+    w.u8(m.ok ? 1 : 0);
+    w.u8(m.needs_subscription ? 1 : 0);
+    w.str(m.reason);
+  }
+  void operator()(const SubscribeRequest& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kSubscribeRequest));
+    w.str(m.user);
+    w.str(m.credential);
+    w.str(m.real_name);
+    w.str(m.address);
+    w.str(m.telephone);
+    w.str(m.email);
+    w.str(m.contract);
+    w.u8(static_cast<std::uint8_t>(m.video_floor_level));
+    w.u8(static_cast<std::uint8_t>(m.audio_floor_level));
+  }
+  void operator()(const SubscribeReply& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kSubscribeReply));
+    w.u8(m.ok ? 1 : 0);
+    w.str(m.reason);
+  }
+  void operator()(const TopicListRequest&) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kTopicListRequest));
+  }
+  void operator()(const TopicListReply& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kTopicListReply));
+    put_strings(w, m.documents);
+  }
+  void operator()(const DocumentRequest& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kDocumentRequest));
+    w.str(m.document);
+  }
+  void operator()(const DocumentReply& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kDocumentReply));
+    w.u8(m.ok ? 1 : 0);
+    w.str(m.reason);
+    w.str(m.markup);
+  }
+  void operator()(const StreamSetup& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kStreamSetup));
+    w.str(m.document);
+    w.u32(static_cast<std::uint32_t>(m.streams.size()));
+    for (const auto& s : m.streams) {
+      w.str(s.stream_id);
+      w.u16(s.rtp_port);
+    }
+    w.i64(m.time_window_us);
+  }
+  void operator()(const StreamSetupReply& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kStreamSetupReply));
+    w.u8(m.ok ? 1 : 0);
+    w.str(m.reason);
+    w.u32(static_cast<std::uint32_t>(m.streams.size()));
+    for (const auto& s : m.streams) {
+      w.str(s.stream_id);
+      w.u8(s.via_rtp ? 1 : 0);
+      w.u32(s.ssrc);
+      w.u8(s.payload_type);
+      w.u32(s.clock_rate);
+      w.u32(s.sender_rtcp_node);
+      w.u16(s.sender_rtcp_port);
+      w.u32(s.tcp_node);
+      w.u16(s.tcp_port);
+      w.u64(s.total_bytes);
+      w.i64(s.frame_interval_us);
+      w.i64(s.frame_count);
+      w.u8(static_cast<std::uint8_t>(s.initial_level));
+    }
+  }
+  void operator()(const Pause&) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kPause));
+  }
+  void operator()(const Resume&) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kResume));
+  }
+  void operator()(const StopStream& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kStopStream));
+    w.str(m.stream_id);
+  }
+  void operator()(const SearchRequest& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kSearchRequest));
+    w.str(m.token);
+  }
+  void operator()(const SearchReply& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kSearchReply));
+    put_hits(w, m.hits);
+  }
+  void operator()(const PeerSearchRequest& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kPeerSearchRequest));
+    w.str(m.token);
+    w.u32(m.request_id);
+  }
+  void operator()(const PeerSearchReply& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kPeerSearchReply));
+    w.u32(m.request_id);
+    put_hits(w, m.hits);
+  }
+  void operator()(const Suspend&) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kSuspend));
+  }
+  void operator()(const SuspendAck& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kSuspendAck));
+    w.i64(m.keepalive_us);
+  }
+  void operator()(const SuspendExpired&) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kSuspendExpired));
+  }
+  void operator()(const ResumeSession& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kResumeSession));
+    w.str(m.user);
+  }
+  void operator()(const ResumeSessionReply& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kResumeSessionReply));
+    w.u8(m.ok ? 1 : 0);
+    w.str(m.reason);
+  }
+  void operator()(const Disconnect&) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kDisconnect));
+  }
+  void operator()(const MailSend& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kMailSend));
+    w.str(m.to);
+    w.str(m.subject);
+    w.str(m.body);
+    w.str(m.mime_type);
+  }
+  void operator()(const MailFetch& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kMailFetch));
+    w.i64(m.index);
+  }
+  void operator()(const MailList& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kMailList));
+    put_strings(w, m.subjects);
+  }
+  void operator()(const Annotate& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kAnnotate));
+    w.str(m.document);
+    w.str(m.remark);
+  }
+  void operator()(const AnnotationListRequest& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kAnnotationListRequest));
+    w.str(m.document);
+  }
+  void operator()(const AnnotationListReply& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kAnnotationListReply));
+    w.str(m.document);
+    put_strings(w, m.remarks);
+  }
+  void operator()(const DirectoryListRequest&) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kDirectoryListRequest));
+  }
+  void operator()(const DirectoryListReply& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kDirectoryListReply));
+    w.u32(static_cast<std::uint32_t>(m.servers.size()));
+    for (const auto& entry : m.servers) {
+      w.str(entry.name);
+      w.str(entry.description);
+      w.u32(entry.node);
+      w.u16(entry.port);
+    }
+  }
+  void operator()(const ErrorReply& m) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::kError));
+    w.str(m.what);
+  }
+};
+
+}  // namespace
+
+net::Payload encode(const Message& msg) {
+  net::Payload out;
+  WireWriter w(out);
+  std::visit(Encoder{w}, msg);
+  return out;
+}
+
+util::Result<Message> decode(const net::Payload& frame) {
+  if (frame.empty()) return util::parse_error("empty protocol frame");
+  try {
+    WireReader r(frame);
+    const auto type = static_cast<MsgType>(r.u8());
+    switch (type) {
+      case MsgType::kConnectRequest: {
+        ConnectRequest m;
+        m.user = r.str();
+        m.credential = r.str();
+        return Message{m};
+      }
+      case MsgType::kConnectReply: {
+        ConnectReply m;
+        m.ok = r.u8() != 0;
+        m.needs_subscription = r.u8() != 0;
+        m.reason = r.str();
+        return Message{m};
+      }
+      case MsgType::kSubscribeRequest: {
+        SubscribeRequest m;
+        m.user = r.str();
+        m.credential = r.str();
+        m.real_name = r.str();
+        m.address = r.str();
+        m.telephone = r.str();
+        m.email = r.str();
+        m.contract = r.str();
+        m.video_floor_level = r.u8();
+        m.audio_floor_level = r.u8();
+        return Message{m};
+      }
+      case MsgType::kSubscribeReply: {
+        SubscribeReply m;
+        m.ok = r.u8() != 0;
+        m.reason = r.str();
+        return Message{m};
+      }
+      case MsgType::kTopicListRequest:
+        return Message{TopicListRequest{}};
+      case MsgType::kTopicListReply: {
+        TopicListReply m;
+        m.documents = get_strings(r);
+        return Message{m};
+      }
+      case MsgType::kDocumentRequest: {
+        DocumentRequest m;
+        m.document = r.str();
+        return Message{m};
+      }
+      case MsgType::kDocumentReply: {
+        DocumentReply m;
+        m.ok = r.u8() != 0;
+        m.reason = r.str();
+        m.markup = r.str();
+        return Message{m};
+      }
+      case MsgType::kStreamSetup: {
+        StreamSetup m;
+        m.document = r.str();
+        m.streams.resize(checked_count(r, r.u32(), 6));
+        for (auto& s : m.streams) {
+          s.stream_id = r.str();
+          s.rtp_port = r.u16();
+        }
+        m.time_window_us = r.i64();
+        return Message{m};
+      }
+      case MsgType::kStreamSetupReply: {
+        StreamSetupReply m;
+        m.ok = r.u8() != 0;
+        m.reason = r.str();
+        m.streams.resize(checked_count(r, r.u32(), 32));
+        for (auto& s : m.streams) {
+          s.stream_id = r.str();
+          s.via_rtp = r.u8() != 0;
+          s.ssrc = r.u32();
+          s.payload_type = r.u8();
+          s.clock_rate = r.u32();
+          s.sender_rtcp_node = r.u32();
+          s.sender_rtcp_port = r.u16();
+          s.tcp_node = r.u32();
+          s.tcp_port = r.u16();
+          s.total_bytes = r.u64();
+          s.frame_interval_us = r.i64();
+          s.frame_count = r.i64();
+          s.initial_level = r.u8();
+        }
+        return Message{m};
+      }
+      case MsgType::kPause:
+        return Message{Pause{}};
+      case MsgType::kResume:
+        return Message{Resume{}};
+      case MsgType::kStopStream: {
+        StopStream m;
+        m.stream_id = r.str();
+        return Message{m};
+      }
+      case MsgType::kSearchRequest: {
+        SearchRequest m;
+        m.token = r.str();
+        return Message{m};
+      }
+      case MsgType::kSearchReply: {
+        SearchReply m;
+        m.hits = get_hits(r);
+        return Message{m};
+      }
+      case MsgType::kPeerSearchRequest: {
+        PeerSearchRequest m;
+        m.token = r.str();
+        m.request_id = r.u32();
+        return Message{m};
+      }
+      case MsgType::kPeerSearchReply: {
+        PeerSearchReply m;
+        m.request_id = r.u32();
+        m.hits = get_hits(r);
+        return Message{m};
+      }
+      case MsgType::kSuspend:
+        return Message{Suspend{}};
+      case MsgType::kSuspendAck: {
+        SuspendAck m;
+        m.keepalive_us = r.i64();
+        return Message{m};
+      }
+      case MsgType::kSuspendExpired:
+        return Message{SuspendExpired{}};
+      case MsgType::kResumeSession: {
+        ResumeSession m;
+        m.user = r.str();
+        return Message{m};
+      }
+      case MsgType::kResumeSessionReply: {
+        ResumeSessionReply m;
+        m.ok = r.u8() != 0;
+        m.reason = r.str();
+        return Message{m};
+      }
+      case MsgType::kDisconnect:
+        return Message{Disconnect{}};
+      case MsgType::kMailSend: {
+        MailSend m;
+        m.to = r.str();
+        m.subject = r.str();
+        m.body = r.str();
+        m.mime_type = r.str();
+        return Message{m};
+      }
+      case MsgType::kMailFetch: {
+        MailFetch m;
+        m.index = r.i64();
+        return Message{m};
+      }
+      case MsgType::kMailList: {
+        MailList m;
+        m.subjects = get_strings(r);
+        return Message{m};
+      }
+      case MsgType::kAnnotate: {
+        Annotate m;
+        m.document = r.str();
+        m.remark = r.str();
+        return Message{m};
+      }
+      case MsgType::kAnnotationListRequest: {
+        AnnotationListRequest m;
+        m.document = r.str();
+        return Message{m};
+      }
+      case MsgType::kAnnotationListReply: {
+        AnnotationListReply m;
+        m.document = r.str();
+        m.remarks = get_strings(r);
+        return Message{m};
+      }
+      case MsgType::kDirectoryListRequest:
+        return Message{DirectoryListRequest{}};
+      case MsgType::kDirectoryListReply: {
+        DirectoryListReply m;
+        m.servers.resize(checked_count(r, r.u32(), 14));
+        for (auto& entry : m.servers) {
+          entry.name = r.str();
+          entry.description = r.str();
+          entry.node = r.u32();
+          entry.port = r.u16();
+        }
+        return Message{m};
+      }
+      case MsgType::kError: {
+        ErrorReply m;
+        m.what = r.str();
+        return Message{m};
+      }
+    }
+    return util::parse_error("unknown protocol message type");
+  } catch (const std::out_of_range&) {
+    return util::parse_error("truncated protocol frame");
+  }
+}
+
+std::string message_name(const Message& msg) {
+  struct Namer {
+    std::string operator()(const ConnectRequest&) { return "ConnectRequest"; }
+    std::string operator()(const ConnectReply&) { return "ConnectReply"; }
+    std::string operator()(const SubscribeRequest&) { return "SubscribeRequest"; }
+    std::string operator()(const SubscribeReply&) { return "SubscribeReply"; }
+    std::string operator()(const TopicListRequest&) { return "TopicListRequest"; }
+    std::string operator()(const TopicListReply&) { return "TopicListReply"; }
+    std::string operator()(const DocumentRequest&) { return "DocumentRequest"; }
+    std::string operator()(const DocumentReply&) { return "DocumentReply"; }
+    std::string operator()(const StreamSetup&) { return "StreamSetup"; }
+    std::string operator()(const StreamSetupReply&) { return "StreamSetupReply"; }
+    std::string operator()(const Pause&) { return "Pause"; }
+    std::string operator()(const Resume&) { return "Resume"; }
+    std::string operator()(const StopStream&) { return "StopStream"; }
+    std::string operator()(const SearchRequest&) { return "SearchRequest"; }
+    std::string operator()(const SearchReply&) { return "SearchReply"; }
+    std::string operator()(const PeerSearchRequest&) { return "PeerSearchRequest"; }
+    std::string operator()(const PeerSearchReply&) { return "PeerSearchReply"; }
+    std::string operator()(const Suspend&) { return "Suspend"; }
+    std::string operator()(const SuspendAck&) { return "SuspendAck"; }
+    std::string operator()(const SuspendExpired&) { return "SuspendExpired"; }
+    std::string operator()(const ResumeSession&) { return "ResumeSession"; }
+    std::string operator()(const ResumeSessionReply&) { return "ResumeSessionReply"; }
+    std::string operator()(const Disconnect&) { return "Disconnect"; }
+    std::string operator()(const MailSend&) { return "MailSend"; }
+    std::string operator()(const MailFetch&) { return "MailFetch"; }
+    std::string operator()(const MailList&) { return "MailList"; }
+    std::string operator()(const Annotate&) { return "Annotate"; }
+    std::string operator()(const AnnotationListRequest&) { return "AnnotationListRequest"; }
+    std::string operator()(const AnnotationListReply&) { return "AnnotationListReply"; }
+    std::string operator()(const DirectoryListRequest&) { return "DirectoryListRequest"; }
+    std::string operator()(const DirectoryListReply&) { return "DirectoryListReply"; }
+    std::string operator()(const ErrorReply&) { return "ErrorReply"; }
+  };
+  return std::visit(Namer{}, msg);
+}
+
+}  // namespace hyms::proto

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace hyms::rtp {
+
+inline constexpr std::uint8_t kRtpVersion = 2;
+inline constexpr std::size_t kRtpHeaderSize = 12;
+
+/// RTP fixed header (RFC 1889 §5.1), plus our payload-format fragmentation
+/// header (frag_index/frag_count, 4 bytes) that plays the role RFC 2435-style
+/// payload formats play for real codecs: letting a frame span packets.
+struct RtpHeader {
+  std::uint8_t payload_type = 0;
+  bool marker = false;
+  std::uint16_t sequence = 0;
+  std::uint32_t timestamp = 0;  // media clock units
+  std::uint32_t ssrc = 0;
+};
+
+struct RtpPacket {
+  RtpHeader header;
+  std::uint16_t frag_index = 0;
+  std::uint16_t frag_count = 1;
+  std::vector<std::uint8_t> payload;
+};
+
+[[nodiscard]] net::Payload serialize_rtp(const RtpPacket& pkt);
+[[nodiscard]] std::optional<RtpPacket> parse_rtp(const net::Payload& wire);
+
+// --- RTCP (RFC 1889 §6) -----------------------------------------------------
+
+enum class RtcpType : std::uint8_t {
+  kSenderReport = 200,
+  kReceiverReport = 201,
+  kSdes = 202,
+  kBye = 203,
+  kApp = 204,
+};
+
+/// Report block carried in SR/RR packets.
+struct ReportBlock {
+  std::uint32_t ssrc = 0;              // source this block reports on
+  std::uint8_t fraction_lost = 0;      // fixed point /256 since last report
+  std::int32_t cumulative_lost = 0;    // signed 24-bit on the wire
+  std::uint32_t extended_highest_seq = 0;
+  std::uint32_t interarrival_jitter = 0;  // timestamp units
+  std::uint32_t last_sr = 0;           // middle 32 bits of SR NTP timestamp
+  std::uint32_t delay_since_last_sr = 0;  // 1/65536 s units
+};
+
+struct SenderReport {
+  std::uint32_t ssrc = 0;
+  std::uint64_t ntp_timestamp = 0;   // sim time microseconds (stands in for NTP)
+  std::uint32_t rtp_timestamp = 0;
+  std::uint32_t packet_count = 0;
+  std::uint32_t octet_count = 0;
+  std::vector<ReportBlock> reports;
+};
+
+struct ReceiverReport {
+  std::uint32_t ssrc = 0;  // reporter
+  std::vector<ReportBlock> reports;
+};
+
+struct Bye {
+  std::uint32_t ssrc = 0;
+  std::string reason;
+};
+
+/// APP packet ("QOSM") — the client QoS manager's feedback report beyond the
+/// standard RR fields (§4: "feedback reports ... to carry out conclusions
+/// about the connection's condition"). Key/value metric pairs.
+struct AppQos {
+  std::uint32_t ssrc = 0;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// A compound RTCP packet: any subset of the above, in order.
+struct RtcpCompound {
+  std::vector<SenderReport> sender_reports;
+  std::vector<ReceiverReport> receiver_reports;
+  std::vector<Bye> byes;
+  std::vector<AppQos> app_qos;
+};
+
+[[nodiscard]] net::Payload serialize_rtcp(const RtcpCompound& compound);
+[[nodiscard]] std::optional<RtcpCompound> parse_rtcp(const net::Payload& wire);
+
+}  // namespace hyms::rtp

@@ -1,0 +1,289 @@
+#include "rtp/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace hyms::rtp {
+
+// --- RtpSender ---------------------------------------------------------------
+
+RtpSender::RtpSender(net::Network& net, net::NodeId node,
+                     net::Endpoint remote_rtp, net::Endpoint remote_rtcp,
+                     Params params)
+    : net_(net), sim_(net.sim()), params_(params), remote_rtp_(remote_rtp),
+      remote_rtcp_(remote_rtcp) {
+  rtp_socket_ = &net_.bind(node, 0, [](const net::Packet&) {});
+  rtcp_socket_ =
+      &net_.bind(node, 0, [this](const net::Packet& pkt) { on_rtcp(pkt); });
+  next_seq_ = static_cast<std::uint16_t>(sim_.rng().next_u64());
+  sr_timer_ = std::make_unique<sim::PeriodicTimer>(
+      sim_, params_.sr_interval, [this] { emit_sender_report(); });
+}
+
+RtpSender::~RtpSender() {
+  sr_timer_.reset();
+  net_.unbind(rtp_socket_->local());
+  net_.unbind(rtcp_socket_->local());
+}
+
+void RtpSender::send_frame(const std::vector<std::uint8_t>& data,
+                           Time media_time) {
+  const std::uint32_t rtp_ts = params_.clock.to_rtp(media_time);
+  last_rtp_ts_ = rtp_ts;
+  const std::size_t frag_count =
+      std::max<std::size_t>(1, (data.size() + params_.max_payload - 1) /
+                                   params_.max_payload);
+  for (std::size_t i = 0; i < frag_count; ++i) {
+    RtpPacket pkt;
+    pkt.header.payload_type = params_.payload_type;
+    pkt.header.marker = (i + 1 == frag_count);
+    pkt.header.sequence = next_seq_++;
+    pkt.header.timestamp = rtp_ts;
+    pkt.header.ssrc = params_.ssrc;
+    pkt.frag_index = static_cast<std::uint16_t>(i);
+    pkt.frag_count = static_cast<std::uint16_t>(frag_count);
+    const std::size_t begin = i * params_.max_payload;
+    const std::size_t end = std::min(data.size(), begin + params_.max_payload);
+    pkt.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(begin),
+                       data.begin() + static_cast<std::ptrdiff_t>(end));
+    stats_.octets_sent += static_cast<std::int64_t>(pkt.payload.size());
+    ++stats_.packets_sent;
+    rtp_socket_->send(remote_rtp_, serialize_rtp(pkt));
+  }
+  ++stats_.frames_sent;
+}
+
+void RtpSender::emit_sender_report() {
+  if (remote_rtcp_.node == net::kNoNode) return;  // peer not yet known
+  SenderReport sr;
+  sr.ssrc = params_.ssrc;
+  sr.ntp_timestamp = static_cast<std::uint64_t>(sim_.now().us());
+  sr.rtp_timestamp = last_rtp_ts_;
+  sr.packet_count = static_cast<std::uint32_t>(stats_.packets_sent);
+  sr.octet_count = static_cast<std::uint32_t>(stats_.octets_sent);
+  RtcpCompound compound;
+  compound.sender_reports.push_back(sr);
+  rtcp_socket_->send(remote_rtcp_, serialize_rtcp(compound));
+}
+
+void RtpSender::send_bye(const std::string& reason) {
+  if (remote_rtcp_.node == net::kNoNode) return;
+  RtcpCompound compound;
+  compound.byes.push_back(Bye{params_.ssrc, reason});
+  rtcp_socket_->send(remote_rtcp_, serialize_rtcp(compound));
+}
+
+void RtpSender::on_rtcp(const net::Packet& pkt) {
+  // Learn (or re-learn) the receiver's RTCP endpoint from its reports, so
+  // Sender Reports flow back without explicit negotiation.
+  remote_rtcp_ = pkt.src;
+  const auto compound = parse_rtcp(pkt.payload);
+  if (!compound) {
+    LOG_WARN << "rtp sender: malformed RTCP";
+    return;
+  }
+  for (const auto& rr : compound->receiver_reports) {
+    for (const auto& block : rr.reports) {
+      if (block.ssrc != params_.ssrc) continue;
+      ++stats_.reports_received;
+      ReceiverFeedback fb;
+      fb.block = block;
+      fb.at = sim_.now();
+      if (block.last_sr != 0) {
+        // RTT = now - LSR - DLSR, all in 1/65536 s "middle 32 bits" units.
+        const auto now_ntp = static_cast<std::uint64_t>(sim_.now().us());
+        const auto now_middle = static_cast<std::uint32_t>(
+            ((now_ntp / 1'000'000) << 16) |
+            (((now_ntp % 1'000'000) << 16) / 1'000'000));
+        const std::uint32_t rtt_units =
+            now_middle - block.last_sr - block.delay_since_last_sr;
+        fb.rtt_ms = static_cast<double>(rtt_units) * 1000.0 / 65536.0;
+        stats_.last_rtt_ms = *fb.rtt_ms;
+      }
+      // Attach APP metrics travelling in the same compound packet.
+      for (const auto& app : compound->app_qos) {
+        fb.app_metrics.insert(fb.app_metrics.end(), app.metrics.begin(),
+                              app.metrics.end());
+      }
+      if (on_feedback_) on_feedback_(fb);
+    }
+  }
+}
+
+// --- RtpReceiver -------------------------------------------------------------
+
+RtpReceiver::RtpReceiver(net::Network& net, net::NodeId node,
+                         net::Port rtp_port, net::Endpoint sender_rtcp,
+                         Params params)
+    : net_(net), sim_(net.sim()), params_(params), sender_rtcp_(sender_rtcp) {
+  rtp_socket_ = &net_.bind(node, rtp_port,
+                           [this](const net::Packet& pkt) { on_rtp(pkt); });
+  rtcp_socket_ =
+      &net_.bind(node, 0, [this](const net::Packet& pkt) { on_rtcp(pkt); });
+  rr_timer_ = std::make_unique<sim::PeriodicTimer>(
+      sim_, params_.rr_interval, [this] { emit_receiver_report(); });
+}
+
+RtpReceiver::~RtpReceiver() {
+  rr_timer_.reset();
+  net_.unbind(rtp_socket_->local());
+  net_.unbind(rtcp_socket_->local());
+}
+
+void RtpReceiver::on_rtp(const net::Packet& pkt) {
+  const auto parsed = parse_rtp(pkt.payload);
+  if (!parsed) {
+    LOG_WARN << "rtp receiver: malformed RTP packet";
+    return;
+  }
+  const RtpPacket& rtp = *parsed;
+  const Time now = sim_.now();
+  const Time transit = now - pkt.injected_at;
+
+  ++stats_.packets_received;
+  ++received_count_;
+  remote_ssrc_ = rtp.header.ssrc;
+  stats_.transit_ms.add(transit.to_ms());
+  update_sequence(rtp.header.sequence);
+  update_jitter(rtp.header.timestamp, now);
+
+  // Reassemble the frame this fragment belongs to.
+  Assembly& asmb = assemblies_[rtp.header.timestamp];
+  if (asmb.parts.empty()) {
+    asmb.parts.resize(rtp.frag_count);
+    asmb.first_arrival = now;
+  }
+  if (rtp.frag_index < asmb.parts.size() &&
+      asmb.parts[rtp.frag_index].empty()) {
+    asmb.parts[rtp.frag_index] = rtp.payload;
+    ++asmb.received;
+    asmb.last_transit = transit;
+  }
+  if (asmb.received == asmb.parts.size()) {
+    ReceivedFrame frame;
+    frame.rtp_timestamp = rtp.header.timestamp;
+    frame.media_time = params_.clock.to_time(rtp.header.timestamp);
+    frame.arrival = now;
+    frame.network_transit = asmb.last_transit;
+    frame.ssrc = rtp.header.ssrc;
+    std::size_t total = 0;
+    for (const auto& p : asmb.parts) total += p.size();
+    frame.payload.reserve(total);
+    for (const auto& p : asmb.parts) {
+      frame.payload.insert(frame.payload.end(), p.begin(), p.end());
+    }
+    assemblies_.erase(rtp.header.timestamp);
+    ++stats_.frames_delivered;
+    if (on_frame_) on_frame_(std::move(frame));
+  }
+  evict_stale(now);
+}
+
+void RtpReceiver::update_sequence(std::uint16_t seq) {
+  if (!seq_initialized_) {
+    seq_initialized_ = true;
+    base_seq_ = seq;
+    max_seq_ = seq;
+    return;
+  }
+  const std::uint16_t delta = static_cast<std::uint16_t>(seq - max_seq_);
+  if (delta < 0x8000) {
+    // In-order or small forward jump; detect wraparound.
+    if (seq < max_seq_) cycles_ += 1u << 16;
+    max_seq_ = seq;
+  }
+  // else: reordered/duplicate packet arriving late — stats unchanged.
+}
+
+void RtpReceiver::update_jitter(std::uint32_t rtp_ts, Time arrival) {
+  // RFC 1889 A.8: J += (|D(i-1,i)| - J) / 16, in timestamp units.
+  const double arrival_units =
+      arrival.to_seconds() * static_cast<double>(params_.clock.clock_rate);
+  const double transit = arrival_units - static_cast<double>(rtp_ts);
+  if (transit_initialized_) {
+    const double d = std::abs(transit - last_transit_units_);
+    jitter_units_ += (d - jitter_units_) / 16.0;
+  }
+  last_transit_units_ = transit;
+  transit_initialized_ = true;
+  stats_.jitter_ms = params_.clock.rtp_units_to_ms(jitter_units_);
+}
+
+void RtpReceiver::evict_stale(Time now) {
+  for (auto it = assemblies_.begin(); it != assemblies_.end();) {
+    if (now - it->second.first_arrival > params_.reassembly_timeout) {
+      ++stats_.frames_incomplete;
+      it = assemblies_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RtpReceiver::on_rtcp(const net::Packet& pkt) {
+  const auto compound = parse_rtcp(pkt.payload);
+  if (!compound) return;
+  for (const auto& sr : compound->sender_reports) {
+    // Keep middle 32 bits of the "NTP" timestamp for LSR/DLSR bookkeeping.
+    const std::uint64_t ntp = sr.ntp_timestamp;
+    last_sr_middle_ = static_cast<std::uint32_t>(
+        ((ntp / 1'000'000) << 16) | (((ntp % 1'000'000) << 16) / 1'000'000));
+    last_sr_arrival_ = sim_.now();
+  }
+}
+
+void RtpReceiver::emit_receiver_report() {
+  if (!seq_initialized_) return;                       // nothing received yet
+  if (sender_rtcp_.node == net::kNoNode) return;       // peer not yet known
+
+  const std::uint32_t extended_max = cycles_ + max_seq_;
+  const std::uint32_t expected = extended_max - base_seq_ + 1;
+  const std::int64_t lost = static_cast<std::int64_t>(expected) -
+                            static_cast<std::int64_t>(received_count_);
+  const std::uint32_t expected_interval = expected - expected_prior_;
+  const std::uint32_t received_interval = received_count_ - received_prior_;
+  expected_prior_ = expected;
+  received_prior_ = received_count_;
+  const std::int64_t lost_interval =
+      static_cast<std::int64_t>(expected_interval) -
+      static_cast<std::int64_t>(received_interval);
+  std::uint8_t fraction = 0;
+  if (expected_interval > 0 && lost_interval > 0) {
+    fraction = static_cast<std::uint8_t>(
+        std::min<std::int64_t>(255, (lost_interval << 8) /
+                                        static_cast<std::int64_t>(
+                                            expected_interval)));
+  }
+  stats_.packets_lost_cumulative = lost;
+
+  ReportBlock block;
+  block.ssrc = remote_ssrc_;
+  block.fraction_lost = fraction;
+  block.cumulative_lost = static_cast<std::int32_t>(lost);
+  block.extended_highest_seq = extended_max;
+  block.interarrival_jitter = static_cast<std::uint32_t>(jitter_units_);
+  block.last_sr = last_sr_middle_;
+  if (last_sr_middle_ != 0) {
+    const double dlsr_s = (sim_.now() - last_sr_arrival_).to_seconds();
+    block.delay_since_last_sr = static_cast<std::uint32_t>(dlsr_s * 65536.0);
+  }
+
+  ReceiverReport rr;
+  rr.ssrc = params_.local_ssrc;
+  rr.reports.push_back(block);
+
+  RtcpCompound compound;
+  compound.receiver_reports.push_back(std::move(rr));
+  if (extra_metrics_) {
+    AppQos app;
+    app.ssrc = params_.local_ssrc;
+    app.metrics = extra_metrics_();
+    if (!app.metrics.empty()) compound.app_qos.push_back(std::move(app));
+  }
+  ++stats_.reports_sent;
+  rtcp_socket_->send(sender_rtcp_, serialize_rtcp(compound));
+}
+
+}  // namespace hyms::rtp

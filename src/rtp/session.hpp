@@ -1,0 +1,210 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+#include "rtp/packets.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace hyms::rtp {
+
+/// Media-clock conversion: RTP timestamps tick at clock_rate Hz.
+struct MediaClock {
+  std::uint32_t clock_rate = 90'000;  // video default; audio uses sample rate
+
+  [[nodiscard]] std::uint32_t to_rtp(Time t) const {
+    return static_cast<std::uint32_t>(
+        (t.us() * static_cast<std::int64_t>(clock_rate)) / 1'000'000);
+  }
+  [[nodiscard]] Time to_time(std::uint32_t ts) const {
+    return Time::usec(static_cast<std::int64_t>(ts) * 1'000'000 /
+                      static_cast<std::int64_t>(clock_rate));
+  }
+  [[nodiscard]] double rtp_units_to_ms(double units) const {
+    return units * 1000.0 / static_cast<double>(clock_rate);
+  }
+};
+
+/// Feedback digest handed to the sender's QoS manager on every RTCP receiver
+/// report: the standard RR block plus our APP("QOSM") metrics and an RTT
+/// estimate from LSR/DLSR.
+struct ReceiverFeedback {
+  ReportBlock block;
+  std::optional<double> rtt_ms;
+  std::vector<std::pair<std::string, double>> app_metrics;
+  Time at;
+  double fraction_lost() const {
+    return static_cast<double>(block.fraction_lost) / 256.0;
+  }
+};
+
+/// Sending half of an RTP session: fragments media frames into RTP packets,
+/// emits periodic Sender Reports, consumes Receiver Reports.
+class RtpSender {
+ public:
+  using FeedbackFn = std::function<void(const ReceiverFeedback&)>;
+
+  struct Params {
+    std::uint32_t ssrc = 0;
+    std::uint8_t payload_type = 96;
+    MediaClock clock;
+    std::size_t max_payload = 1400;   // fragment size
+    Time sr_interval = Time::sec(1);
+  };
+
+  RtpSender(net::Network& net, net::NodeId node, net::Endpoint remote_rtp,
+            net::Endpoint remote_rtcp, Params params);
+  ~RtpSender();
+  RtpSender(const RtpSender&) = delete;
+  RtpSender& operator=(const RtpSender&) = delete;
+
+  /// Send one media frame stamped at media-relative time `media_time`.
+  void send_frame(const std::vector<std::uint8_t>& data, Time media_time);
+  void set_on_feedback(FeedbackFn fn) { on_feedback_ = std::move(fn); }
+  void send_bye(const std::string& reason);
+
+  /// RTCP endpoint receivers should address their reports to.
+  [[nodiscard]] net::Endpoint rtcp_endpoint() const {
+    return rtcp_socket_->local();
+  }
+  [[nodiscard]] std::uint32_t ssrc() const { return params_.ssrc; }
+
+  struct Stats {
+    std::int64_t frames_sent = 0;
+    std::int64_t packets_sent = 0;
+    std::int64_t octets_sent = 0;
+    std::int64_t reports_received = 0;
+    double last_rtt_ms = 0.0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void emit_sender_report();
+  void on_rtcp(const net::Packet& pkt);
+
+  net::Network& net_;
+  sim::Simulator& sim_;
+  Params params_;
+  net::Endpoint remote_rtp_;
+  net::Endpoint remote_rtcp_;
+  net::DatagramSocket* rtp_socket_;
+  net::DatagramSocket* rtcp_socket_;
+  std::uint16_t next_seq_;
+  std::uint32_t last_rtp_ts_ = 0;
+  FeedbackFn on_feedback_;
+  std::unique_ptr<sim::PeriodicTimer> sr_timer_;
+  Stats stats_;
+};
+
+/// A reassembled media frame as delivered to the buffering layer.
+struct ReceivedFrame {
+  std::vector<std::uint8_t> payload;
+  std::uint32_t rtp_timestamp = 0;
+  Time media_time;     // rtp_timestamp mapped through the media clock
+  Time arrival;        // simulation time the last fragment arrived
+  Time network_transit;  // one-way delay of the completing fragment
+  std::uint32_t ssrc = 0;
+};
+
+/// Receiving half: reassembles frames, maintains the RFC 1889 receiver
+/// statistics (extended sequence, fraction lost, interarrival jitter), and
+/// emits periodic Receiver Reports + APP("QOSM") feedback to the sender.
+class RtpReceiver {
+ public:
+  using FrameFn = std::function<void(ReceivedFrame&&)>;
+  /// Lets the client QoS manager append its own metrics to each report.
+  using MetricsFn = std::function<std::vector<std::pair<std::string, double>>()>;
+
+  struct Params {
+    std::uint32_t local_ssrc = 0;      // reporter SSRC
+    MediaClock clock;
+    Time rr_interval = Time::sec(1);
+    Time reassembly_timeout = Time::msec(1500);
+  };
+
+  RtpReceiver(net::Network& net, net::NodeId node, net::Port rtp_port,
+              net::Endpoint sender_rtcp, Params params);
+  ~RtpReceiver();
+  RtpReceiver(const RtpReceiver&) = delete;
+  RtpReceiver& operator=(const RtpReceiver&) = delete;
+
+  void set_on_frame(FrameFn fn) { on_frame_ = std::move(fn); }
+  void set_extra_metrics(MetricsFn fn) { extra_metrics_ = std::move(fn); }
+  /// Install the stream's media clock (learned during stream setup). Must be
+  /// called before the first RTP packet arrives — timestamp mapping and the
+  /// jitter estimator depend on it.
+  void set_clock(MediaClock clock) { params_.clock = clock; }
+  /// Address reports to a (possibly renegotiated) sender RTCP endpoint.
+  void set_sender_rtcp(net::Endpoint ep) { sender_rtcp_ = ep; }
+
+  [[nodiscard]] net::Endpoint rtp_endpoint() const {
+    return rtp_socket_->local();
+  }
+
+  struct Stats {
+    std::int64_t packets_received = 0;
+    std::int64_t frames_delivered = 0;
+    std::int64_t frames_incomplete = 0;  // evicted with missing fragments
+    std::int64_t reports_sent = 0;
+    std::int64_t packets_lost_cumulative = 0;
+    double jitter_ms = 0.0;              // RFC estimator, converted
+    util::Sampler transit_ms;            // true one-way delays observed
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Force an immediate receiver report (used when feedback must not wait).
+  void send_report_now() { emit_receiver_report(); }
+
+ private:
+  struct Assembly {
+    std::vector<std::vector<std::uint8_t>> parts;
+    std::size_t received = 0;
+    Time first_arrival;
+    Time last_transit;
+  };
+
+  void on_rtp(const net::Packet& pkt);
+  void on_rtcp(const net::Packet& pkt);
+  void update_sequence(std::uint16_t seq);
+  void update_jitter(std::uint32_t rtp_ts, Time arrival);
+  void evict_stale(Time now);
+  void emit_receiver_report();
+
+  net::Network& net_;
+  sim::Simulator& sim_;
+  Params params_;
+  net::Endpoint sender_rtcp_;
+  net::DatagramSocket* rtp_socket_;
+  net::DatagramSocket* rtcp_socket_;
+  FrameFn on_frame_;
+  MetricsFn extra_metrics_;
+  std::unique_ptr<sim::PeriodicTimer> rr_timer_;
+
+  // RFC 1889 appendix A receiver state.
+  bool seq_initialized_ = false;
+  std::uint32_t remote_ssrc_ = 0;
+  std::uint16_t max_seq_ = 0;
+  std::uint32_t cycles_ = 0;
+  std::uint32_t base_seq_ = 0;
+  std::uint32_t received_count_ = 0;
+  std::uint32_t expected_prior_ = 0;
+  std::uint32_t received_prior_ = 0;
+  double jitter_units_ = 0.0;
+  bool transit_initialized_ = false;
+  double last_transit_units_ = 0.0;
+
+  // Last SR bookkeeping for LSR/DLSR.
+  std::uint32_t last_sr_middle_ = 0;
+  Time last_sr_arrival_;
+
+  std::map<std::uint32_t, Assembly> assemblies_;  // keyed by rtp timestamp
+  Stats stats_;
+};
+
+}  // namespace hyms::rtp

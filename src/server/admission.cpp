@@ -1,0 +1,43 @@
+#include "server/admission.hpp"
+
+namespace hyms::server {
+
+AdmissionControl::Decision AdmissionControl::evaluate_and_reserve(
+    const std::string& key, double demand_bps, double tier_utilization) {
+  Decision decision;
+  decision.demand_bps = demand_bps;
+  const double ceiling = config_.capacity_bps * tier_utilization;
+  // A session re-requesting (new document) replaces its own reservation, so
+  // evaluate against the load excluding this key.
+  double current = reserved_;
+  if (auto it = reservations_.find(key); it != reservations_.end()) {
+    current -= it->second;
+  }
+  if (current + demand_bps > ceiling) {
+    ++rejected_;
+    decision.admitted = false;
+    decision.reason = "admission rejected: demand " +
+                      std::to_string(demand_bps / 1e6) + " Mbps over ceiling " +
+                      std::to_string(ceiling / 1e6) + " Mbps (reserved " +
+                      std::to_string(current / 1e6) + ")";
+    decision.reserved_after_bps = reserved_;
+    return decision;
+  }
+  ++admitted_;
+  release(key);  // replace any previous reservation under the same key
+  reservations_[key] = demand_bps;
+  reserved_ += demand_bps;
+  decision.admitted = true;
+  decision.reserved_after_bps = reserved_;
+  return decision;
+}
+
+void AdmissionControl::release(const std::string& key) {
+  auto it = reservations_.find(key);
+  if (it == reservations_.end()) return;
+  reserved_ -= it->second;
+  if (reserved_ < 0) reserved_ = 0;
+  reservations_.erase(it);
+}
+
+}  // namespace hyms::server

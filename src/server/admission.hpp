@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hyms::server {
+
+/// Connection admission control (§4): a new presentation is admitted when
+/// the load it would add — evaluated at the *floor* quality the user already
+/// accepted, i.e. the minimum feasible demand — fits under the utilization
+/// ceiling of the user's pricing tier. Higher tiers get a higher ceiling,
+/// implementing "a user who pays more should be serviced, even though it
+/// affects the other users".
+class AdmissionControl {
+ public:
+  struct Config {
+    double capacity_bps = 10e6;  // service egress capacity estimate
+  };
+
+  struct Decision {
+    bool admitted = false;
+    std::string reason;
+    double demand_bps = 0.0;
+    double reserved_after_bps = 0.0;
+  };
+
+  explicit AdmissionControl(Config config) : config_(config) {}
+
+  /// Evaluate a request; on admission the demand is reserved under `key`.
+  Decision evaluate_and_reserve(const std::string& key, double demand_bps,
+                                double tier_utilization);
+  void release(const std::string& key);
+
+  [[nodiscard]] double reserved_bps() const { return reserved_; }
+  [[nodiscard]] std::int64_t admitted_count() const { return admitted_; }
+  [[nodiscard]] std::int64_t rejected_count() const { return rejected_; }
+
+ private:
+  Config config_;
+  double reserved_ = 0.0;
+  std::map<std::string, double> reservations_;
+  std::int64_t admitted_ = 0;
+  std::int64_t rejected_ = 0;
+};
+
+}  // namespace hyms::server

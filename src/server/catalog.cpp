@@ -1,0 +1,137 @@
+#include "server/catalog.hpp"
+
+#include <cstdlib>
+
+#include "markup/parser.hpp"
+#include "markup/validate.hpp"
+#include "util/strings.hpp"
+
+namespace hyms::server {
+
+void MediaCatalog::register_source(const std::string& source,
+                                   std::shared_ptr<media::MediaSource> object) {
+  objects_[source] = std::move(object);
+}
+
+util::Result<std::shared_ptr<media::MediaSource>> MediaCatalog::resolve(
+    const std::string& source) {
+  if (auto it = objects_.find(source); it != objects_.end()) {
+    return it->second;
+  }
+  auto made = synthesize(source);
+  if (!made.ok()) return made.error();
+  objects_[source] = made.value();
+  return made;
+}
+
+util::Result<std::shared_ptr<media::MediaSource>> MediaCatalog::synthesize(
+    const std::string& source) const {
+  const auto parts = util::split(source, ':');
+  if (parts.size() < 3) {
+    return util::not_found("unresolvable SOURCE '" + source +
+                           "' (want type:format:name[:dur_s[:kbps]])");
+  }
+  const std::string& type = parts[0];
+  const std::string& format = parts[1];
+  const double duration_s =
+      parts.size() > 3 ? std::strtod(parts[3].c_str(), nullptr) : 30.0;
+  const double kbps =
+      parts.size() > 4 ? std::strtod(parts[4].c_str(), nullptr) : 0.0;
+
+  if (util::iequals(type, "video")) {
+    media::VideoProfile profile;
+    if (util::iequals(format, "avi")) {
+      profile.format = media::VideoFormat::kAvi;
+    } else if (util::iequals(format, "mpeg")) {
+      profile.format = media::VideoFormat::kMpeg;
+    } else {
+      return util::not_found("unknown video format '" + format + "'");
+    }
+    if (kbps > 0) profile.base_bitrate_bps = kbps * 1000.0;
+    return std::shared_ptr<media::MediaSource>(std::make_shared<media::VideoSource>(
+        source, profile, Time::seconds(duration_s)));
+  }
+  if (util::iequals(type, "audio")) {
+    media::AudioProfile profile;
+    if (util::iequals(format, "pcm")) {
+      profile.format = media::AudioFormat::kPcm;
+    } else if (util::iequals(format, "adpcm")) {
+      profile.format = media::AudioFormat::kAdpcm;
+    } else if (util::iequals(format, "vadpcm")) {
+      profile.format = media::AudioFormat::kVadpcm;
+    } else {
+      return util::not_found("unknown audio format '" + format + "'");
+    }
+    return std::shared_ptr<media::MediaSource>(std::make_shared<media::AudioSource>(
+        source, profile, Time::seconds(duration_s)));
+  }
+  if (util::iequals(type, "image")) {
+    media::ImageProfile profile;
+    if (util::iequals(format, "gif")) {
+      profile.format = media::ImageFormat::kGif;
+    } else if (util::iequals(format, "tiff")) {
+      profile.format = media::ImageFormat::kTiff;
+    } else if (util::iequals(format, "bmp")) {
+      profile.format = media::ImageFormat::kBmp;
+    } else if (util::iequals(format, "jpeg")) {
+      profile.format = media::ImageFormat::kJpeg;
+    } else {
+      return util::not_found("unknown image format '" + format + "'");
+    }
+    return std::shared_ptr<media::MediaSource>(
+        std::make_shared<media::ImageSource>(source, profile));
+  }
+  if (util::iequals(type, "text")) {
+    // Deterministic body derived from the name; real deployments register
+    // TextSources with actual content.
+    std::string body = "Synthetic text body for " + source + ".\n";
+    for (int i = 0; i < 20; ++i) {
+      body += "Line " + std::to_string(i) + " of " + parts[2] + ".\n";
+    }
+    return std::shared_ptr<media::MediaSource>(
+        std::make_shared<media::TextSource>(source, std::move(body)));
+  }
+  return util::not_found("unknown media type '" + type + "'");
+}
+
+util::Status DocumentStore::add(const std::string& name,
+                                const std::string& markup_text) {
+  auto parsed = markup::parse(markup_text);
+  if (!parsed.ok()) return parsed.error();
+  auto scenario = core::extract_scenario(parsed.value());
+  if (!scenario.ok()) return scenario.error();
+
+  StoredDocument doc;
+  doc.name = name;
+  doc.markup_text = markup_text;
+  doc.ast = std::move(parsed.value());
+  doc.scenario = std::move(scenario.value());
+  documents_[name] = std::move(doc);
+  return {};
+}
+
+const StoredDocument* DocumentStore::find(const std::string& name) const {
+  auto it = documents_.find(name);
+  return it == documents_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> DocumentStore::list() const {
+  std::vector<std::string> names;
+  names.reserve(documents_.size());
+  for (const auto& [name, doc] : documents_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> DocumentStore::search(const std::string& token) const {
+  std::vector<std::string> hits;
+  for (const auto& [name, doc] : documents_) {
+    if (util::contains_ci(name, token) ||
+        util::contains_ci(doc.scenario.title, token) ||
+        util::contains_ci(doc.scenario.text_content, token)) {
+      hits.push_back(name);
+    }
+  }
+  return hits;
+}
+
+}  // namespace hyms::server

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "markup/ast.hpp"
+#include "media/source.hpp"
+#include "util/result.hpp"
+
+namespace hyms::server {
+
+/// Resolves SOURCE= retrieval-option strings to media objects. The string
+/// convention is `type:format:name[:duration_s[:kbps]]`, e.g.
+/// "video:mpeg:lecture1:60:1200" or "image:jpeg:diagram1". Unregistered
+/// sources are synthesized deterministically from the string itself (the
+/// DESIGN.md stand-in for the media servers' stored files); explicit
+/// registration overrides.
+class MediaCatalog {
+ public:
+  /// Register an explicit media object for a source string.
+  void register_source(const std::string& source,
+                       std::shared_ptr<media::MediaSource> object);
+
+  /// Resolve (and cache) the media object for a source string.
+  util::Result<std::shared_ptr<media::MediaSource>> resolve(
+      const std::string& source);
+
+  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+
+ private:
+  util::Result<std::shared_ptr<media::MediaSource>> synthesize(
+      const std::string& source) const;
+
+  std::map<std::string, std::shared_ptr<media::MediaSource>> objects_;
+};
+
+/// A stored hypermedia document: markup text plus its parsed scenario,
+/// cached at insertion so requests and searches never re-parse.
+struct StoredDocument {
+  std::string name;
+  std::string markup_text;
+  markup::Document ast;
+  core::PresentationScenario scenario;
+};
+
+/// The multimedia database of one server (Fig. 3): hypermedia documents by
+/// name, with full-text search over titles and text content (§6.2.2).
+class DocumentStore {
+ public:
+  /// Parse, validate and store. Fails on markup or validation errors.
+  util::Status add(const std::string& name, const std::string& markup_text);
+
+  [[nodiscard]] const StoredDocument* find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> list() const;
+  /// Case-insensitive containment over title + text content + name.
+  [[nodiscard]] std::vector<std::string> search(const std::string& token) const;
+  [[nodiscard]] std::size_t size() const { return documents_.size(); }
+
+ private:
+  std::map<std::string, StoredDocument> documents_;
+};
+
+}  // namespace hyms::server

@@ -1,0 +1,42 @@
+#include "server/directory.hpp"
+
+namespace hyms::server {
+
+DirectoryServer::DirectoryServer(net::Network& net, net::NodeId node,
+                                 net::Port port)
+    : net_(net) {
+  listener_ = std::make_unique<net::StreamListener>(
+      net_, node, port, [this](std::unique_ptr<net::StreamConnection> conn) {
+        auto peer = std::make_unique<Peer>();
+        peer->conn = std::move(conn);
+        peer->channel = std::make_unique<net::MessageChannel>(*peer->conn);
+        Peer* raw = peer.get();
+        peer->channel->set_on_message([this, raw](std::vector<std::uint8_t> f) {
+          auto decoded = proto::decode(f);
+          if (!decoded.ok()) return;
+          if (std::holds_alternative<proto::DirectoryListRequest>(
+                  decoded.value())) {
+            ++queries_;
+            proto::DirectoryListReply reply;
+            reply.servers = entries_;
+            raw->channel->send_message(proto::encode(reply));
+          }
+        });
+        peers_.push_back(std::move(peer));
+      });
+}
+
+DirectoryServer::~DirectoryServer() = default;
+
+void DirectoryServer::register_server(const std::string& name,
+                                      const std::string& description,
+                                      net::Endpoint control) {
+  proto::DirectoryEntry entry;
+  entry.name = name;
+  entry.description = description;
+  entry.node = control.node;
+  entry.port = control.port;
+  entries_.push_back(std::move(entry));
+}
+
+}  // namespace hyms::server

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+#include "proto/messages.hpp"
+
+namespace hyms::server {
+
+/// Standalone directory service (§6.2.1): browsers query it for "the list
+/// of available Hermes servers", each with a small description. Servers are
+/// registered by the deployment (a production system would have them
+/// self-register on startup).
+class DirectoryServer {
+ public:
+  DirectoryServer(net::Network& net, net::NodeId node, net::Port port);
+  ~DirectoryServer();
+  DirectoryServer(const DirectoryServer&) = delete;
+  DirectoryServer& operator=(const DirectoryServer&) = delete;
+
+  void register_server(const std::string& name, const std::string& description,
+                       net::Endpoint control);
+  [[nodiscard]] net::Endpoint endpoint() const { return listener_->local(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::int64_t queries_served() const { return queries_; }
+
+ private:
+  struct Peer {
+    std::unique_ptr<net::StreamConnection> conn;
+    std::unique_ptr<net::MessageChannel> channel;
+  };
+
+  net::Network& net_;
+  std::vector<proto::DirectoryEntry> entries_;
+  std::unique_ptr<net::StreamListener> listener_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::int64_t queries_ = 0;
+};
+
+}  // namespace hyms::server

@@ -1,0 +1,66 @@
+#include "server/flow_scheduler.hpp"
+
+#include <algorithm>
+
+namespace hyms::server {
+
+double FlowPlan::nominal_total_bps() const {
+  double total = 0;
+  for (const auto& entry : entries) {
+    if (entry.via_rtp) total += entry.nominal_rate_bps;
+  }
+  return total;
+}
+
+double FlowPlan::floor_total_bps() const {
+  double total = 0;
+  for (const auto& entry : entries) {
+    if (entry.via_rtp) total += entry.floor_rate_bps;
+  }
+  return total;
+}
+
+const FlowPlan::Entry* FlowPlan::find(const std::string& stream_id) const {
+  for (const auto& entry : entries) {
+    if (entry.stream_id == stream_id) return &entry;
+  }
+  return nullptr;
+}
+
+util::Result<FlowPlan> FlowScheduler::plan(
+    const core::PresentationScenario& scenario, MediaCatalog& catalog,
+    int video_floor, int audio_floor) {
+  FlowPlan plan;
+  for (const auto& spec : scenario.streams) {
+    auto source = catalog.resolve(spec.source);
+    if (!source.ok()) return source.error();
+    const media::MediaSource& object = *source.value();
+
+    FlowPlan::Entry entry;
+    entry.stream_id = spec.id;
+    entry.type = spec.type;
+    entry.send_start = spec.start;
+    entry.via_rtp = spec.type == media::MediaType::kAudio ||
+                    spec.type == media::MediaType::kVideo;
+    entry.frame_interval = object.frame_interval();
+    if (entry.via_rtp) {
+      entry.frames = object.frame_count();
+      if (spec.duration && entry.frame_interval > Time::zero()) {
+        entry.frames = spec.duration->us() / entry.frame_interval.us();
+      }
+      entry.nominal_rate_bps = object.bitrate_bps(0);
+      const int floor = std::min(spec.type == media::MediaType::kVideo
+                                     ? video_floor
+                                     : audio_floor,
+                                 object.level_count() - 1);
+      entry.floor_rate_bps = object.bitrate_bps(floor);
+    } else {
+      entry.frames = 1;
+      entry.object_bytes = object.frame(0, 0).payload.size();
+    }
+    plan.entries.push_back(std::move(entry));
+  }
+  return plan;
+}
+
+}  // namespace hyms::server

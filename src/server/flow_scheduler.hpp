@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "server/catalog.hpp"
+#include "util/result.hpp"
+
+namespace hyms::server {
+
+/// The flow scenario (§4): "the flow scheduler uses the retrieved ...
+/// presentation scenario to compute a flow scenario for each participating
+/// media stream. This flow scenario specifies the sending start time
+/// instances of the corresponding media streams, as well as other
+/// transmission properties (e.g. transmission rates)."
+struct FlowPlan {
+  struct Entry {
+    std::string stream_id;
+    media::MediaType type = media::MediaType::kImage;
+    /// Sending start, relative to flow activation (== the stream's STARTIME:
+    /// with the client's deliberate initial delay this prefills exactly one
+    /// media time window before playout).
+    Time send_start;
+    bool via_rtp = false;
+    std::int64_t frames = 1;       // flow length (loops included)
+    Time frame_interval;
+    double nominal_rate_bps = 0;   // at best quality
+    double floor_rate_bps = 0;     // at the user's acceptance floor
+    std::uint64_t object_bytes = 0;  // one-shot objects (images/text)
+  };
+
+  std::vector<Entry> entries;
+
+  /// Peak steady-state rate at best quality (time-sensitive streams only).
+  [[nodiscard]] double nominal_total_bps() const;
+  /// Minimum feasible rate — every stream at the user's floor. This is what
+  /// admission control reserves (§4: evaluated against "the lower thresholds
+  /// in QoS ... the user is willing to accept").
+  [[nodiscard]] double floor_total_bps() const;
+  [[nodiscard]] const Entry* find(const std::string& stream_id) const;
+};
+
+/// Computes flow scenarios for documents. Stateless; owned by the server and
+/// consulted at DocumentRequest (admission) and StreamSetup (flow launch).
+class FlowScheduler {
+ public:
+  /// `video_floor`/`audio_floor` are the user's worst-acceptable quality
+  /// levels from the subscription form.
+  static util::Result<FlowPlan> plan(const core::PresentationScenario& scenario,
+                                     MediaCatalog& catalog, int video_floor,
+                                     int audio_floor);
+};
+
+}  // namespace hyms::server

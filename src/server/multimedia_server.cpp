@@ -1,0 +1,625 @@
+#include "server/multimedia_server.hpp"
+
+#include "server/flow_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace hyms::server {
+
+std::string to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kAwaitingAuth: return "awaiting-auth";
+    case SessionState::kReady: return "ready";
+    case SessionState::kViewing: return "viewing";
+    case SessionState::kPaused: return "paused";
+    case SessionState::kSuspended: return "suspended";
+    case SessionState::kClosed: return "closed";
+  }
+  return "?";
+}
+
+/// Server-side half of one control connection: the Fig. 4 state machine.
+class MultimediaServer::ClientSession {
+ public:
+  ClientSession(MultimediaServer& server,
+                std::unique_ptr<net::StreamConnection> conn,
+                std::uint64_t seq)
+      : server_(server), sim_(server.sim_), conn_(std::move(conn)),
+        channel_(*conn_), session_key_(server.config_.name + "/session-" +
+                                       std::to_string(seq)) {
+    channel_.set_on_message(
+        [this](std::vector<std::uint8_t> frame) { on_frame(std::move(frame)); });
+    conn_->set_on_close([this] {
+      if (state_ != SessionState::kClosed) teardown();
+      server_.schedule_reap();
+    });
+  }
+
+  ~ClientSession() {
+    sim_.cancel(suspend_event_);
+    if (search_) sim_.cancel(search_->timeout);
+  }
+
+  [[nodiscard]] SessionState state() const { return state_; }
+  [[nodiscard]] bool closed() const { return state_ == SessionState::kClosed; }
+  /// Safe to destroy: protocol closed AND the transport finished its FIN
+  /// handshake (destroying earlier would strand the peer mid-close).
+  [[nodiscard]] bool reapable() const { return closed() && conn_->closed(); }
+
+ private:
+  struct PendingSearch {
+    std::uint32_t id = 0;
+    proto::SearchReply reply;
+    std::size_t awaiting = 0;
+    std::vector<std::unique_ptr<net::StreamConnection>> conns;
+    std::vector<std::unique_ptr<net::MessageChannel>> chans;
+    sim::EventId timeout = sim::kNoEvent;
+  };
+
+  void send(const proto::Message& msg) {
+    channel_.send_message(proto::encode(msg));
+  }
+
+  void protocol_error(const std::string& what) {
+    ++server_.stats_.protocol_errors;
+    send(proto::ErrorReply{what + " (state " + to_string(state_) + ")"});
+  }
+
+  void on_frame(std::vector<std::uint8_t> frame) {
+    auto decoded = proto::decode(frame);
+    if (!decoded.ok()) {
+      protocol_error("undecodable message: " + decoded.error().message);
+      return;
+    }
+    const proto::Message& msg = decoded.value();
+    std::visit([this](const auto& m) { handle(m); }, msg);
+  }
+
+  // --- protocol handlers -----------------------------------------------------
+
+  void handle(const proto::ConnectRequest& m) {
+    if (state_ != SessionState::kAwaitingAuth) {
+      protocol_error("ConnectRequest out of order");
+      return;
+    }
+    switch (server_.users_.authenticate(m.user, m.credential)) {
+      case AuthResult::kOk: {
+        user_ = m.user;
+        state_ = SessionState::kReady;
+        server_.users_.log_login(m.user, sim_.now());
+        const UserRecord* record = server_.users_.find(m.user);
+        const PricingTier& tier = server_.pricing_.tier(record->contract);
+        server_.ledger_.charge(m.user, tier.connect_fee, "connect");
+        send(proto::ConnectReply{true, false, ""});
+        break;
+      }
+      case AuthResult::kUnknownUser:
+        send(proto::ConnectReply{false, true, "unknown user; please subscribe"});
+        break;
+      case AuthResult::kBadCredential:
+        ++server_.stats_.auth_failures;
+        send(proto::ConnectReply{false, false, "authentication failed"});
+        break;
+    }
+  }
+
+  void handle(const proto::SubscribeRequest& m) {
+    if (state_ != SessionState::kAwaitingAuth) {
+      protocol_error("SubscribeRequest out of order");
+      return;
+    }
+    if (!server_.pricing_.has_tier(m.contract)) {
+      send(proto::SubscribeReply{false, "unknown contract '" + m.contract + "'"});
+      return;
+    }
+    UserRecord record;
+    record.user = m.user;
+    record.credential = m.credential;
+    record.real_name = m.real_name;
+    record.address = m.address;
+    record.telephone = m.telephone;
+    record.email = m.email;
+    record.contract = m.contract;
+    record.video_floor_level = m.video_floor_level;
+    record.audio_floor_level = m.audio_floor_level;
+    if (!server_.users_.subscribe(std::move(record))) {
+      send(proto::SubscribeReply{false, "user name taken or empty"});
+      return;
+    }
+    ++server_.stats_.subscriptions;
+    user_ = m.user;
+    state_ = SessionState::kReady;
+    server_.users_.log_login(m.user, sim_.now());
+    const PricingTier& tier = server_.pricing_.tier(m.contract);
+    server_.ledger_.charge(m.user, tier.connect_fee, "connect");
+    send(proto::SubscribeReply{true, ""});
+  }
+
+  void handle(const proto::TopicListRequest&) {
+    if (!authenticated()) {
+      protocol_error("TopicListRequest before authentication");
+      return;
+    }
+    send(proto::TopicListReply{server_.documents_.list()});
+  }
+
+  void handle(const proto::DocumentRequest& m) {
+    if (!authenticated()) {
+      protocol_error("DocumentRequest before authentication");
+      return;
+    }
+    const StoredDocument* doc = server_.documents_.find(m.document);
+    if (doc == nullptr) {
+      send(proto::DocumentReply{false, "no such document '" + m.document + "'",
+                                ""});
+      return;
+    }
+    const UserRecord* record = server_.users_.find(user_);
+    const PricingTier& tier = server_.pricing_.tier(record->contract);
+    // The flow scheduler computes the document's flow scenario; admission
+    // reserves its minimum feasible rate (every stream at the user's floor).
+    const auto plan = FlowScheduler::plan(doc->scenario, server_.catalog_,
+                                          record->video_floor_level,
+                                          record->audio_floor_level);
+    if (!plan.ok()) {
+      send(proto::DocumentReply{false, plan.error().message, ""});
+      return;
+    }
+    const auto decision = server_.admission_.evaluate_and_reserve(
+        session_key_, plan.value().floor_total_bps(),
+        tier.admission_utilization);
+    if (!decision.admitted) {
+      ++server_.stats_.admission_rejections;
+      send(proto::DocumentReply{false, decision.reason, ""});
+      return;
+    }
+    pending_document_ = doc;
+    server_.users_.log_lesson(user_, m.document);
+    ++server_.stats_.documents_served;
+    send(proto::DocumentReply{true, "", doc->markup_text});
+  }
+
+  void handle(const proto::StreamSetup& m) {
+    if (!authenticated() || pending_document_ == nullptr ||
+        pending_document_->name != m.document) {
+      protocol_error("StreamSetup without a matching DocumentRequest");
+      return;
+    }
+    stop_all_streams();
+    qos_ = std::make_unique<ServerQosManager>(sim_, server_.config_.qos);
+
+    const UserRecord* record = server_.users_.find(user_);
+    proto::StreamSetupReply reply;
+    reply.ok = true;
+    for (const auto& spec : pending_document_->scenario.streams) {
+      auto source = server_.catalog_.resolve(spec.source);
+      if (!source.ok()) {
+        reply.ok = false;
+        reply.reason = source.error().message;
+        break;
+      }
+      MediaStreamSession::Params params;
+      params.sr_interval = server_.config_.rtcp_sr_interval;
+      params.max_payload = server_.config_.rtp_max_payload;
+      params.initial_level = 0;
+      params.floor_level = spec.type == media::MediaType::kVideo
+                               ? record->video_floor_level
+                               : record->audio_floor_level;
+
+      std::unique_ptr<MediaStreamSession> session;
+      if (spec.type == media::MediaType::kAudio ||
+          spec.type == media::MediaType::kVideo) {
+        const auto port_it =
+            std::find_if(m.streams.begin(), m.streams.end(),
+                         [&](const proto::StreamSetup::StreamPort& p) {
+                           return p.stream_id == spec.id;
+                         });
+        if (port_it == m.streams.end() || port_it->rtp_port == 0) {
+          reply.ok = false;
+          reply.reason = "no RTP port offered for stream '" + spec.id + "'";
+          break;
+        }
+        session = MediaStreamSession::make_rtp(
+            server_.net_, server_.media_host(spec.type), source.value(), spec,
+            net::Endpoint{conn_->remote().node, port_it->rtp_port}, params);
+        session->set_on_feedback(
+            [this](const std::string& id, const rtp::ReceiverFeedback& fb) {
+              if (qos_) qos_->on_feedback(id, fb);
+            });
+        qos_->attach(session.get());
+      } else {
+        session = MediaStreamSession::make_object(
+            server_.net_, server_.media_host(spec.type), source.value(), spec,
+            params);
+      }
+      reply.streams.push_back(session->info());
+      streams_[spec.id] = std::move(session);
+    }
+
+    if (!reply.ok) {
+      stop_all_streams();
+      send(reply);
+      return;
+    }
+    for (auto& [id, session] : streams_) session->start_flow();
+    state_ = SessionState::kViewing;
+    viewing_began_ = sim_.now();
+    send(reply);
+  }
+
+  void handle(const proto::Pause&) {
+    if (state_ != SessionState::kViewing) {
+      protocol_error("Pause while not viewing");
+      return;
+    }
+    for (auto& [id, session] : streams_) session->pause();
+    state_ = SessionState::kPaused;
+  }
+
+  void handle(const proto::Resume&) {
+    if (state_ != SessionState::kPaused) {
+      protocol_error("Resume while not paused");
+      return;
+    }
+    for (auto& [id, session] : streams_) session->resume();
+    state_ = SessionState::kViewing;
+  }
+
+  void handle(const proto::StopStream& m) {
+    auto it = streams_.find(m.stream_id);
+    if (it == streams_.end()) {
+      protocol_error("StopStream: unknown stream '" + m.stream_id + "'");
+      return;
+    }
+    it->second->stop();
+  }
+
+  void handle(const proto::SearchRequest& m) {
+    if (!authenticated()) {
+      protocol_error("SearchRequest before authentication");
+      return;
+    }
+    ++server_.stats_.searches;
+    start_search(m.token);
+  }
+
+  void handle(const proto::PeerSearchRequest& m) {
+    // Server-to-server query: answered from the local store, no auth needed.
+    ++server_.stats_.peer_queries_answered;
+    proto::PeerSearchReply reply;
+    reply.request_id = m.request_id;
+    for (const auto& name : server_.documents_.search(m.token)) {
+      reply.hits.push_back(proto::SearchHit{name, server_.config_.name});
+    }
+    send(reply);
+  }
+
+  void handle(const proto::PeerSearchReply& m) {
+    if (!search_ || m.request_id != search_->id) return;
+    for (const auto& hit : m.hits) search_->reply.hits.push_back(hit);
+    if (search_->awaiting > 0 && --search_->awaiting == 0) finish_search();
+  }
+
+  void handle(const proto::Suspend&) {
+    if (state_ != SessionState::kViewing && state_ != SessionState::kPaused &&
+        state_ != SessionState::kReady) {
+      protocol_error("Suspend out of order");
+      return;
+    }
+    charge_viewing();
+    stop_all_streams();
+    server_.admission_.release(session_key_);
+    state_ = SessionState::kSuspended;
+    ++server_.stats_.suspends;
+    const Time keepalive = server_.config_.suspend_keepalive;
+    send(proto::SuspendAck{keepalive.us()});
+    suspend_event_ = sim_.schedule_after(keepalive, [this] {
+      suspend_event_ = sim::kNoEvent;
+      ++server_.stats_.suspend_expiries;
+      send(proto::SuspendExpired{});
+      teardown();
+      conn_->close();
+    });
+  }
+
+  void handle(const proto::ResumeSession& m) {
+    if (state_ != SessionState::kSuspended || m.user != user_) {
+      send(proto::ResumeSessionReply{false, "no suspended session"});
+      return;
+    }
+    sim_.cancel(suspend_event_);
+    suspend_event_ = sim::kNoEvent;
+    state_ = SessionState::kReady;
+    send(proto::ResumeSessionReply{true, ""});
+  }
+
+  void handle(const proto::Disconnect&) {
+    charge_viewing();
+    teardown();
+    conn_->close();
+  }
+
+  void handle(const proto::MailSend& m) {
+    if (!authenticated()) {
+      protocol_error("MailSend before authentication");
+      return;
+    }
+    server_.deliver_mail(MailMessage{user_, m.to, m.subject, m.body,
+                                     m.mime_type});
+  }
+
+  void handle(const proto::MailFetch& m) {
+    if (!authenticated()) {
+      protocol_error("MailFetch before authentication");
+      return;
+    }
+    const auto& box = server_.mailbox(user_);
+    if (m.index < 0 || m.index >= static_cast<std::int64_t>(box.size())) {
+      protocol_error("MailFetch: no message " + std::to_string(m.index));
+      return;
+    }
+    const MailMessage& mail = box[static_cast<std::size_t>(m.index)];
+    send(proto::MailSend{mail.from, mail.subject, mail.body, mail.mime_type});
+  }
+
+  void handle(const proto::Annotate& m) {
+    if (!authenticated()) {
+      protocol_error("Annotate before authentication");
+      return;
+    }
+    if (server_.documents_.find(m.document) == nullptr) {
+      protocol_error("Annotate: unknown document '" + m.document + "'");
+      return;
+    }
+    server_.add_annotation(user_, m.document, m.remark);
+  }
+
+  void handle(const proto::AnnotationListRequest& m) {
+    if (!authenticated()) {
+      protocol_error("annotation access before authentication");
+      return;
+    }
+    proto::AnnotationListReply reply;
+    reply.document = m.document;
+    reply.remarks = server_.annotations(user_, m.document);
+    send(reply);
+  }
+
+  void handle(const proto::MailList&) {
+    if (!authenticated()) {
+      protocol_error("mail access before authentication");
+      return;
+    }
+    proto::MailList reply;
+    for (const auto& mail : server_.mailbox(user_)) {
+      reply.subjects.push_back(mail.from + ": " + mail.subject);
+    }
+    send(reply);
+  }
+
+  /// Client-bound message kinds arriving at the server are protocol misuse.
+  template <typename T>
+  void handle(const T& msg) {
+    protocol_error("unexpected " + proto::message_name(proto::Message{msg}));
+  }
+
+  // --- internals ---------------------------------------------------------------
+
+  [[nodiscard]] bool authenticated() const {
+    return state_ != SessionState::kAwaitingAuth &&
+           state_ != SessionState::kClosed;
+  }
+
+  void charge_viewing() {
+    if (state_ != SessionState::kViewing && state_ != SessionState::kPaused) {
+      return;
+    }
+    const UserRecord* record = server_.users_.find(user_);
+    if (record == nullptr) return;
+    const PricingTier& tier = server_.pricing_.tier(record->contract);
+    const double minutes = (sim_.now() - viewing_began_).to_seconds() / 60.0;
+    server_.ledger_.charge(user_, minutes * tier.per_minute, "viewing");
+  }
+
+  void stop_all_streams() {
+    for (auto& [id, session] : streams_) session->stop();
+    if (qos_) {
+      qos_->detach_all();
+      server_.retire_qos_stats(qos_->stats());
+    }
+    streams_.clear();
+    qos_.reset();
+  }
+
+ public:
+  [[nodiscard]] const ServerQosManager* qos_manager() const {
+    return qos_.get();
+  }
+
+ private:
+
+  void teardown() {
+    if (state_ == SessionState::kClosed) return;
+    stop_all_streams();
+    server_.admission_.release(session_key_);
+    sim_.cancel(suspend_event_);
+    suspend_event_ = sim::kNoEvent;
+    state_ = SessionState::kClosed;
+    server_.schedule_reap();
+  }
+
+  void start_search(const std::string& token) {
+    if (search_) {
+      sim_.cancel(search_->timeout);
+      // Defer destruction of any in-flight peer channels.
+      sim_.schedule_after(Time::zero(), [old = search_.release()] {
+        delete old;
+      });
+    }
+    search_ = std::make_unique<PendingSearch>();
+    search_->id = next_search_id_++;
+    for (const auto& name : server_.documents_.search(token)) {
+      search_->reply.hits.push_back(proto::SearchHit{name, server_.config_.name});
+    }
+    search_->awaiting = server_.peers_.size();
+    if (search_->awaiting == 0) {
+      finish_search();
+      return;
+    }
+    for (const auto& [peer_name, endpoint] : server_.peers_) {
+      auto conn = net::StreamConnection::connect(server_.net_, server_.node_,
+                                                 endpoint, server_.config_.tcp);
+      auto chan = std::make_unique<net::MessageChannel>(*conn);
+      chan->set_on_message([this](std::vector<std::uint8_t> frame) {
+        auto decoded = proto::decode(frame);
+        if (!decoded.ok()) return;
+        if (const auto* reply =
+                std::get_if<proto::PeerSearchReply>(&decoded.value())) {
+          handle(*reply);
+        }
+      });
+      chan->send_message(
+          proto::encode(proto::PeerSearchRequest{token, search_->id}));
+      search_->conns.push_back(std::move(conn));
+      search_->chans.push_back(std::move(chan));
+    }
+    search_->timeout = sim_.schedule_after(server_.config_.search_timeout,
+                                           [this] {
+                                             search_->timeout = sim::kNoEvent;
+                                             finish_search();
+                                           });
+  }
+
+  void finish_search() {
+    if (!search_) return;
+    sim_.cancel(search_->timeout);
+    send(search_->reply);
+    // We may be inside a peer channel's callback: defer the teardown.
+    sim_.schedule_after(Time::zero(),
+                        [old = search_.release()] { delete old; });
+  }
+
+  MultimediaServer& server_;
+  sim::Simulator& sim_;
+  std::unique_ptr<net::StreamConnection> conn_;
+  net::MessageChannel channel_;
+  std::string session_key_;
+  SessionState state_ = SessionState::kAwaitingAuth;
+  std::string user_;
+  const StoredDocument* pending_document_ = nullptr;
+  std::map<std::string, std::unique_ptr<MediaStreamSession>> streams_;
+  std::unique_ptr<ServerQosManager> qos_;
+  Time viewing_began_;
+  sim::EventId suspend_event_ = sim::kNoEvent;
+  std::unique_ptr<PendingSearch> search_;
+  std::uint32_t next_search_id_ = 1;
+};
+
+// --- MultimediaServer --------------------------------------------------------
+
+MultimediaServer::MultimediaServer(net::Network& net, net::NodeId node,
+                                   Config config)
+    : net_(net), sim_(net.sim()), node_(node), config_(std::move(config)),
+      admission_(config_.admission) {
+  listener_ = std::make_unique<net::StreamListener>(
+      net_, node_, config_.control_port,
+      [this](std::unique_ptr<net::StreamConnection> conn) {
+        accept(std::move(conn));
+      },
+      config_.tcp);
+}
+
+MultimediaServer::~MultimediaServer() = default;
+
+void MultimediaServer::accept(std::unique_ptr<net::StreamConnection> conn) {
+  ++stats_.sessions_accepted;
+  sessions_.push_back(std::make_unique<ClientSession>(
+      *this, std::move(conn), static_cast<std::uint64_t>(stats_.sessions_accepted)));
+}
+
+void MultimediaServer::schedule_reap() {
+  if (reap_scheduled_) return;
+  reap_scheduled_ = true;
+  sim_.schedule_after(Time::zero(), [this] {
+    reap_scheduled_ = false;
+    std::erase_if(sessions_, [](const std::unique_ptr<ClientSession>& s) {
+      return s->reapable();
+    });
+  });
+}
+
+void MultimediaServer::add_peer(const std::string& name,
+                                net::Endpoint control) {
+  peers_[name] = control;
+}
+
+void MultimediaServer::attach_media_host(media::MediaType type,
+                                         net::NodeId node) {
+  media_hosts_[type] = node;
+}
+
+net::NodeId MultimediaServer::media_host(media::MediaType type) const {
+  auto it = media_hosts_.find(type);
+  return it == media_hosts_.end() ? node_ : it->second;
+}
+
+void MultimediaServer::deliver_mail(MailMessage message) {
+  mailboxes_[message.to].push_back(std::move(message));
+}
+
+void MultimediaServer::add_annotation(const std::string& user,
+                                      const std::string& document,
+                                      std::string remark) {
+  annotations_[{user, document}].push_back(std::move(remark));
+}
+
+const std::vector<std::string>& MultimediaServer::annotations(
+    const std::string& user, const std::string& document) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = annotations_.find({user, document});
+  return it == annotations_.end() ? kEmpty : it->second;
+}
+
+const std::vector<MailMessage>& MultimediaServer::mailbox(
+    const std::string& user) const {
+  static const std::vector<MailMessage> kEmpty;
+  auto it = mailboxes_.find(user);
+  return it == mailboxes_.end() ? kEmpty : it->second;
+}
+
+std::size_t MultimediaServer::live_session_count() const {
+  std::size_t count = 0;
+  for (const auto& session : sessions_) {
+    if (!session->closed()) ++count;
+  }
+  return count;
+}
+
+ServerQosManager::Stats MultimediaServer::qos_totals() const {
+  ServerQosManager::Stats totals = retired_qos_;
+  for (const auto& session : sessions_) {
+    if (const auto* manager = session->qos_manager()) {
+      const auto& s = manager->stats();
+      totals.reports += s.reports;
+      totals.bad_reports += s.bad_reports;
+      totals.degrades += s.degrades;
+      totals.degrades_video += s.degrades_video;
+      totals.degrades_audio += s.degrades_audio;
+      totals.upgrades += s.upgrades;
+      totals.stops += s.stops;
+    }
+  }
+  return totals;
+}
+
+std::vector<SessionState> MultimediaServer::session_states() const {
+  std::vector<SessionState> states;
+  for (const auto& session : sessions_) {
+    if (!session->closed()) states.push_back(session->state());
+  }
+  return states;
+}
+
+}  // namespace hyms::server

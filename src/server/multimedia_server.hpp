@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+#include "proto/messages.hpp"
+#include "server/admission.hpp"
+#include "server/catalog.hpp"
+#include "server/qos_manager.hpp"
+#include "server/stream_session.hpp"
+#include "server/users.hpp"
+#include "sim/simulator.hpp"
+
+namespace hyms::server {
+
+/// Per-session protocol state (Fig. 4's application state transition
+/// diagram, server view).
+enum class SessionState : std::uint8_t {
+  kAwaitingAuth = 0,  // connected, authentication pending
+  kReady,             // authenticated + subscribed; may browse/search
+  kViewing,           // document flows running
+  kPaused,            // flows held at the user's request
+  kSuspended,         // user followed a link to another server
+  kClosed,
+};
+
+[[nodiscard]] std::string to_string(SessionState state);
+
+/// A tutor<->student message held in the server's store-and-forward mailbox
+/// (the SMTP/MIME substitution, DESIGN.md).
+struct MailMessage {
+  std::string from;
+  std::string to;
+  std::string subject;
+  std::string body;
+  std::string mime_type;
+};
+
+/// One multimedia/Hermes server (Fig. 3): multimedia database, media
+/// servers (one stream session per flow), flow scheduling, QoS management,
+/// admission, authentication/subscription/pricing, distributed search, and
+/// the §5 application protocol over a TCP-like control connection.
+class MultimediaServer {
+ public:
+  struct Config {
+    std::string name = "hermes-1";
+    /// Shown in the browser's server list ("a small description concerning
+    /// the kind of lessons that are stored in it", §6.2.1).
+    std::string description;
+    net::Port control_port = 5000;
+    /// How long a suspended session is kept before the server closes it.
+    Time suspend_keepalive = Time::sec(30);
+    /// How long a distributed search waits for peer replies.
+    Time search_timeout = Time::msec(800);
+    AdmissionControl::Config admission;
+    ServerQosManager::Config qos;
+    Time rtcp_sr_interval = Time::sec(1);
+    std::size_t rtp_max_payload = 1400;
+    net::TcpParams tcp;
+  };
+
+  MultimediaServer(net::Network& net, net::NodeId node, Config config);
+  ~MultimediaServer();
+  MultimediaServer(const MultimediaServer&) = delete;
+  MultimediaServer& operator=(const MultimediaServer&) = delete;
+
+  [[nodiscard]] DocumentStore& documents() { return documents_; }
+  [[nodiscard]] MediaCatalog& catalog() { return catalog_; }
+  [[nodiscard]] SubscriptionDb& users() { return users_; }
+  [[nodiscard]] PricingPolicy& pricing() { return pricing_; }
+  [[nodiscard]] PricingLedger& ledger() { return ledger_; }
+  [[nodiscard]] AdmissionControl& admission() { return admission_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] const std::string& description() const {
+    return config_.description;
+  }
+  [[nodiscard]] net::Endpoint control_endpoint() const {
+    return net::Endpoint{node_, config_.control_port};
+  }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Register a peer server for search fan-out (§6.2.2).
+  void add_peer(const std::string& name, net::Endpoint control);
+
+  /// Attach a dedicated media server host for one media type (Fig. 3 /
+  /// §6.1: "for every media object ... a media server is associated with
+  /// each Hermes server. These media servers may be located in the same
+  /// host" — or, via this hook, on their own hosts). Flows of that type
+  /// originate from the given node; unset types serve from this host.
+  void attach_media_host(media::MediaType type, net::NodeId node);
+  [[nodiscard]] net::NodeId media_host(media::MediaType type) const;
+
+  /// Deliver mail directly (used by Hermes tooling/tests).
+  void deliver_mail(MailMessage message);
+  [[nodiscard]] const std::vector<MailMessage>& mailbox(
+      const std::string& user) const;
+
+  /// User annotations on a document (§5 "annotate ... with his own remarks").
+  void add_annotation(const std::string& user, const std::string& document,
+                      std::string remark);
+  [[nodiscard]] const std::vector<std::string>& annotations(
+      const std::string& user, const std::string& document) const;
+
+  struct Stats {
+    std::int64_t sessions_accepted = 0;
+    std::int64_t auth_failures = 0;
+    std::int64_t subscriptions = 0;
+    std::int64_t documents_served = 0;
+    std::int64_t admission_rejections = 0;
+    std::int64_t searches = 0;
+    std::int64_t peer_queries_answered = 0;
+    std::int64_t suspends = 0;
+    std::int64_t suspend_expiries = 0;
+    std::int64_t protocol_errors = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t live_session_count() const;
+  /// States of live sessions, for tests/benches that watch Fig. 4.
+  [[nodiscard]] std::vector<SessionState> session_states() const;
+  /// Aggregated QoS-manager counters across all sessions, past and present
+  /// (grading actions survive session teardown for experiment accounting).
+  [[nodiscard]] ServerQosManager::Stats qos_totals() const;
+
+ private:
+  class ClientSession;
+  friend class ClientSession;
+
+  void accept(std::unique_ptr<net::StreamConnection> conn);
+  void schedule_reap();
+  void retire_qos_stats(const ServerQosManager::Stats& s) {
+    retired_qos_.reports += s.reports;
+    retired_qos_.bad_reports += s.bad_reports;
+    retired_qos_.degrades += s.degrades;
+    retired_qos_.degrades_video += s.degrades_video;
+    retired_qos_.degrades_audio += s.degrades_audio;
+    retired_qos_.upgrades += s.upgrades;
+    retired_qos_.stops += s.stops;
+  }
+
+  net::Network& net_;
+  sim::Simulator& sim_;
+  net::NodeId node_;
+  Config config_;
+
+  DocumentStore documents_;
+  MediaCatalog catalog_;
+  SubscriptionDb users_;
+  PricingPolicy pricing_;
+  PricingLedger ledger_;
+  AdmissionControl admission_;
+
+  std::unique_ptr<net::StreamListener> listener_;
+  std::vector<std::unique_ptr<ClientSession>> sessions_;
+  std::map<std::string, net::Endpoint> peers_;
+  std::map<media::MediaType, net::NodeId> media_hosts_;
+  std::map<std::string, std::vector<MailMessage>> mailboxes_;
+  /// (user, document) -> remarks.
+  std::map<std::pair<std::string, std::string>, std::vector<std::string>>
+      annotations_;
+  bool reap_scheduled_ = false;
+  Stats stats_;
+  ServerQosManager::Stats retired_qos_;  // from torn-down sessions
+};
+
+}  // namespace hyms::server

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rtp/session.hpp"
+#include "server/stream_session.hpp"
+#include "sim/simulator.hpp"
+
+namespace hyms::server {
+
+/// The Server QoS Manager (§4, Fig. 3): consumes the client QoS manager's
+/// RTCP feedback and drives the long-term synchronization recovery — graded
+/// degradation/upgrade of stream quality through each stream's Media Stream
+/// Quality Converter. Degradation targets video before audio ("users can
+/// tolerate lower video quality rather than not hear well"); upgrades are
+/// conservative and restore audio first.
+class ServerQosManager {
+ public:
+  /// Which media type gives up quality first under congestion. The paper
+  /// argues kVideoFirst ("users can tolerate lower video quality rather
+  /// than not hear well"); kAudioFirst exists for the ablation.
+  enum class DegradeOrder { kVideoFirst, kAudioFirst };
+
+  struct Config {
+    bool enabled = true;
+    DegradeOrder degrade_order = DegradeOrder::kVideoFirst;
+    double loss_degrade = 0.04;        // RR fraction-lost trigger
+    double jitter_degrade_ms = 80.0;   // RR interarrival-jitter trigger
+    double buffer_low_ms = 100.0;      // APP("QOSM") buffer_ms trigger
+    int good_reports_for_upgrade = 5;  // clean reports on every stream
+    Time action_hold = Time::sec(2);   // spacing between grading actions
+    bool stop_at_floor = false;        // §4: "may choose to stop" the stream
+  };
+
+  ServerQosManager(sim::Simulator& sim, Config config)
+      : sim_(sim), config_(config) {}
+
+  /// Register a stream session of this presentation (non-owning).
+  void attach(MediaStreamSession* session);
+  void detach_all();
+
+  /// Entry point wired to every RtpSender's feedback callback.
+  void on_feedback(const std::string& stream_id,
+                   const rtp::ReceiverFeedback& feedback);
+
+  struct Stats {
+    std::int64_t reports = 0;
+    std::int64_t bad_reports = 0;
+    std::int64_t degrades = 0;
+    std::int64_t degrades_video = 0;
+    std::int64_t degrades_audio = 0;
+    std::int64_t upgrades = 0;
+    std::int64_t stops = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct StreamState {
+    MediaStreamSession* session = nullptr;
+    int good_streak = 0;
+    bool last_bad = false;
+  };
+
+  [[nodiscard]] bool report_is_bad(const MediaStreamSession& session,
+                                   const rtp::ReceiverFeedback& fb) const;
+  void try_degrade();
+  void try_upgrade();
+  [[nodiscard]] MediaStreamSession* pick_degrade_victim(
+      media::MediaType type) const;
+  [[nodiscard]] MediaStreamSession* pick_upgrade_candidate(
+      media::MediaType type) const;
+
+  sim::Simulator& sim_;
+  Config config_;
+  std::map<std::string, StreamState> streams_;
+  Time last_action_ = Time::usec(-1'000'000'000);
+  Stats stats_;
+};
+
+}  // namespace hyms::server

@@ -1,0 +1,171 @@
+#include "server/stream_session.hpp"
+
+#include "net/wire.hpp"
+#include "util/log.hpp"
+
+namespace hyms::server {
+
+namespace {
+std::uint32_t make_ssrc(const core::StreamSpec& spec) {
+  return media::hash_source_name(spec.id + "@" + spec.source) | 1u;
+}
+
+std::uint8_t payload_type_for(media::MediaType type) {
+  switch (type) {
+    case media::MediaType::kAudio: return 97;
+    case media::MediaType::kVideo: return 96;
+    default: return 98;
+  }
+}
+}  // namespace
+
+MediaStreamSession::MediaStreamSession(
+    net::Network& net, net::NodeId server_node,
+    std::shared_ptr<media::MediaSource> source, core::StreamSpec spec,
+    Params params)
+    : net_(net), sim_(net.sim()), node_(server_node),
+      source_(std::move(source)), spec_(std::move(spec)), params_(params),
+      converter_(*source_, params.floor_level) {
+  converter_.set_level(params.initial_level);
+  // The flow scenario covers exactly the scheduled playout window: a
+  // DURATION shorter than the source truncates it; a longer one loops the
+  // content (the language's "more complicated presentational features").
+  frame_limit_ = source_->frame_count();
+  if (spec_.duration && source_->frame_interval() > Time::zero()) {
+    frame_limit_ = spec_.duration->us() / source_->frame_interval().us();
+  }
+}
+
+std::unique_ptr<MediaStreamSession> MediaStreamSession::make_rtp(
+    net::Network& net, net::NodeId server_node,
+    std::shared_ptr<media::MediaSource> source, core::StreamSpec spec,
+    net::Endpoint client_rtp, Params params) {
+  auto session = std::unique_ptr<MediaStreamSession>(new MediaStreamSession(
+      net, server_node, std::move(source), std::move(spec), params));
+
+  session->clock_rate_ =
+      session->source_->type() == media::MediaType::kAudio ? 44'100 : 90'000;
+  rtp::RtpSender::Params sp;
+  sp.ssrc = make_ssrc(session->spec_);
+  sp.payload_type = payload_type_for(session->source_->type());
+  sp.clock.clock_rate = session->clock_rate_;
+  sp.max_payload = params.max_payload;
+  sp.sr_interval = params.sr_interval;
+  // The receiver learns our RTCP endpoint from the setup reply; it reports
+  // straight to the sender's RTCP socket.
+  session->sender_ = std::make_unique<rtp::RtpSender>(
+      net, server_node, client_rtp, net::Endpoint{}, sp);
+  session->sender_->set_on_feedback(
+      [raw = session.get()](const rtp::ReceiverFeedback& fb) {
+        if (raw->on_feedback_) raw->on_feedback_(raw->spec_.id, fb);
+      });
+  return session;
+}
+
+std::unique_ptr<MediaStreamSession> MediaStreamSession::make_object(
+    net::Network& net, net::NodeId server_node,
+    std::shared_ptr<media::MediaSource> source, core::StreamSpec spec,
+    Params params) {
+  auto session = std::unique_ptr<MediaStreamSession>(new MediaStreamSession(
+      net, server_node, std::move(source), std::move(spec), params));
+  MediaStreamSession* raw = session.get();
+  session->listener_ = std::make_unique<net::StreamListener>(
+      net, server_node, 0,
+      [raw](std::unique_ptr<net::StreamConnection> conn) {
+        // Serve the object: 8-byte length prefix + payload, then close.
+        const media::MediaFrame frame =
+            raw->source_->frame(0, raw->converter_.current_level());
+        net::Payload header;
+        net::WireWriter w(header);
+        w.u64(frame.payload.size());
+        conn->send(header);
+        conn->send(frame.payload);
+        conn->close();
+        ++raw->stats_.objects_served;
+        raw->complete_ = true;
+        raw->object_conns_.push_back(std::move(conn));
+      });
+  return session;
+}
+
+MediaStreamSession::~MediaStreamSession() { sim_.cancel(pace_event_); }
+
+void MediaStreamSession::start_flow() {
+  if (stopped_ || !is_rtp()) return;  // object flows wait for the client pull
+  schedule_next(spec_.start);
+}
+
+void MediaStreamSession::schedule_next(Time delay) {
+  pace_event_ = sim_.schedule_after(delay, [this] {
+    pace_event_ = sim::kNoEvent;
+    pace_frame();
+  });
+}
+
+void MediaStreamSession::pace_frame() {
+  if (paused_ || stopped_) return;
+  if (next_frame_ >= frame_limit_) {
+    complete_ = true;
+    return;
+  }
+  // Loop through the source when the scenario runs past its end; the RTP
+  // timestamp keeps advancing with the scenario position, not the source's.
+  const media::MediaFrame frame = source_->frame(
+      next_frame_ % source_->frame_count(), converter_.current_level());
+  sender_->send_frame(frame.payload,
+                      source_->frame_interval() * next_frame_);
+  LOG_TRACE << "pace " << spec_.id << " frame " << next_frame_ << " level "
+            << converter_.current_level();
+  ++stats_.frames_sent;
+  ++next_frame_;
+  if (next_frame_ >= frame_limit_) {
+    complete_ = true;
+    return;
+  }
+  schedule_next(source_->frame_interval());
+}
+
+void MediaStreamSession::pause() {
+  if (paused_ || stopped_) return;
+  paused_ = true;
+  sim_.cancel(pace_event_);
+  pace_event_ = sim::kNoEvent;
+}
+
+void MediaStreamSession::resume() {
+  if (!paused_ || stopped_) return;
+  paused_ = false;
+  if (is_rtp() && !complete_) schedule_next(source_->frame_interval());
+}
+
+void MediaStreamSession::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  sim_.cancel(pace_event_);
+  pace_event_ = sim::kNoEvent;
+  if (sender_) sender_->send_bye("stream stopped");
+}
+
+proto::StreamSetupReply::StreamInfo MediaStreamSession::info() const {
+  proto::StreamSetupReply::StreamInfo info;
+  info.stream_id = spec_.id;
+  info.via_rtp = is_rtp();
+  info.frame_interval_us = source_->frame_interval().us();
+  info.frame_count = frame_limit_;
+  info.initial_level = converter_.current_level();
+  if (is_rtp()) {
+    info.ssrc = sender_->ssrc();
+    info.payload_type = payload_type_for(source_->type());
+    info.clock_rate = clock_rate_;
+    info.sender_rtcp_node = sender_->rtcp_endpoint().node;
+    info.sender_rtcp_port = sender_->rtcp_endpoint().port;
+  } else {
+    info.tcp_node = listener_->local().node;
+    info.tcp_port = listener_->local().port;
+    info.total_bytes =
+        source_->frame(0, converter_.current_level()).payload.size();
+  }
+  return info;
+}
+
+}  // namespace hyms::server

@@ -1,0 +1,72 @@
+#include "server/users.hpp"
+
+#include <stdexcept>
+
+namespace hyms::server {
+
+PricingPolicy::PricingPolicy() {
+  set_tier(PricingTier{"basic", 0, 1.0, 0.05, 0.70});
+  set_tier(PricingTier{"standard", 1, 2.5, 0.10, 0.85});
+  set_tier(PricingTier{"premium", 2, 6.0, 0.25, 0.97});
+}
+
+void PricingPolicy::set_tier(PricingTier tier) {
+  tiers_[tier.name] = std::move(tier);
+}
+
+const PricingTier& PricingPolicy::tier(const std::string& name) const {
+  auto it = tiers_.find(name);
+  if (it == tiers_.end()) {
+    throw std::out_of_range("unknown pricing tier '" + name + "'");
+  }
+  return it->second;
+}
+
+bool PricingPolicy::has_tier(const std::string& name) const {
+  return tiers_.contains(name);
+}
+
+void PricingLedger::charge(const std::string& user, double amount,
+                           const std::string& what) {
+  entries_.push_back(Entry{user, amount, what});
+  totals_[user] += amount;
+}
+
+double PricingLedger::total(const std::string& user) const {
+  auto it = totals_.find(user);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+bool SubscriptionDb::subscribe(UserRecord record) {
+  if (record.user.empty()) return false;
+  return users_.emplace(record.user, std::move(record)).second;
+}
+
+AuthResult SubscriptionDb::authenticate(const std::string& user,
+                                        const std::string& credential) const {
+  auto it = users_.find(user);
+  if (it == users_.end()) return AuthResult::kUnknownUser;
+  return it->second.credential == credential ? AuthResult::kOk
+                                             : AuthResult::kBadCredential;
+}
+
+UserRecord* SubscriptionDb::find(const std::string& user) {
+  auto it = users_.find(user);
+  return it == users_.end() ? nullptr : &it->second;
+}
+
+const UserRecord* SubscriptionDb::find(const std::string& user) const {
+  auto it = users_.find(user);
+  return it == users_.end() ? nullptr : &it->second;
+}
+
+void SubscriptionDb::log_login(const std::string& user, Time at) {
+  if (auto* record = find(user)) record->logins.push_back(at);
+}
+
+void SubscriptionDb::log_lesson(const std::string& user,
+                                const std::string& lesson) {
+  if (auto* record = find(user)) record->lessons_viewed.push_back(lesson);
+}
+
+}  // namespace hyms::server

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace hyms::server {
+
+/// Pricing contract tiers (§4: "the pricing contract of the specific user —
+/// a user who pays more should be serviced, even though it affects the other
+/// users"). Priority feeds admission; rates feed the ledger.
+struct PricingTier {
+  std::string name;
+  int priority = 0;            // higher = served under more load
+  double connect_fee = 0.0;
+  double per_minute = 0.0;
+  /// Link utilization this tier may push admission to (0..1].
+  double admission_utilization = 0.8;
+};
+
+class PricingPolicy {
+ public:
+  PricingPolicy();  // installs basic/standard/premium defaults
+
+  void set_tier(PricingTier tier);
+  [[nodiscard]] const PricingTier& tier(const std::string& name) const;
+  [[nodiscard]] bool has_tier(const std::string& name) const;
+
+ private:
+  std::map<std::string, PricingTier> tiers_;
+};
+
+/// Charges accrued per user (connect fees + viewing time).
+class PricingLedger {
+ public:
+  void charge(const std::string& user, double amount, const std::string& what);
+  [[nodiscard]] double total(const std::string& user) const;
+  struct Entry {
+    std::string user;
+    double amount;
+    std::string what;
+  };
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+  std::map<std::string, double> totals_;
+};
+
+/// One subscribed user: the §5 subscription form plus usage log.
+struct UserRecord {
+  std::string user;
+  std::string credential;
+  std::string real_name;
+  std::string address;
+  std::string telephone;
+  std::string email;
+  std::string contract = "basic";
+  int video_floor_level = 2;
+  int audio_floor_level = 2;
+  std::vector<Time> logins;
+  std::vector<std::string> lessons_viewed;
+};
+
+enum class AuthResult { kOk, kUnknownUser, kBadCredential };
+
+/// The "coherent, centralized database of authorized users" (§6.2.1).
+class SubscriptionDb {
+ public:
+  /// Create or reject (duplicate user name) a subscription.
+  bool subscribe(UserRecord record);
+  [[nodiscard]] AuthResult authenticate(const std::string& user,
+                                        const std::string& credential) const;
+  [[nodiscard]] UserRecord* find(const std::string& user);
+  [[nodiscard]] const UserRecord* find(const std::string& user) const;
+  void log_login(const std::string& user, Time at);
+  void log_lesson(const std::string& user, const std::string& lesson);
+  [[nodiscard]] std::size_t size() const { return users_.size(); }
+
+ private:
+  std::map<std::string, UserRecord> users_;
+};
+
+}  // namespace hyms::server

@@ -1,0 +1,70 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace hyms::sim {
+
+EventId Simulator::schedule_at(Time when, EventFn fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  heap_.push(Event{when, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+EventId Simulator::schedule_after(Time delay, EventFn fn) {
+  if (delay < Time::zero()) delay = Time::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  if (id == kNoEvent) return;
+  if (live_.erase(id) > 0) cancelled_.insert(id);
+}
+
+bool Simulator::pending(EventId id) const {
+  return id != kNoEvent && live_.contains(id);
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    live_.erase(ev.id);
+    now_ = ev.when;
+    ++executed_;
+    if (executed_ > event_budget_) {
+      throw std::runtime_error("Simulator: event budget exceeded");
+    }
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (cancelled_.contains(top.id)) {
+      cancelled_.erase(top.id);
+      heap_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace hyms::sim

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace hyms::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle to a scheduled event; value 0 is "no event".
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+/// Deterministic discrete-event simulation kernel. Everything the paper runs
+/// concurrently — playout threads, media servers, QoS managers, packets in
+/// flight — is an event here. Events at equal timestamps execute in schedule
+/// order (FIFO), so a given seed always produces the identical trace.
+class Simulator {
+ public:
+  Simulator() = default;
+  explicit Simulator(std::uint64_t seed) : rng_(seed) {}
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule at an absolute simulation time (must be >= now()).
+  EventId schedule_at(Time when, EventFn fn);
+  /// Schedule after a delay from now (negative delays clamp to now).
+  EventId schedule_after(Time delay, EventFn fn);
+  /// Cancel a pending event; cancelling an already-fired id is a no-op.
+  void cancel(EventId id);
+  [[nodiscard]] bool pending(EventId id) const;
+
+  /// Execute one event; returns false when the queue is empty.
+  bool step();
+  /// Run until the event queue drains (or the event budget trips).
+  void run();
+  /// Run events with timestamp <= deadline, then set the clock to deadline.
+  void run_until(Time deadline);
+
+  [[nodiscard]] std::size_t executed() const { return executed_; }
+  [[nodiscard]] std::size_t queued() const { return live_.size(); }
+
+  /// Root RNG; components fork substreams so insertion order of components
+  /// does not perturb each other's randomness.
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+  /// Safety valve against runaway simulations (default: 500M events).
+  void set_event_budget(std::size_t budget) { event_budget_ = budget; }
+
+ private:
+  struct Event {
+    Time when;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  Time now_ = Time::zero();
+  EventId next_id_ = 1;
+  std::size_t executed_ = 0;
+  std::size_t event_budget_ = 500'000'000;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> live_;       // scheduled, not yet fired/cancelled
+  std::unordered_set<EventId> cancelled_;  // lazily removed from the heap
+  util::Rng rng_{0x48594D53u /* "HYMS" */};
+};
+
+/// RAII repeating timer: fires `fn` every `period` until destroyed or
+/// stop()ped. Drives RTCP report emission and buffer monitors.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Time period, EventFn fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {
+    arm();
+  }
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void stop() {
+    if (event_ != kNoEvent) {
+      sim_.cancel(event_);
+      event_ = kNoEvent;
+    }
+  }
+  void set_period(Time period) { period_ = period; }
+  [[nodiscard]] Time period() const { return period_; }
+
+ private:
+  void arm() {
+    event_ = sim_.schedule_after(period_, [this] {
+      event_ = kNoEvent;
+      fn_();
+      arm();
+    });
+  }
+
+  Simulator& sim_;
+  Time period_;
+  EventFn fn_;
+  EventId event_ = kNoEvent;
+};
+
+}  // namespace hyms::sim

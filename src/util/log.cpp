@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace hyms::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel level) { g_level = level; }
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::write(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, msg);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  }
+}
+
+}  // namespace hyms::util

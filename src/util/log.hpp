@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace hyms::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide logger. Components log through LOG_* macros; tests install a
+/// capturing sink to assert on event sequences, benches set kOff.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void set_sink(Sink sink);    // empty sink -> stderr
+  static void write(LogLevel level, const std::string& msg);
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace hyms::util
+
+#define HYMS_LOG(level_enum)                                      \
+  if (!::hyms::util::Log::enabled(level_enum)) {                  \
+  } else                                                          \
+    ::hyms::util::detail::LogLine(level_enum)
+
+#define LOG_TRACE HYMS_LOG(::hyms::util::LogLevel::kTrace)
+#define LOG_DEBUG HYMS_LOG(::hyms::util::LogLevel::kDebug)
+#define LOG_INFO HYMS_LOG(::hyms::util::LogLevel::kInfo)
+#define LOG_WARN HYMS_LOG(::hyms::util::LogLevel::kWarn)
+#define LOG_ERROR HYMS_LOG(::hyms::util::LogLevel::kError)

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hyms::util {
+
+/// Error with a category and human-readable message. Categories mirror the
+/// service protocol failure classes (§5): authentication, admission, lookup,
+/// protocol misuse, parse errors.
+struct Error {
+  enum class Code {
+    kParse,
+    kValidation,
+    kNotFound,
+    kAuthentication,
+    kAdmissionRejected,
+    kProtocol,
+    kNetwork,
+    kInvalidArgument,
+  };
+
+  Code code;
+  std::string message;
+
+  [[nodiscard]] std::string str() const { return message; }
+};
+
+/// Minimal expected-like type: a value or an Error. Avoids exceptions on the
+/// simulation fast path; misuse (accessing the wrong alternative) throws.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Error error) : value_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().message);
+    return std::get<T>(value_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().message);
+    return std::get<T>(value_);
+  }
+  [[nodiscard]] T&& take() && {
+    if (!ok()) throw std::logic_error("Result::take on error: " + error().message);
+    return std::get<T>(std::move(value_));
+  }
+  [[nodiscard]] const Error& error() const {
+    return std::get<Error>(value_);
+  }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+  static Status ok_status() { return Status{}; }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const { return error_; }
+
+ private:
+  Error error_{};
+  bool failed_ = false;
+};
+
+inline Error parse_error(std::string msg) {
+  return Error{Error::Code::kParse, std::move(msg)};
+}
+inline Error validation_error(std::string msg) {
+  return Error{Error::Code::kValidation, std::move(msg)};
+}
+inline Error not_found(std::string msg) {
+  return Error{Error::Code::kNotFound, std::move(msg)};
+}
+
+}  // namespace hyms::util

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace hyms::util {
+
+/// Deterministic, platform-independent PRNG (xoshiro256**) with SplitMix64
+/// seeding. Standard-library distributions are implementation-defined, so all
+/// distributions are implemented here; same seed => same trace on any box,
+/// which the test suite relies on.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) word = splitmix64(x);
+  }
+
+  /// Derive an independent substream (e.g. one per emulated link) so adding a
+  /// component never perturbs another component's randomness.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const {
+    std::uint64_t x = s_[0] ^ (stream_id * 0xBF58476D1CE4E5B9ULL);
+    return Rng{splitmix64(x)};
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's bounded reduction, rejection-free enough for simulation use.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with given mean (inter-arrival times of cross traffic).
+  double exponential(double mean) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Normal via Box-Muller (delay jitter models).
+  double normal(double mean, double stddev) {
+    if (has_spare_) {
+      has_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    spare_ = r * std::sin(theta);
+    has_spare_ = true;
+    return mean + stddev * r * std::cos(theta);
+  }
+
+  /// Bounded Pareto (heavy-tailed burst sizes).
+  double pareto(double shape, double scale) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return scale / std::pow(u, 1.0 / shape);
+  }
+
+ private:
+  explicit Rng(std::uint64_t raw_seed, int) { reseed(raw_seed); }
+
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace hyms::util

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hyms::util {
+
+/// Streaming mean/variance/min/max (Welford). Used for per-stream delay and
+/// jitter accounting where storing every sample would be wasteful.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void merge(const OnlineStats& other);
+  void reset() { *this = OnlineStats{}; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sample-retaining collector for exact percentiles; the bench harnesses
+/// report p50/p95/p99 rows from this.
+class Sampler {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  /// Percentile in [0,100] by linear interpolation between closest ranks.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  void reset() { samples_.clear(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width bucket histogram (for distributions in EXPERIMENTS.md).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::int64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] std::int64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::int64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  [[nodiscard]] std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  std::int64_t total_ = 0;
+};
+
+/// Named counters, e.g. frames_dropped / frames_duplicated / rtcp_reports.
+class CounterSet {
+ public:
+  void inc(const std::string& name, std::int64_t by = 1) { counters_[name] += by; }
+  [[nodiscard]] std::int64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const std::map<std::string, std::int64_t>& all() const {
+    return counters_;
+  }
+  void reset() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+};
+
+}  // namespace hyms::util

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hyms::util {
+
+[[nodiscard]] std::string to_lower(std::string_view s);
+[[nodiscard]] std::string to_upper(std::string_view s);
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+[[nodiscard]] bool contains_ci(std::string_view haystack, std::string_view needle);
+/// Join with separator, e.g. join({"a","b"}, ", ") == "a, b".
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+/// Fixed-width left-aligned cell for bench table output.
+[[nodiscard]] std::string pad(std::string s, std::size_t width);
+
+}  // namespace hyms::util

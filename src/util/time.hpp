@@ -1,0 +1,71 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace hyms {
+
+/// Time value in integer microseconds, used for both instants (simulation
+/// clock, playout deadlines) and durations (media playout duration, buffer
+/// time window). Integer arithmetic keeps schedules exact across millions of
+/// simulated events; the paper's STARTIME/DURATION attributes parse straight
+/// into this type.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time usec(std::int64_t v) { return Time{v}; }
+  static constexpr Time msec(std::int64_t v) { return Time{v * 1000}; }
+  static constexpr Time sec(std::int64_t v) { return Time{v * 1'000'000}; }
+  static constexpr Time seconds(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e6)};
+  }
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr std::int64_t ms() const { return us_ / 1000; }
+  [[nodiscard]] constexpr double to_seconds() const { return us_ / 1e6; }
+  [[nodiscard]] constexpr double to_ms() const { return us_ / 1e3; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Time o) const { return Time{us_ + o.us_}; }
+  constexpr Time operator-(Time o) const { return Time{us_ - o.us_}; }
+  constexpr Time& operator+=(Time o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time o) {
+    us_ -= o.us_;
+    return *this;
+  }
+  constexpr Time operator*(std::int64_t k) const { return Time{us_ * k}; }
+  constexpr Time operator/(std::int64_t k) const { return Time{us_ / k}; }
+  /// Ratio of two time values (e.g. skew / window).
+  [[nodiscard]] constexpr double ratio(Time denom) const {
+    return static_cast<double>(us_) / static_cast<double>(denom.us_);
+  }
+  [[nodiscard]] constexpr Time abs() const { return Time{us_ < 0 ? -us_ : us_}; }
+
+  [[nodiscard]] std::string str() const {
+    // Render as seconds with millisecond precision, e.g. "1.250s".
+    const std::int64_t whole = us_ / 1'000'000;
+    const std::int64_t frac = (us_ < 0 ? -us_ : us_) % 1'000'000 / 1000;
+    return std::to_string(whole) + "." +
+           (frac < 10 ? "00" : frac < 100 ? "0" : "") + std::to_string(frac) +
+           "s";
+  }
+
+ private:
+  constexpr explicit Time(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+constexpr Time operator*(std::int64_t k, Time t) { return t * k; }
+
+}  // namespace hyms

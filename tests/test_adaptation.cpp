@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "client/browser_session.hpp"
+#include "hermes/deployment.hpp"
+#include "hermes/lesson_builder.hpp"
+#include "hermes/sample_content.hpp"
+#include "markup/writer.hpp"
+#include "net/cross_traffic.hpp"
+#include "net/loss.hpp"
+#include "sim/simulator.hpp"
+
+namespace hyms {
+namespace {
+
+using client::BrowserSession;
+using client::ClientState;
+
+/// A 30-second lecture: lip-synced audio+video, one slide image.
+std::string lecture_markup() {
+  hermes::LessonBuilder lesson("Adaptation lecture");
+  lesson.heading(1, "A longer lecture under congestion")
+      .text("Exercises the long-term quality grading loop.")
+      .image("SLIDE", "image:jpeg:adapt-slide", Time::zero(), Time::sec(30))
+      .av_pair("AU", "audio:pcm:adapt-voice:30", "VI",
+               "video:mpeg:adapt-clip:30:1400", Time::sec(1), Time::sec(29));
+  return lesson.markup_text();
+}
+
+struct RunResult {
+  core::StreamPlayoutStats totals;
+  double max_skew_ms = 0.0;
+  std::int64_t degrades = 0;
+  std::int64_t upgrades = 0;
+  std::int64_t reports = 0;
+};
+
+/// Run the lecture over a congested access link, with the server QoS
+/// manager's grading enabled or disabled.
+RunResult run_lecture(bool qos_enabled, std::uint64_t seed) {
+  sim::Simulator sim(seed);
+  hermes::Deployment::Config config;
+  // Tight access link: 1.4 Mbps video + 0.7 Mbps audio + bursts of 5 Mbps
+  // cross traffic overload a 6 Mbps bottleneck unless the media degrades
+  // down to ~0.6 Mbps, which fits beside the burst.
+  config.client_access.bandwidth_bps = 6e6;
+  config.client_access.queue_capacity_bytes = 48 * 1024;
+  config.server_template.qos.enabled = qos_enabled;
+  config.server_template.qos.action_hold = Time::sec(1);
+  config.server_template.qos.good_reports_for_upgrade = 4;
+  hermes::Deployment deployment(sim, config);
+  EXPECT_TRUE(
+      deployment.server(0).documents().add("lecture", lecture_markup()).ok());
+
+  // Bursty cross traffic sharing the downlink toward the client.
+  net::PacketSink sink(deployment.network(), deployment.client_node(0), 9999);
+  net::OnOffSource::Params cross;
+  cross.rate_bps_on = 5e6;
+  cross.mean_on = Time::sec(5);
+  cross.mean_off = Time::sec(4);
+  cross.start_in_on = true;
+  net::OnOffSource source(deployment.network(), deployment.server_node(0),
+                          sink.endpoint(), cross);
+  source.start();
+
+  BrowserSession::Config bc;
+  bc.presentation.time_window = Time::msec(600);
+  BrowserSession session(deployment.network(), deployment.client_node(0),
+                         deployment.server(0).control_endpoint(), bc);
+  session.set_subscription_form(hermes::student_form("ada", "standard"));
+  session.connect("ada", "secret-ada");
+  sim.run_until(Time::sec(1));
+  session.request_document("lecture");
+  sim.run_until(Time::sec(45));
+
+  RunResult result;
+  EXPECT_NE(session.presentation(), nullptr) << session.last_error();
+  if (session.presentation() != nullptr) {
+    result.totals = session.presentation()->trace().totals();
+    result.max_skew_ms = session.presentation()->trace().max_abs_skew_ms();
+  }
+  return result;
+}
+
+TEST(AdaptationTest, GradingImprovesPlayoutUnderCongestion) {
+  const RunResult with_qos = run_lecture(true, 2024);
+  const RunResult without_qos = run_lecture(false, 2024);
+
+  // Both runs complete, but grading trades quality for continuity: fewer
+  // starved/lost slots with the QoS loop on.
+  const double fresh_with = with_qos.totals.fresh_ratio();
+  const double fresh_without = without_qos.totals.fresh_ratio();
+  EXPECT_GT(fresh_with, fresh_without + 0.02)
+      << "with=" << fresh_with << " without=" << fresh_without;
+  EXPECT_GT(fresh_with, 0.9);
+}
+
+TEST(AdaptationTest, ServerDegradesUnderCongestionOnly) {
+  // Under a clean, fat link the grading loop must not fire at all.
+  sim::Simulator sim(7);
+  hermes::Deployment::Config config;
+  config.server_template.qos.enabled = true;
+  hermes::Deployment deployment(sim, config);
+  ASSERT_TRUE(
+      deployment.server(0).documents().add("lecture", lecture_markup()).ok());
+
+  BrowserSession::Config bc;
+  BrowserSession session(deployment.network(), deployment.client_node(0),
+                         deployment.server(0).control_endpoint(), bc);
+  session.set_subscription_form(hermes::student_form("bea", "standard"));
+  session.connect("bea", "secret-bea");
+  sim.run_until(Time::sec(1));
+  session.request_document("lecture");
+  sim.run_until(Time::sec(45));
+
+  ASSERT_NE(session.presentation(), nullptr);
+  const auto totals = session.presentation()->trace().totals();
+  EXPECT_GT(totals.fresh_ratio(), 0.99);
+  EXPECT_EQ(totals.sync_skips, 0);
+}
+
+TEST(AdaptationTest, BurstLossHandledBySkewControl) {
+  // Gilbert-Elliott loss bursts on the downlink break intermedia sync; the
+  // short-term controller keeps skew bounded.
+  sim::Simulator sim(99);
+  hermes::Deployment::Config config;
+  hermes::Deployment deployment(sim, config);
+  ASSERT_TRUE(
+      deployment.server(0).documents().add("lecture", lecture_markup()).ok());
+
+  net::GilbertElliottLoss::Params ge;
+  ge.p_good_to_bad = 0.002;
+  ge.p_bad_to_good = 0.05;
+  ge.loss_bad = 0.5;
+  auto params = deployment.client_downlink(0)->params();
+  params.loss = std::make_shared<net::GilbertElliottLoss>(ge);
+  deployment.client_downlink(0)->set_params(params);
+
+  BrowserSession::Config bc;
+  bc.presentation.time_window = Time::msec(600);
+  BrowserSession session(deployment.network(), deployment.client_node(0),
+                         deployment.server(0).control_endpoint(), bc);
+  session.set_subscription_form(hermes::student_form("cyn", "standard"));
+  session.connect("cyn", "secret-cyn");
+  sim.run_until(Time::sec(1));
+  session.request_document("lecture");
+  sim.run_until(Time::sec(45));
+
+  ASSERT_NE(session.presentation(), nullptr);
+  ASSERT_EQ(session.state(), ClientState::kViewing) << session.last_error();
+  // Loss hurts, but the presentation survives and stays roughly in sync.
+  const auto totals = session.presentation()->trace().totals();
+  EXPECT_GT(totals.fresh_ratio(), 0.5);
+  EXPECT_LT(session.presentation()->trace().max_abs_skew_ms(), 500.0);
+}
+
+
+TEST(AdaptationTest, LargerTimeWindowNeverHurtsFreshness) {
+  // E3's claim as a property: under identical jittery conditions the fresh
+  // ratio is (weakly) monotone in the media time window.
+  auto run_with_window = [](std::int64_t window_ms) {
+    sim::Simulator sim(31337);
+    hermes::Deployment deployment(sim, hermes::Deployment::Config{});
+    deployment.server(0).documents().add("doc", lecture_markup());
+    auto params = deployment.client_downlink(0)->params();
+    params.jitter_mean = Time::msec(40);
+    params.jitter_stddev = Time::msec(80);
+    deployment.client_downlink(0)->set_params(params);
+
+    BrowserSession::Config bc;
+    bc.presentation.time_window = Time::msec(window_ms);
+    BrowserSession session(deployment.network(), deployment.client_node(0),
+                           deployment.server(0).control_endpoint(), bc);
+    session.set_subscription_form(hermes::student_form("mono", "standard"));
+    session.connect("mono", "secret-mono");
+    sim.run_until(Time::sec(1));
+    session.request_document("doc");
+    sim.run_until(Time::sec(45));
+    return session.presentation() != nullptr
+               ? session.presentation()->trace().totals().fresh_ratio()
+               : 0.0;
+  };
+
+  double previous = -1.0;
+  for (const std::int64_t window : {100, 250, 500, 1000}) {
+    const double fresh = run_with_window(window);
+    EXPECT_GE(fresh, previous - 0.02)
+        << "window " << window << "ms regressed freshness";
+    previous = std::max(previous, fresh);
+  }
+  EXPECT_GT(previous, 0.95) << "the largest window should play nearly clean";
+}
+
+TEST(ClientMisuseTest, OperationsInWrongStatesFailGracefully) {
+  sim::Simulator sim(8);
+  hermes::Deployment deployment(sim, hermes::Deployment::Config{});
+  deployment.server(0).documents().add("fig2", hermes::fig2_lesson_markup());
+  BrowserSession::Config bc;
+  BrowserSession s(deployment.network(), deployment.client_node(0),
+                   deployment.server(0).control_endpoint(), bc);
+
+  // Everything before connect() must fail without crashing.
+  s.pause();
+  s.resume_presentation();
+  s.resume_session();
+  s.annotate("nothing viewed");
+  s.reload_document();
+  s.request_document("fig2");
+  EXPECT_FALSE(s.last_error().empty());
+
+  s.set_subscription_form(hermes::student_form("mis", "basic"));
+  s.connect("mis", "secret-mis");
+  sim.run_until(Time::sec(1));
+  ASSERT_EQ(s.state(), ClientState::kBrowsing);
+
+  // Connecting twice is rejected client-side.
+  s.connect("mis", "secret-mis");
+  EXPECT_NE(s.last_error().find("connect in state"), std::string::npos);
+
+  // Pause while browsing (not viewing) is a client-side error.
+  s.pause();
+  EXPECT_NE(s.last_error().find("pause while not viewing"), std::string::npos);
+
+  // The session is still usable after all the misuse.
+  s.request_document("fig2");
+  sim.run_until(Time::sec(3));
+  EXPECT_EQ(s.state(), ClientState::kViewing) << s.last_error();
+}
+
+}  // namespace
+}  // namespace hyms

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "buffer/media_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace hyms {
+namespace {
+
+using buffer::BufferedFrame;
+using buffer::MediaBuffer;
+
+BufferedFrame frame(std::int64_t index, Time duration = Time::msec(40)) {
+  BufferedFrame f;
+  f.index = index;
+  f.media_time = duration * index;
+  f.duration = duration;
+  return f;
+}
+
+MediaBuffer::Config window(std::int64_t ms) {
+  MediaBuffer::Config config;
+  config.time_window = Time::msec(ms);
+  return config;
+}
+
+TEST(MediaBufferTest, PopsInIndexOrderRegardlessOfArrival) {
+  MediaBuffer buf("s", window(500));
+  buf.push(frame(3));
+  buf.push(frame(1));
+  buf.push(frame(2));
+  buf.push(frame(0));
+  for (std::int64_t k = 0; k < 4; ++k) {
+    auto f = buf.pop();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->index, k);
+  }
+  EXPECT_FALSE(buf.pop().has_value());
+}
+
+TEST(MediaBufferTest, DuplicateIndicesRejected) {
+  MediaBuffer buf("s", window(500));
+  EXPECT_TRUE(buf.push(frame(5)));
+  EXPECT_FALSE(buf.push(frame(5)));
+  EXPECT_EQ(buf.stats().rejected_duplicate, 1);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(MediaBufferTest, OccupancyTracksDurations) {
+  MediaBuffer buf("s", window(500));
+  buf.push(frame(0));
+  buf.push(frame(1));
+  EXPECT_EQ(buf.occupancy_time(), Time::msec(80));
+  buf.pop();
+  EXPECT_EQ(buf.occupancy_time(), Time::msec(40));
+  buf.clear();
+  EXPECT_EQ(buf.occupancy_time(), Time::zero());
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(MediaBufferTest, WatermarksAgainstTimeWindow) {
+  MediaBuffer::Config config = window(400);  // 10 frames of 40ms
+  config.low_watermark = 0.25;
+  config.high_watermark = 2.0;
+  MediaBuffer buf("s", config);
+
+  EXPECT_TRUE(buf.below_low_watermark());  // empty
+  buf.push(frame(0));
+  EXPECT_TRUE(buf.below_low_watermark());  // 40ms / 400ms = 0.1 < 0.25
+  buf.push(frame(1));
+  buf.push(frame(2));
+  EXPECT_FALSE(buf.below_low_watermark());  // 120ms / 400ms = 0.3
+  EXPECT_FALSE(buf.above_high_watermark());
+  for (std::int64_t k = 3; k <= 20; ++k) buf.push(frame(k));
+  EXPECT_TRUE(buf.above_high_watermark());  // 840ms / 400ms = 2.1 > 2.0
+}
+
+TEST(MediaBufferTest, DropBeforeDiscardsPrefix) {
+  MediaBuffer buf("s", window(500));
+  for (std::int64_t k = 0; k < 10; ++k) buf.push(frame(k));
+  EXPECT_EQ(buf.drop_before(4), 4u);
+  EXPECT_EQ(buf.size(), 6u);
+  EXPECT_EQ(buf.peek()->index, 4);
+  EXPECT_EQ(buf.occupancy_time(), Time::msec(240));
+  EXPECT_EQ(buf.stats().dropped, 4);
+  // No-op when nothing is below the threshold.
+  EXPECT_EQ(buf.drop_before(2), 0u);
+}
+
+TEST(MediaBufferTest, CapacityCapRejects) {
+  MediaBuffer::Config config = window(500);
+  config.capacity_frames = 3;
+  MediaBuffer buf("s", config);
+  EXPECT_TRUE(buf.push(frame(0)));
+  EXPECT_TRUE(buf.push(frame(1)));
+  EXPECT_TRUE(buf.push(frame(2)));
+  EXPECT_FALSE(buf.push(frame(3)));
+  EXPECT_EQ(buf.stats().rejected_capacity, 1);
+}
+
+TEST(MediaBufferTest, PeekDoesNotConsume) {
+  MediaBuffer buf("s", window(500));
+  buf.push(frame(7));
+  ASSERT_NE(buf.peek(), nullptr);
+  EXPECT_EQ(buf.peek()->index, 7);
+  EXPECT_EQ(buf.size(), 1u);
+  MediaBuffer empty("e", window(500));
+  EXPECT_EQ(empty.peek(), nullptr);
+}
+
+TEST(MediaBufferTest, FillRatio) {
+  MediaBuffer buf("s", window(400));
+  for (std::int64_t k = 0; k < 5; ++k) buf.push(frame(k));
+  EXPECT_DOUBLE_EQ(buf.fill_ratio(), 0.5);
+}
+
+/// Model-based property: against a reference map of (index -> duration), the
+/// buffer's size, occupancy, head and pop order must agree exactly under
+/// randomized push/pop/drop_before sequences with duplicates and reordering.
+class BufferProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BufferProperty, AgreesWithReferenceModel) {
+  util::Rng rng(GetParam());
+  MediaBuffer::Config config = window(1000);
+  config.capacity_frames = 64;
+  MediaBuffer buf("p", config);
+  std::map<std::int64_t, Time> model;
+
+  std::int64_t next_index = 0;
+  for (int op = 0; op < 2000; ++op) {
+    const auto kind = rng.below(10);
+    if (kind < 5) {
+      // Push with occasional out-of-order and duplicate indices.
+      std::int64_t idx = next_index;
+      if (rng.bernoulli(0.2)) {
+        idx = std::max<std::int64_t>(0, next_index - rng.range(0, 5));
+      } else {
+        ++next_index;
+      }
+      const Time duration = Time::msec(rng.range(10, 60));
+      const bool accepted = buf.push(frame(idx, duration));
+      const bool model_accepts =
+          model.size() < config.capacity_frames && !model.contains(idx);
+      ASSERT_EQ(accepted, model_accepts) << "push idx " << idx;
+      if (accepted) model.emplace(idx, duration);
+    } else if (kind < 8) {
+      auto f = buf.pop();
+      ASSERT_EQ(f.has_value(), !model.empty());
+      if (f) {
+        ASSERT_EQ(f->index, model.begin()->first);
+        ASSERT_EQ(f->duration, model.begin()->second);
+        model.erase(model.begin());
+      }
+    } else if (kind == 8) {
+      const std::int64_t cut = rng.range(0, next_index + 2);
+      const std::size_t dropped = buf.drop_before(cut);
+      std::size_t expected_drops = 0;
+      while (!model.empty() && model.begin()->first < cut) {
+        model.erase(model.begin());
+        ++expected_drops;
+      }
+      ASSERT_EQ(dropped, expected_drops);
+    }
+
+    // Invariants after every operation.
+    ASSERT_EQ(buf.size(), model.size());
+    Time expected = Time::zero();
+    for (const auto& [idx, duration] : model) expected += duration;
+    ASSERT_EQ(buf.occupancy_time(), expected);
+    if (!model.empty()) {
+      ASSERT_NE(buf.peek(), nullptr);
+      ASSERT_EQ(buf.peek()->index, model.begin()->first);
+    } else {
+      ASSERT_EQ(buf.peek(), nullptr);
+    }
+  }
+  buf.clear();
+  EXPECT_EQ(buf.occupancy_time(), Time::zero());
+  EXPECT_TRUE(buf.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace hyms

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "client/browser.hpp"
+#include "client/browser_session.hpp"
+#include "hermes/deployment.hpp"
+#include "hermes/sample_content.hpp"
+#include "sim/simulator.hpp"
+
+namespace hyms {
+namespace {
+
+using client::BrowserSession;
+using client::ClientState;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() : sim_(12345), deployment_(sim_, make_config()) {
+    auto& docs = deployment_.server(0).documents();
+    EXPECT_TRUE(docs.add("fig2", hermes::fig2_lesson_markup()).ok());
+    EXPECT_TRUE(docs.add("intro", hermes::intro_lesson_markup()).ok());
+  }
+
+  static hermes::Deployment::Config make_config() {
+    hermes::Deployment::Config config;
+    config.server_count = 1;
+    config.client_count = 1;
+    return config;
+  }
+
+  std::unique_ptr<BrowserSession> make_session() {
+    BrowserSession::Config config;
+    auto session = std::make_unique<BrowserSession>(
+        deployment_.network(), deployment_.client_node(0),
+        deployment_.server(0).control_endpoint(), config);
+    session->set_subscription_form(hermes::student_form("alice", "standard"));
+    return session;
+  }
+
+  sim::Simulator sim_;
+  hermes::Deployment deployment_;
+};
+
+TEST_F(IntegrationTest, SubscribeConnectBrowse) {
+  auto session = make_session();
+  session->connect("alice", "secret-alice");
+  sim_.run_until(Time::sec(5));
+  ASSERT_EQ(session->state(), ClientState::kBrowsing) << session->last_error();
+
+  session->request_topics();
+  sim_.run_until(Time::sec(6));
+  EXPECT_EQ(session->topics().size(), 2u);
+}
+
+TEST_F(IntegrationTest, FullPresentationPlaysOut) {
+  auto session = make_session();
+  session->connect("alice", "secret-alice");
+  sim_.run_until(Time::sec(2));
+  ASSERT_EQ(session->state(), ClientState::kBrowsing) << session->last_error();
+
+  session->request_document("fig2");
+  sim_.run_until(Time::sec(4));
+  ASSERT_EQ(session->state(), ClientState::kViewing) << session->last_error();
+
+  // Fig. 2 runs 14 scenario seconds; leave margin for the initial delay.
+  sim_.run_until(Time::sec(25));
+  ASSERT_NE(session->presentation(), nullptr);
+  EXPECT_TRUE(session->presentation()->scheduler().finished());
+
+  const auto& trace = session->presentation()->trace();
+  const auto totals = trace.totals();
+  EXPECT_GT(totals.fresh, 0);
+  // Clean 10 Mbps access link: virtually everything plays fresh.
+  EXPECT_GT(totals.fresh_ratio(), 0.95)
+      << "fresh=" << totals.fresh << " dup=" << totals.duplicates
+      << " gaps=" << totals.gap_skips;
+  // Both images and both audio segments and the video played.
+  EXPECT_GT(trace.stream("I1").fresh, 0);
+  EXPECT_GT(trace.stream("I2").fresh, 0);
+  EXPECT_GT(trace.stream("A1").fresh, 0);
+  EXPECT_GT(trace.stream("A2").fresh, 0);
+  EXPECT_GT(trace.stream("V").fresh, 0);
+  // Lip sync on the clean network stays tight.
+  EXPECT_LT(trace.max_abs_skew_ms(), 80.0);
+
+  session->disconnect();
+  sim_.run_until(Time::sec(27));
+  EXPECT_EQ(session->state(), ClientState::kClosed);
+}
+
+TEST_F(IntegrationTest, PauseAndResume) {
+  auto session = make_session();
+  session->connect("alice", "secret-alice");
+  sim_.run_until(Time::sec(2));
+  session->request_document("fig2");
+  sim_.run_until(Time::sec(5));
+  ASSERT_EQ(session->state(), ClientState::kViewing) << session->last_error();
+
+  session->pause();
+  sim_.run_until(Time::sec(6));
+  EXPECT_EQ(session->state(), ClientState::kPaused);
+  const auto fresh_at_pause =
+      session->presentation()->trace().totals().fresh;
+  sim_.run_until(Time::sec(10));
+  // Nothing plays while paused.
+  EXPECT_EQ(session->presentation()->trace().totals().fresh, fresh_at_pause);
+
+  session->resume_presentation();
+  sim_.run_until(Time::sec(35));
+  EXPECT_TRUE(session->presentation()->scheduler().finished());
+  EXPECT_GT(session->presentation()->trace().totals().fresh, fresh_at_pause);
+}
+
+}  // namespace
+}  // namespace hyms

@@ -1,0 +1,467 @@
+#include <gtest/gtest.h>
+
+#include "hermes/lesson_builder.hpp"
+#include "hermes/sample_content.hpp"
+#include "markup/lexer.hpp"
+#include "markup/parser.hpp"
+#include "markup/validate.hpp"
+#include "markup/writer.hpp"
+#include "util/rng.hpp"
+
+namespace hyms {
+namespace {
+
+using markup::Document;
+
+// --- lexer -----------------------------------------------------------------------
+
+TEST(LexerTest, BasicTags) {
+  auto tokens = markup::lex("<TITLE> Hello World </TITLE>");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  ASSERT_EQ(t.size(), 5u);  // open, 2 words, close, end
+  EXPECT_EQ(t[0].kind, markup::TokenKind::kTagOpen);
+  EXPECT_EQ(t[0].text, "TITLE");
+  EXPECT_EQ(t[1].text, "Hello");
+  EXPECT_EQ(t[3].kind, markup::TokenKind::kTagClose);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = markup::lex("<title></TiTlE>");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].text, "TITLE");
+  EXPECT_EQ(tokens.value()[1].text, "TITLE");
+}
+
+TEST(LexerTest, AttributeKeysAndValues) {
+  auto tokens = markup::lex("SOURCE= video:mpeg:x ID= V1");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  EXPECT_EQ(t[0].kind, markup::TokenKind::kAttrKey);
+  EXPECT_EQ(t[0].text, "SOURCE");
+  EXPECT_EQ(t[1].kind, markup::TokenKind::kWord);
+  EXPECT_EQ(t[1].text, "video:mpeg:x");
+  EXPECT_EQ(t[2].text, "ID");
+}
+
+TEST(LexerTest, QuotedStrings) {
+  auto tokens = markup::lex("NOTE= \"two words\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[1].kind, markup::TokenKind::kString);
+  EXPECT_EQ(tokens.value()[1].text, "two words");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(markup::lex("NOTE= \"oops").ok());
+}
+
+TEST(LexerTest, UnterminatedTagIsError) {
+  EXPECT_FALSE(markup::lex("<TITLE").ok());
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto tokens = markup::lex("<TITLE> a </TITLE>\n<H1> b </H1>");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].line, 1);
+  EXPECT_EQ(tokens.value()[4].line, 2);
+}
+
+// --- time values -------------------------------------------------------------------
+
+struct TimeCase {
+  const char* text;
+  std::int64_t expected_us;
+};
+
+class TimeValueTest : public ::testing::TestWithParam<TimeCase> {};
+
+TEST_P(TimeValueTest, Parses) {
+  auto t = markup::parse_time_value(GetParam().text);
+  ASSERT_TRUE(t.ok()) << GetParam().text;
+  EXPECT_EQ(t.value().us(), GetParam().expected_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, TimeValueTest,
+    ::testing::Values(TimeCase{"0", 0}, TimeCase{"12.5", 12'500'000},
+                      TimeCase{"2", 2'000'000}, TimeCase{"750ms", 750'000},
+                      TimeCase{"1.5s", 1'500'000}, TimeCase{"0.001", 1'000},
+                      TimeCase{" 3 ", 3'000'000}));
+
+TEST(TimeValueTest, RejectsGarbage) {
+  EXPECT_FALSE(markup::parse_time_value("abc").ok());
+  EXPECT_FALSE(markup::parse_time_value("").ok());
+  EXPECT_FALSE(markup::parse_time_value("-5").ok());
+  EXPECT_FALSE(markup::parse_time_value("3x").ok());
+}
+
+// --- parser -----------------------------------------------------------------------
+
+TEST(ParserTest, PaperLayoutExample) {
+  // The layout example from §3.1 of the paper.
+  const char* text = R"(
+<TITLE> This is a title </TITLE>
+<H1> This is a heading 1 </H1>
+<TEXT> This is a text segment </TEXT>
+<PAR>
+<TEXT> This is another text segment. <B> This is boldface. </B>
+<I> And this is in italics. </I> </TEXT>
+)";
+  auto doc = markup::parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const Document& d = doc.value();
+  EXPECT_EQ(d.title, "This is a title");
+  ASSERT_EQ(d.sections.size(), 1u);
+  ASSERT_TRUE(d.sections[0].heading.has_value());
+  EXPECT_EQ(d.sections[0].heading->level, 1);
+  EXPECT_EQ(d.sections[0].heading->text, "This is a heading 1");
+  ASSERT_EQ(d.sections[0].body.size(), 3u);  // text, par, text
+
+  const auto& styled = std::get<markup::TextBlock>(d.sections[0].body[2]);
+  ASSERT_EQ(styled.runs.size(), 3u);
+  EXPECT_FALSE(styled.runs[0].bold);
+  EXPECT_TRUE(styled.runs[1].bold);
+  EXPECT_TRUE(styled.runs[2].italic);
+}
+
+TEST(ParserTest, PaperVideoExample) {
+  const char* text = R"(
+<TITLE> t </TITLE>
+<VI> SOURCE= video:mpeg:clip ID= V1 STARTIME= 2 DURATION= 6.5
+     NOTE= annotation </VI>
+)";
+  auto doc = markup::parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const auto& vi = std::get<markup::VideoElement>(doc.value().sections[0].body[0]);
+  EXPECT_EQ(vi.attrs.source, "video:mpeg:clip");
+  EXPECT_EQ(vi.attrs.id, "V1");
+  EXPECT_EQ(vi.attrs.startime, Time::sec(2));
+  EXPECT_EQ(vi.attrs.duration, Time::seconds(6.5));
+  EXPECT_EQ(vi.attrs.note, "annotation");
+}
+
+TEST(ParserTest, AudioVideoPairSplitsAttrs) {
+  const char* text = R"(
+<TITLE> t </TITLE>
+<AU_VI> SOURCE= audio:pcm:a SOURCE= video:mpeg:v ID= A1 ID= V1
+        STARTIME= 2 STARTIME= 2 DURATION= 6 </AU_VI>
+)";
+  auto doc = markup::parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const auto& av =
+      std::get<markup::AudioVideoElement>(doc.value().sections[0].body[0]);
+  EXPECT_EQ(av.audio.source, "audio:pcm:a");
+  EXPECT_EQ(av.video.source, "video:mpeg:v");
+  EXPECT_EQ(av.audio.id, "A1");
+  EXPECT_EQ(av.video.id, "V1");
+  EXPECT_EQ(av.audio.startime, av.video.startime);
+  EXPECT_EQ(av.audio.duration, Time::sec(6));
+  EXPECT_EQ(av.video.duration, Time::sec(6));
+}
+
+TEST(ParserTest, SingleStartimeAppliesToBothHalves) {
+  const char* text = R"(
+<TITLE> t </TITLE>
+<AU_VI> SOURCE= a SOURCE= v ID= A ID= V STARTIME= 3 DURATION= 1 </AU_VI>
+)";
+  auto doc = markup::parse(text);
+  ASSERT_TRUE(doc.ok());
+  const auto& av =
+      std::get<markup::AudioVideoElement>(doc.value().sections[0].body[0]);
+  EXPECT_EQ(av.audio.startime, Time::sec(3));
+  EXPECT_EQ(av.video.startime, Time::sec(3));
+}
+
+TEST(ParserTest, TimedHyperlink) {
+  const char* text = R"(
+<TITLE> t </TITLE>
+<HLINK> AT 12.5 next-doc NOTE= "go on" </HLINK>
+)";
+  auto doc = markup::parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const auto& link = std::get<markup::HyperLink>(doc.value().sections[0].body[0]);
+  EXPECT_EQ(link.target_document, "next-doc");
+  EXPECT_EQ(link.at, Time::seconds(12.5));
+  EXPECT_EQ(link.kind, markup::HyperLink::Kind::kSequential);
+  EXPECT_EQ(link.note, "go on");
+}
+
+TEST(ParserTest, ExplorationalLinkToOtherHost) {
+  const char* text = R"(
+<TITLE> t </TITLE>
+<HLINK> other-doc HOST= hermes-2 </HLINK>
+)";
+  auto doc = markup::parse(text);
+  ASSERT_TRUE(doc.ok());
+  const auto& link = std::get<markup::HyperLink>(doc.value().sections[0].body[0]);
+  EXPECT_EQ(link.target_host, "hermes-2");
+  EXPECT_EQ(link.kind, markup::HyperLink::Kind::kExplorational);
+  EXPECT_FALSE(link.at.has_value());
+}
+
+TEST(ParserTest, SectionsSplitOnHeadingsAndSeparators) {
+  const char* text = R"(
+<TITLE> t </TITLE>
+<H1> first </H1>
+<TEXT> a </TEXT>
+<SEP>
+<TEXT> b </TEXT>
+<H2> second </H2>
+<TEXT> c </TEXT>
+)";
+  auto doc = markup::parse(text);
+  ASSERT_TRUE(doc.ok());
+  const auto& sections = doc.value().sections;
+  ASSERT_EQ(sections.size(), 3u);
+  EXPECT_TRUE(sections[0].separator_after);
+  EXPECT_FALSE(sections[1].heading.has_value());
+  ASSERT_TRUE(sections[2].heading.has_value());
+  EXPECT_EQ(sections[2].heading->level, 2);
+}
+
+TEST(ParserTest, MissingTitleIsError) {
+  auto doc = markup::parse("<H1> no title </H1>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.error().message.find("TITLE"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorsCarryLocation) {
+  auto doc = markup::parse("<TITLE> t </TITLE>\n<IMG> BOGUS= 1 </IMG>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, UnterminatedTextIsError) {
+  EXPECT_FALSE(markup::parse("<TITLE> t </TITLE> <TEXT> dangling").ok());
+}
+
+TEST(ParserTest, MismatchedStyleIsError) {
+  EXPECT_FALSE(
+      markup::parse("<TITLE> t </TITLE> <TEXT> <B> x </I> </TEXT>").ok());
+  EXPECT_FALSE(
+      markup::parse("<TITLE> t </TITLE> <TEXT> <B> x </TEXT>").ok());
+}
+
+TEST(ParserTest, UnknownElementIsError) {
+  EXPECT_FALSE(markup::parse("<TITLE> t </TITLE> <MARQUEE> </MARQUEE>").ok());
+}
+
+TEST(ParserTest, Fig2ScenarioParses) {
+  auto doc = markup::parse(hermes::fig2_lesson_markup());
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  EXPECT_TRUE(markup::validate(doc.value()).ok());
+}
+
+TEST(ParserTest, MissingAttributeValueIsError) {
+  EXPECT_FALSE(markup::parse("<TITLE> t </TITLE> <IMG> SOURCE= </IMG>").ok());
+  EXPECT_FALSE(markup::parse("<TITLE> t </TITLE> <IMG> SOURCE= ID= x </IMG>").ok());
+}
+
+TEST(ParserTest, TooManyAvPairAttributesIsError) {
+  EXPECT_FALSE(markup::parse(
+      "<TITLE> t </TITLE> <AU_VI> SOURCE= a SOURCE= b SOURCE= c "
+      "ID= x ID= y STARTIME= 1 DURATION= 2 </AU_VI>").ok());
+}
+
+TEST(ParserTest, MultipleHlinkTargetsIsError) {
+  EXPECT_FALSE(
+      markup::parse("<TITLE> t </TITLE> <HLINK> doc1 doc2 </HLINK>").ok());
+}
+
+TEST(ParserTest, BadRelValueIsError) {
+  EXPECT_FALSE(markup::parse(
+      "<TITLE> t </TITLE> <HLINK> doc REL= SIDEWAYS </HLINK>").ok());
+}
+
+TEST(ParserTest, HlinkAtWithoutTimeIsError) {
+  EXPECT_FALSE(
+      markup::parse("<TITLE> t </TITLE> <HLINK> AT </HLINK>").ok());
+  EXPECT_FALSE(
+      markup::parse("<TITLE> t </TITLE> <HLINK> AT xyz doc </HLINK>").ok());
+}
+
+TEST(ParserTest, QuotedAttributeValuesWithSpaces) {
+  auto doc = markup::parse(
+      "<TITLE> t </TITLE> <IMG> SOURCE= \"image:jpeg:my pic\" ID= I"
+      " STARTIME= 0 NOTE= \"two words\" </IMG>");
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const auto& img = std::get<markup::ImageElement>(doc.value().sections[0].body[0]);
+  EXPECT_EQ(img.attrs.source, "image:jpeg:my pic");
+  EXPECT_EQ(img.attrs.note, "two words");
+}
+
+TEST(ParserTest, EmptyDocumentJustTitle) {
+  auto doc = markup::parse("<TITLE> only a title </TITLE>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc.value().sections.empty());
+  // Validates with a warning (no content), not an error.
+  EXPECT_TRUE(markup::validate(doc.value()).ok());
+}
+
+// --- writer round-trip property -----------------------------------------------------
+
+TEST(WriterTest, TimeValueFormatting) {
+  EXPECT_EQ(markup::write_time_value(Time::sec(2)), "2");
+  EXPECT_EQ(markup::write_time_value(Time::seconds(1.5)), "1.5");
+  EXPECT_EQ(markup::write_time_value(Time::msec(40)), "0.04");
+  EXPECT_EQ(markup::write_time_value(Time::zero()), "0");
+}
+
+TEST(WriterTest, RoundTripFig2) {
+  const std::string text = hermes::fig2_lesson_markup();
+  auto doc1 = markup::parse(text);
+  ASSERT_TRUE(doc1.ok());
+  const std::string text2 = markup::write(doc1.value());
+  auto doc2 = markup::parse(text2);
+  ASSERT_TRUE(doc2.ok()) << doc2.error().message;
+  EXPECT_EQ(doc1.value(), doc2.value());
+}
+
+/// Deterministic generator of random valid documents for the round-trip
+/// property: parse(write(doc)) == doc.
+markup::Document random_document(std::uint64_t seed) {
+  util::Rng rng(seed);
+  hermes::LessonBuilder builder("Doc " + std::to_string(seed));
+  const int sections = 1 + static_cast<int>(rng.below(4));
+  int id = 0;
+  for (int s = 0; s < sections; ++s) {
+    if (rng.bernoulli(0.7)) {
+      builder.heading(1 + static_cast<int>(rng.below(3)),
+                      "Heading " + std::to_string(s));
+    }
+    const int elements = 1 + static_cast<int>(rng.below(5));
+    for (int e = 0; e < elements; ++e) {
+      const auto kind = rng.below(6);
+      const std::string sid = "el" + std::to_string(id++);
+      const Time start = Time::msec(rng.range(0, 20000));
+      const Time duration = Time::msec(rng.range(1, 10000));
+      switch (kind) {
+        case 0:
+          builder.text("word" + std::to_string(rng.below(100)) + " text",
+                       rng.bernoulli(0.3), rng.bernoulli(0.3));
+          break;
+        case 1:
+          builder.image(sid, "image:jpeg:img" + sid, start,
+                        rng.bernoulli(0.5) ? std::optional<Time>(duration)
+                                           : std::nullopt,
+                        static_cast<int>(rng.below(1000)),
+                        static_cast<int>(rng.below(1000)));
+          break;
+        case 2:
+          builder.audio(sid, "audio:pcm:au" + sid, start, duration);
+          break;
+        case 3:
+          builder.video(sid, "video:mpeg:vi" + sid, start, duration);
+          break;
+        case 4:
+          builder.av_pair(sid + "a", "audio:pcm:x" + sid, sid + "v",
+                          "video:avi:y" + sid, start, duration);
+          break;
+        case 5:
+          builder.link("target-" + std::to_string(rng.below(10)),
+                       rng.bernoulli(0.3) ? "host-x" : "",
+                       rng.bernoulli(0.5) ? std::optional<Time>(start)
+                                          : std::nullopt,
+                       rng.bernoulli(0.5) ? "a note here" : "");
+          break;
+      }
+    }
+    if (rng.bernoulli(0.3)) builder.separator();
+  }
+  return builder.document();
+}
+
+class RoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripProperty, ParseWriteParseIsIdentity) {
+  const markup::Document original = random_document(GetParam());
+  const std::string text = markup::write(original);
+  auto reparsed = markup::parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().message << "\n" << text;
+  const std::string text2 = markup::write(reparsed.value());
+  EXPECT_EQ(text, text2) << "writer not a fixed point for seed " << GetParam();
+  auto reparsed2 = markup::parse(text2);
+  ASSERT_TRUE(reparsed2.ok());
+  EXPECT_EQ(reparsed.value(), reparsed2.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// --- validator -----------------------------------------------------------------------
+
+markup::Document minimal_valid() {
+  hermes::LessonBuilder builder("ok");
+  builder.video("V1", "video:mpeg:v", Time::zero(), Time::sec(5));
+  return builder.document();
+}
+
+TEST(ValidateTest, AcceptsValidDocument) {
+  EXPECT_TRUE(markup::validate(minimal_valid()).ok());
+}
+
+TEST(ValidateTest, DuplicateIdsRejected) {
+  hermes::LessonBuilder builder("dup");
+  builder.video("X", "video:mpeg:v", Time::zero(), Time::sec(5));
+  builder.audio("X", "audio:pcm:a", Time::zero(), Time::sec(5));
+  const auto report = markup::validate(builder.document());
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidateTest, MissingTimingRejected) {
+  markup::Document doc = minimal_valid();
+  auto& vi = std::get<markup::VideoElement>(doc.sections[0].body[0]);
+  vi.attrs.startime.reset();
+  EXPECT_FALSE(markup::validate(doc).ok());
+  vi.attrs.startime = Time::zero();
+  vi.attrs.duration.reset();
+  EXPECT_FALSE(markup::validate(doc).ok());
+}
+
+TEST(ValidateTest, MissingSourceRejected) {
+  markup::Document doc = minimal_valid();
+  std::get<markup::VideoElement>(doc.sections[0].body[0]).attrs.source.clear();
+  EXPECT_FALSE(markup::validate(doc).ok());
+}
+
+TEST(ValidateTest, AvPairMismatchedTimesRejected) {
+  hermes::LessonBuilder builder("av");
+  builder.av_pair("A", "audio:pcm:a", "V", "video:mpeg:v", Time::sec(1),
+                  Time::sec(4));
+  markup::Document doc = builder.document();
+  auto& av = std::get<markup::AudioVideoElement>(doc.sections[0].body[0]);
+  av.video.startime = Time::sec(2);
+  EXPECT_FALSE(markup::validate(doc).ok());
+  av.video.startime = Time::sec(1);
+  av.video.duration = Time::sec(5);
+  EXPECT_FALSE(markup::validate(doc).ok());
+}
+
+TEST(ValidateTest, LinkWithoutTargetRejected) {
+  hermes::LessonBuilder builder("l");
+  builder.link("");
+  EXPECT_FALSE(markup::validate(builder.document()).ok());
+}
+
+TEST(ValidateTest, NegativeImageDimensionsRejected) {
+  hermes::LessonBuilder builder("img");
+  builder.image("I", "image:jpeg:x", Time::zero(), Time::sec(1), -5, 10);
+  EXPECT_FALSE(markup::validate(builder.document()).ok());
+}
+
+TEST(ValidateTest, TimedExplorationalLinkWarns) {
+  hermes::LessonBuilder builder("warn");
+  builder.video("V", "video:mpeg:v", Time::zero(), Time::sec(1));
+  markup::Document doc = builder.document();
+  markup::HyperLink link;
+  link.target_document = "x";
+  link.at = Time::sec(5);
+  link.kind = markup::HyperLink::Kind::kExplorational;
+  doc.sections[0].body.emplace_back(link);
+  const auto report = markup::validate(doc);
+  EXPECT_TRUE(report.ok());  // warning, not error
+  EXPECT_FALSE(report.issues.empty());
+}
+
+}  // namespace
+}  // namespace hyms

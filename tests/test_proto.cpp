@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "proto/messages.hpp"
+
+namespace hyms {
+namespace {
+
+using namespace hyms::proto;
+
+template <typename T>
+T round_trip(const T& msg) {
+  const auto decoded = decode(encode(Message{msg}));
+  EXPECT_TRUE(decoded.ok())
+      << (decoded.ok() ? std::string() : decoded.error().message);
+  return std::get<T>(decoded.value());
+}
+
+TEST(ProtoTest, ConnectRequest) {
+  ConnectRequest m{"alice", "secret"};
+  const auto got = round_trip(m);
+  EXPECT_EQ(got.user, "alice");
+  EXPECT_EQ(got.credential, "secret");
+}
+
+TEST(ProtoTest, ConnectReply) {
+  const auto got = round_trip(ConnectReply{true, false, "why"});
+  EXPECT_TRUE(got.ok);
+  EXPECT_FALSE(got.needs_subscription);
+  EXPECT_EQ(got.reason, "why");
+}
+
+TEST(ProtoTest, SubscribeRequestAllFields) {
+  SubscribeRequest m;
+  m.user = "bob";
+  m.credential = "pw";
+  m.real_name = "Bob B";
+  m.address = "Street 1";
+  m.telephone = "+30-1234";
+  m.email = "bob@x";
+  m.contract = "premium";
+  m.video_floor_level = 3;
+  m.audio_floor_level = 1;
+  const auto got = round_trip(m);
+  EXPECT_EQ(got.user, "bob");
+  EXPECT_EQ(got.real_name, "Bob B");
+  EXPECT_EQ(got.address, "Street 1");
+  EXPECT_EQ(got.telephone, "+30-1234");
+  EXPECT_EQ(got.email, "bob@x");
+  EXPECT_EQ(got.contract, "premium");
+  EXPECT_EQ(got.video_floor_level, 3);
+  EXPECT_EQ(got.audio_floor_level, 1);
+}
+
+TEST(ProtoTest, TopicList) {
+  const auto got = round_trip(TopicListReply{{"a", "b", "c"}});
+  EXPECT_EQ(got.documents, (std::vector<std::string>{"a", "b", "c"}));
+  round_trip(TopicListRequest{});
+}
+
+TEST(ProtoTest, DocumentRequestReply) {
+  EXPECT_EQ(round_trip(DocumentRequest{"lesson-1"}).document, "lesson-1");
+  const auto reply = round_trip(DocumentReply{true, "", "<TITLE> x </TITLE>"});
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(reply.markup, "<TITLE> x </TITLE>");
+}
+
+TEST(ProtoTest, StreamSetup) {
+  StreamSetup m;
+  m.document = "doc";
+  m.streams = {{"A1", 5004}, {"V1", 5006}, {"I1", 0}};
+  m.time_window_us = 750'000;
+  const auto got = round_trip(m);
+  EXPECT_EQ(got.document, "doc");
+  ASSERT_EQ(got.streams.size(), 3u);
+  EXPECT_EQ(got.streams[0].stream_id, "A1");
+  EXPECT_EQ(got.streams[0].rtp_port, 5004);
+  EXPECT_EQ(got.streams[2].rtp_port, 0);
+  EXPECT_EQ(got.time_window_us, 750'000);
+}
+
+TEST(ProtoTest, StreamSetupReply) {
+  StreamSetupReply m;
+  m.ok = true;
+  StreamSetupReply::StreamInfo rtp_info;
+  rtp_info.stream_id = "V1";
+  rtp_info.via_rtp = true;
+  rtp_info.ssrc = 0xAABBCCDD;
+  rtp_info.payload_type = 96;
+  rtp_info.clock_rate = 90'000;
+  rtp_info.sender_rtcp_node = 3;
+  rtp_info.sender_rtcp_port = 49200;
+  rtp_info.frame_interval_us = 40'000;
+  rtp_info.frame_count = 150;
+  rtp_info.initial_level = 0;
+  StreamSetupReply::StreamInfo tcp_info;
+  tcp_info.stream_id = "I1";
+  tcp_info.via_rtp = false;
+  tcp_info.tcp_port = 50000;
+  tcp_info.total_bytes = 46'080;
+  tcp_info.frame_count = 1;
+  m.streams = {rtp_info, tcp_info};
+
+  const auto got = round_trip(m);
+  ASSERT_EQ(got.streams.size(), 2u);
+  EXPECT_TRUE(got.streams[0].via_rtp);
+  EXPECT_EQ(got.streams[0].ssrc, 0xAABBCCDDu);
+  EXPECT_EQ(got.streams[0].clock_rate, 90'000u);
+  EXPECT_EQ(got.streams[0].sender_rtcp_port, 49200);
+  EXPECT_EQ(got.streams[0].frame_count, 150);
+  EXPECT_FALSE(got.streams[1].via_rtp);
+  EXPECT_EQ(got.streams[1].tcp_port, 50000);
+  EXPECT_EQ(got.streams[1].total_bytes, 46'080u);
+}
+
+TEST(ProtoTest, SimpleSignals) {
+  round_trip(Pause{});
+  round_trip(Resume{});
+  round_trip(Suspend{});
+  round_trip(SuspendExpired{});
+  round_trip(Disconnect{});
+  EXPECT_EQ(round_trip(StopStream{"V1"}).stream_id, "V1");
+  EXPECT_EQ(round_trip(SuspendAck{30'000'000}).keepalive_us, 30'000'000);
+}
+
+TEST(ProtoTest, Search) {
+  EXPECT_EQ(round_trip(SearchRequest{"networks"}).token, "networks");
+  SearchReply reply;
+  reply.hits = {{"lesson-1", "hermes-1"}, {"lesson-2", "hermes-2"}};
+  const auto got = round_trip(reply);
+  ASSERT_EQ(got.hits.size(), 2u);
+  EXPECT_EQ(got.hits[1].document, "lesson-2");
+  EXPECT_EQ(got.hits[1].server, "hermes-2");
+
+  const auto peer = round_trip(PeerSearchRequest{"tok", 42});
+  EXPECT_EQ(peer.token, "tok");
+  EXPECT_EQ(peer.request_id, 42u);
+  PeerSearchReply preply;
+  preply.request_id = 42;
+  preply.hits = {{"d", "s"}};
+  EXPECT_EQ(round_trip(preply).hits.size(), 1u);
+}
+
+TEST(ProtoTest, SessionResume) {
+  EXPECT_EQ(round_trip(ResumeSession{"alice"}).user, "alice");
+  const auto got = round_trip(ResumeSessionReply{false, "expired"});
+  EXPECT_FALSE(got.ok);
+  EXPECT_EQ(got.reason, "expired");
+}
+
+TEST(ProtoTest, Mail) {
+  const auto sent = round_trip(MailSend{"tutor", "question", "body text",
+                                        "text/plain"});
+  EXPECT_EQ(sent.to, "tutor");
+  EXPECT_EQ(sent.subject, "question");
+  EXPECT_EQ(sent.body, "body text");
+  EXPECT_EQ(sent.mime_type, "text/plain");
+  EXPECT_EQ(round_trip(MailFetch{7}).index, 7);
+  EXPECT_EQ(round_trip(MailList{{"s1", "s2"}}).subjects.size(), 2u);
+}
+
+TEST(ProtoTest, Directory) {
+  round_trip(DirectoryListRequest{});
+  DirectoryListReply reply;
+  reply.servers = {{"hermes-1", "maths lessons", 3, 5000},
+                   {"hermes-2", "physics lessons", 4, 5000}};
+  const auto got = round_trip(reply);
+  ASSERT_EQ(got.servers.size(), 2u);
+  EXPECT_EQ(got.servers[0].name, "hermes-1");
+  EXPECT_EQ(got.servers[1].description, "physics lessons");
+  EXPECT_EQ(got.servers[1].node, 4u);
+  EXPECT_EQ(got.servers[0].port, 5000);
+}
+
+TEST(ProtoTest, ErrorReply) {
+  EXPECT_EQ(round_trip(ErrorReply{"boom"}).what, "boom");
+}
+
+TEST(ProtoTest, EmptyFrameRejected) {
+  EXPECT_FALSE(decode(net::Payload{}).ok());
+}
+
+TEST(ProtoTest, TruncatedFrameRejected) {
+  auto frame = encode(Message{ConnectRequest{"alice", "pw"}});
+  frame.resize(frame.size() - 2);
+  EXPECT_FALSE(decode(frame).ok());
+}
+
+TEST(ProtoTest, UnknownTypeRejected) {
+  net::Payload frame{0xFF, 0, 0, 0};
+  EXPECT_FALSE(decode(frame).ok());
+}
+
+TEST(ProtoTest, MessageNames) {
+  EXPECT_EQ(message_name(Message{Pause{}}), "Pause");
+  EXPECT_EQ(message_name(Message{SearchReply{}}), "SearchReply");
+  EXPECT_EQ(message_name(Message{ErrorReply{}}), "ErrorReply");
+}
+
+TEST(ProtoTest, UnicodeAndEmptyStringsSurvive) {
+  const auto got = round_trip(MailSend{"", "ümläut κείμενο", "", "x/y"});
+  EXPECT_EQ(got.to, "");
+  EXPECT_EQ(got.subject, "ümläut κείμενο");
+  EXPECT_EQ(got.body, "");
+}
+
+}  // namespace
+}  // namespace hyms

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "hermes/lesson_builder.hpp"
+#include "hermes/sample_content.hpp"
+#include "markup/parser.hpp"
+
+namespace hyms {
+namespace {
+
+core::PresentationScenario fig2() {
+  auto doc = markup::parse(hermes::fig2_lesson_markup());
+  EXPECT_TRUE(doc.ok());
+  auto scenario = core::extract_scenario(doc.value());
+  EXPECT_TRUE(scenario.ok());
+  return std::move(scenario.value());
+}
+
+TEST(ScenarioTest, Fig2StreamsExtracted) {
+  const auto scenario = fig2();
+  EXPECT_EQ(scenario.title, "Figure 2 scenario");
+  ASSERT_EQ(scenario.streams.size(), 5u);  // I1 I2 A1 V A2
+
+  const auto* i1 = scenario.find_stream("I1");
+  ASSERT_NE(i1, nullptr);
+  EXPECT_EQ(i1->type, media::MediaType::kImage);
+  EXPECT_EQ(i1->start, Time::zero());
+  EXPECT_EQ(i1->duration, Time::sec(4));
+  EXPECT_EQ(i1->width, 320);
+
+  const auto* i2 = scenario.find_stream("I2");
+  ASSERT_NE(i2, nullptr);
+  EXPECT_EQ(i2->start, Time::sec(5));
+
+  const auto* a1 = scenario.find_stream("A1");
+  const auto* v = scenario.find_stream("V");
+  ASSERT_NE(a1, nullptr);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(a1->start, Time::sec(2));
+  EXPECT_EQ(v->start, Time::sec(2));
+  EXPECT_EQ(a1->duration, Time::sec(6));
+  EXPECT_EQ(v->duration, Time::sec(6));
+
+  const auto* a2 = scenario.find_stream("A2");
+  ASSERT_NE(a2, nullptr);
+  EXPECT_EQ(a2->start, Time::sec(10));
+  EXPECT_EQ(a2->duration, Time::sec(4));
+  EXPECT_TRUE(a2->sync_group.empty());
+}
+
+TEST(ScenarioTest, Fig2SyncGroupPairsAudioVideo) {
+  const auto scenario = fig2();
+  const auto* a1 = scenario.find_stream("A1");
+  const auto* v = scenario.find_stream("V");
+  EXPECT_FALSE(a1->sync_group.empty());
+  EXPECT_EQ(a1->sync_group, v->sync_group);
+
+  const auto peers = scenario.sync_peers("A1");
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0], "V");
+  EXPECT_TRUE(scenario.sync_peers("A2").empty());
+  EXPECT_TRUE(scenario.sync_peers("nonexistent").empty());
+}
+
+TEST(ScenarioTest, TotalDurationIsLatestEnd) {
+  const auto scenario = fig2();
+  EXPECT_EQ(scenario.total_duration(), Time::sec(14));  // A2 ends at 10+4
+}
+
+TEST(ScenarioTest, TextContentCollected) {
+  const auto scenario = fig2();
+  EXPECT_NE(scenario.text_content.find("shown throughout"), std::string::npos);
+  EXPECT_NE(scenario.text_content.find("pre-orchestrated"), std::string::npos);
+}
+
+TEST(ScenarioTest, TimedLinksExtracted) {
+  auto doc = markup::parse(hermes::intro_lesson_markup());
+  ASSERT_TRUE(doc.ok());
+  auto scenario = core::extract_scenario(doc.value());
+  ASSERT_TRUE(scenario.ok());
+  const auto* link = scenario.value().next_timed_link();
+  ASSERT_NE(link, nullptr);
+  EXPECT_EQ(link->target_document, "lesson-networks-1");
+  EXPECT_EQ(link->at, Time::sec(10));
+  EXPECT_TRUE(link->sequential);
+}
+
+TEST(ScenarioTest, EarliestTimedLinkWins) {
+  hermes::LessonBuilder builder("links");
+  builder.video("V", "video:mpeg:v", Time::zero(), Time::sec(20));
+  builder.link("late", "", Time::sec(15));
+  builder.link("early", "", Time::sec(5));
+  builder.link("untimed");
+  auto scenario = core::extract_scenario(builder.document());
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario.value().links.size(), 3u);
+  ASSERT_NE(scenario.value().next_timed_link(), nullptr);
+  EXPECT_EQ(scenario.value().next_timed_link()->target_document, "early");
+}
+
+TEST(ScenarioTest, InvalidDocumentRefused) {
+  hermes::LessonBuilder builder("bad");
+  builder.video("X", "video:mpeg:v", Time::zero(), Time::sec(5));
+  builder.video("X", "video:mpeg:w", Time::zero(), Time::sec(5));  // dup id
+  auto scenario = core::extract_scenario(builder.document());
+  EXPECT_FALSE(scenario.ok());
+  EXPECT_EQ(scenario.error().code, util::Error::Code::kValidation);
+}
+
+TEST(ScenarioTest, ImageWithoutDurationDoesNotBoundScenario) {
+  hermes::LessonBuilder builder("img");
+  builder.image("I", "image:jpeg:x", Time::sec(1));
+  builder.audio("A", "audio:pcm:a", Time::zero(), Time::sec(3));
+  auto scenario = core::extract_scenario(builder.document());
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario.value().total_duration(), Time::sec(3));
+}
+
+TEST(ScenarioTest, TextOnlyDocumentHasZeroDuration) {
+  hermes::LessonBuilder builder("text");
+  builder.text("only text here");
+  auto scenario = core::extract_scenario(builder.document());
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_TRUE(scenario.value().streams.empty());
+  EXPECT_EQ(scenario.value().total_duration(), Time::zero());
+}
+
+TEST(ScenarioTest, HostLinkCarriesHost) {
+  hermes::LessonBuilder builder("hosts");
+  builder.link("remote-doc", "hermes-2");
+  auto scenario = core::extract_scenario(builder.document());
+  ASSERT_TRUE(scenario.ok());
+  ASSERT_EQ(scenario.value().links.size(), 1u);
+  EXPECT_EQ(scenario.value().links[0].target_host, "hermes-2");
+  EXPECT_FALSE(scenario.value().links[0].sequential);
+}
+
+}  // namespace
+}  // namespace hyms

@@ -1,0 +1,499 @@
+#include <gtest/gtest.h>
+
+#include "client/browser_session.hpp"
+#include "hermes/lesson_builder.hpp"
+#include "hermes/deployment.hpp"
+#include "hermes/sample_content.hpp"
+#include "sim/simulator.hpp"
+
+namespace hyms {
+namespace {
+
+using client::BrowserSession;
+using client::ClientState;
+using server::SessionState;
+
+/// Service-protocol integration over the emulated network: every §5 / Fig. 4
+/// transition, driven end to end.
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : sim_(777), deployment_(sim_, config()) {
+    auto& docs = deployment_.server(0).documents();
+    EXPECT_TRUE(docs.add("fig2", hermes::fig2_lesson_markup()).ok());
+    EXPECT_TRUE(docs.add("intro", hermes::intro_lesson_markup()).ok());
+  }
+
+  static hermes::Deployment::Config config() {
+    hermes::Deployment::Config c;
+    c.server_template.suspend_keepalive = Time::sec(5);
+    return c;
+  }
+
+  std::unique_ptr<BrowserSession> session(const std::string& user,
+                                          const std::string& contract) {
+    BrowserSession::Config c;
+    auto s = std::make_unique<BrowserSession>(
+        deployment_.network(), deployment_.client_node(0),
+        deployment_.server(0).control_endpoint(), c);
+    s->set_subscription_form(hermes::student_form(user, contract));
+    return s;
+  }
+
+  sim::Simulator sim_;
+  hermes::Deployment deployment_;
+};
+
+TEST_F(ServiceTest, NewUserSubscriptionFlow) {
+  auto s = session("newbie", "basic");
+  s->connect("newbie", "secret-newbie");
+  sim_.run_until(Time::sec(2));
+  EXPECT_EQ(s->state(), ClientState::kBrowsing) << s->last_error();
+  EXPECT_EQ(deployment_.server(0).stats().subscriptions, 1);
+  // The subscription form populated the user database.
+  const auto* record = deployment_.server(0).users().find("newbie");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->contract, "basic");
+  EXPECT_EQ(record->email, "newbie@hermes.example");
+  EXPECT_EQ(record->logins.size(), 1u);
+  // Connect fee charged.
+  EXPECT_GT(deployment_.server(0).ledger().total("newbie"), 0.0);
+}
+
+TEST_F(ServiceTest, ExistingUserAuthenticates) {
+  auto first = session("alice", "standard");
+  first->connect("alice", "secret-alice");
+  sim_.run_until(Time::sec(1));
+  first->disconnect();
+  sim_.run_until(Time::sec(2));
+
+  // Second connection: user exists, no form needed.
+  BrowserSession::Config c;
+  BrowserSession second(deployment_.network(), deployment_.client_node(0),
+                        deployment_.server(0).control_endpoint(), c);
+  second.connect("alice", "secret-alice");
+  sim_.run_until(Time::sec(3));
+  EXPECT_EQ(second.state(), ClientState::kBrowsing) << second.last_error();
+  EXPECT_EQ(deployment_.server(0).stats().subscriptions, 1);
+}
+
+TEST_F(ServiceTest, BadCredentialRejected) {
+  auto good = session("carol", "basic");
+  good->connect("carol", "secret-carol");
+  sim_.run_until(Time::sec(1));
+  good->disconnect();
+  sim_.run_until(Time::sec(2));
+
+  BrowserSession::Config c;
+  BrowserSession bad(deployment_.network(), deployment_.client_node(0),
+                     deployment_.server(0).control_endpoint(), c);
+  bad.connect("carol", "wrong-password");
+  sim_.run_until(Time::sec(3));
+  EXPECT_NE(bad.state(), ClientState::kBrowsing);
+  EXPECT_NE(bad.last_error().find("authentication failed"), std::string::npos);
+  EXPECT_EQ(deployment_.server(0).stats().auth_failures, 1);
+}
+
+TEST_F(ServiceTest, UnknownDocumentRefused) {
+  auto s = session("dave", "basic");
+  s->connect("dave", "secret-dave");
+  sim_.run_until(Time::sec(1));
+  s->request_document("no-such-lesson");
+  sim_.run_until(Time::sec(2));
+  EXPECT_EQ(s->state(), ClientState::kBrowsing);
+  EXPECT_NE(s->last_error().find("no such document"), std::string::npos);
+}
+
+TEST_F(ServiceTest, RequestBeforeAuthIsProtocolError) {
+  BrowserSession::Config c;
+  c.auto_setup = false;
+  BrowserSession s(deployment_.network(), deployment_.client_node(0),
+                   deployment_.server(0).control_endpoint(), c);
+  // Drive the channel manually: ask for topics without authenticating.
+  s.connect("ghost", "nope");  // unknown user -> needs subscription, no form
+  sim_.run_until(Time::sec(1));
+  EXPECT_EQ(s.state(), ClientState::kSubscribing);
+  s.request_topics();
+  sim_.run_until(Time::sec(2));
+  EXPECT_NE(s.last_error().find("server error"), std::string::npos);
+  EXPECT_GT(deployment_.server(0).stats().protocol_errors, 0);
+}
+
+TEST_F(ServiceTest, TopicListMatchesStore) {
+  auto s = session("erin", "basic");
+  s->connect("erin", "secret-erin");
+  sim_.run_until(Time::sec(1));
+  s->request_topics();
+  sim_.run_until(Time::sec(2));
+  EXPECT_EQ(s->topics(), (std::vector<std::string>{"fig2", "intro"}));
+}
+
+TEST_F(ServiceTest, AdmissionRejectsWhenCapacityExhausted) {
+  // Shrink capacity so fig2's floor demand (audio floors at level 2 =
+  // 11kHz PCM + video floor 3) cannot fit.
+  hermes::Deployment::Config tiny_config = config();
+  tiny_config.server_template.admission.capacity_bps = 100e3;  // 100 kbps
+  sim::Simulator sim(888);
+  hermes::Deployment tiny(sim, tiny_config);
+  ASSERT_TRUE(
+      tiny.server(0).documents().add("fig2", hermes::fig2_lesson_markup()).ok());
+
+  BrowserSession::Config c;
+  BrowserSession s(tiny.network(), tiny.client_node(0),
+                   tiny.server(0).control_endpoint(), c);
+  s.set_subscription_form(hermes::student_form("frank", "basic"));
+  s.connect("frank", "secret-frank");
+  sim.run_until(Time::sec(1));
+  s.request_document("fig2");
+  sim.run_until(Time::sec(2));
+  EXPECT_EQ(s.state(), ClientState::kBrowsing);
+  EXPECT_NE(s.last_error().find("admission rejected"), std::string::npos);
+  EXPECT_EQ(tiny.server(0).stats().admission_rejections, 1);
+}
+
+TEST_F(ServiceTest, AdmissionReleasedOnDisconnect) {
+  auto s = session("gina", "standard");
+  s->connect("gina", "secret-gina");
+  sim_.run_until(Time::sec(1));
+  s->request_document("fig2");
+  sim_.run_until(Time::sec(3));
+  EXPECT_GT(deployment_.server(0).admission().reserved_bps(), 0.0);
+  s->disconnect();
+  sim_.run_until(Time::sec(5));
+  EXPECT_DOUBLE_EQ(deployment_.server(0).admission().reserved_bps(), 0.0);
+}
+
+TEST_F(ServiceTest, ServerSessionStatesFollowFig4) {
+  auto s = session("henry", "basic");
+  s->connect("henry", "secret-henry");
+  sim_.run_until(Time::sec(1));
+  auto states = deployment_.server(0).session_states();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0], SessionState::kReady);
+
+  s->request_document("fig2");
+  sim_.run_until(Time::sec(3));
+  EXPECT_EQ(deployment_.server(0).session_states()[0], SessionState::kViewing);
+
+  s->pause();
+  sim_.run_until(Time::sec(4));
+  EXPECT_EQ(deployment_.server(0).session_states()[0], SessionState::kPaused);
+
+  s->resume_presentation();
+  sim_.run_until(Time::sec(5));
+  EXPECT_EQ(deployment_.server(0).session_states()[0], SessionState::kViewing);
+
+  s->disconnect();
+  sim_.run_until(Time::sec(7));
+  EXPECT_EQ(deployment_.server(0).live_session_count(), 0u);
+}
+
+TEST_F(ServiceTest, SuspendHoldsSessionAndResumeRestores) {
+  auto s = session("iris", "basic");
+  s->connect("iris", "secret-iris");
+  sim_.run_until(Time::sec(1));
+  s->request_document("fig2");
+  sim_.run_until(Time::sec(3));
+  ASSERT_EQ(s->state(), ClientState::kViewing) << s->last_error();
+
+  s->suspend();
+  sim_.run_until(Time::sec(4));
+  EXPECT_EQ(s->state(), ClientState::kSuspended);
+  EXPECT_EQ(deployment_.server(0).session_states()[0],
+            SessionState::kSuspended);
+  EXPECT_EQ(deployment_.server(0).stats().suspends, 1);
+  // Admission released while suspended.
+  EXPECT_DOUBLE_EQ(deployment_.server(0).admission().reserved_bps(), 0.0);
+
+  // Come back within the keepalive window (5s).
+  s->resume_session();
+  sim_.run_until(Time::sec(6));
+  EXPECT_EQ(s->state(), ClientState::kBrowsing);
+  EXPECT_EQ(deployment_.server(0).stats().suspend_expiries, 0);
+}
+
+TEST_F(ServiceTest, SuspendedSessionExpiresAndCloses) {
+  auto s = session("jack", "basic");
+  s->connect("jack", "secret-jack");
+  sim_.run_until(Time::sec(1));
+  s->suspend();
+  sim_.run_until(Time::sec(2));
+  EXPECT_EQ(s->state(), ClientState::kSuspended);
+
+  // Keepalive is 5s; stay away for 10.
+  sim_.run_until(Time::sec(12));
+  EXPECT_EQ(s->state(), ClientState::kClosed);
+  EXPECT_EQ(deployment_.server(0).stats().suspend_expiries, 1);
+  EXPECT_EQ(deployment_.server(0).live_session_count(), 0u);
+  // The client was informed before the close.
+  bool saw_expiry = false;
+  for (const auto& event : s->event_log()) {
+    if (event.find("expired the suspended session") != std::string::npos) {
+      saw_expiry = true;
+    }
+  }
+  EXPECT_TRUE(saw_expiry);
+}
+
+TEST_F(ServiceTest, StopStreamDisablesSingleMedia) {
+  auto s = session("kate", "standard");
+  s->connect("kate", "secret-kate");
+  sim_.run_until(Time::sec(1));
+  s->request_document("fig2");
+  sim_.run_until(Time::sec(3));
+  ASSERT_EQ(s->state(), ClientState::kViewing);
+
+  s->stop_stream("V");  // user disables the video (§5)
+  sim_.run_until(Time::sec(20));
+  const auto& trace = s->presentation()->trace();
+  // Audio still played fully; video did not.
+  EXPECT_GT(trace.stream("A1").fresh, 100);
+  EXPECT_LT(trace.stream("V").fresh, 50);
+}
+
+TEST_F(ServiceTest, ViewingTimeIsCharged) {
+  auto s = session("liam", "premium");
+  s->connect("liam", "secret-liam");
+  sim_.run_until(Time::sec(1));
+  const double after_connect = deployment_.server(0).ledger().total("liam");
+  s->request_document("fig2");
+  sim_.run_until(Time::sec(10));
+  s->disconnect();
+  sim_.run_until(Time::sec(12));
+  EXPECT_GT(deployment_.server(0).ledger().total("liam"), after_connect);
+}
+
+TEST_F(ServiceTest, MailSendListFetch) {
+  auto tutor = session("tutor", "premium");
+  tutor->connect("tutor", "secret-tutor");
+  auto student = session("mary", "basic");
+  student->connect("mary", "secret-mary");
+  sim_.run_until(Time::sec(1));
+
+  student->send_mail("tutor", "question about fig2",
+                     "why does the video pause?", "text/plain");
+  sim_.run_until(Time::sec(2));
+  tutor->list_mail();
+  sim_.run_until(Time::sec(3));
+  ASSERT_EQ(tutor->mail_subjects().size(), 1u);
+  EXPECT_NE(tutor->mail_subjects()[0].find("question about fig2"),
+            std::string::npos);
+  EXPECT_NE(tutor->mail_subjects()[0].find("mary"), std::string::npos);
+
+  tutor->fetch_mail(0);
+  sim_.run_until(Time::sec(4));
+  ASSERT_TRUE(tutor->fetched_mail().has_value());
+  EXPECT_EQ(tutor->fetched_mail()->body, "why does the video pause?");
+  EXPECT_EQ(tutor->fetched_mail()->mime_type, "text/plain");
+
+  // Reply flows the other way.
+  tutor->send_mail("mary", "re: question", "see lesson intro", "text/plain");
+  sim_.run_until(Time::sec(5));
+  student->list_mail();
+  sim_.run_until(Time::sec(6));
+  EXPECT_EQ(student->mail_subjects().size(), 1u);
+}
+
+TEST_F(ServiceTest, SearchOnSingleServer) {
+  auto s = session("nina", "basic");
+  s->connect("nina", "secret-nina");
+  sim_.run_until(Time::sec(1));
+  s->search("Figure 2");
+  sim_.run_until(Time::sec(3));
+  ASSERT_TRUE(s->search_completed());
+  ASSERT_EQ(s->search_results().size(), 1u);
+  EXPECT_EQ(s->search_results()[0].document, "fig2");
+  EXPECT_EQ(s->search_results()[0].server, "hermes-1");
+}
+
+TEST_F(ServiceTest, LessonViewsLoggedPerUser) {
+  auto s = session("omar", "basic");
+  s->connect("omar", "secret-omar");
+  sim_.run_until(Time::sec(1));
+  s->request_document("fig2");
+  sim_.run_until(Time::sec(3));
+  s->request_document("intro");
+  sim_.run_until(Time::sec(5));
+  const auto* record = deployment_.server(0).users().find("omar");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->lessons_viewed,
+            (std::vector<std::string>{"fig2", "intro"}));
+}
+
+TEST_F(ServiceTest, AnnotateAndListRemarks) {
+  auto s = session("pete", "basic");
+  s->connect("pete", "secret-pete");
+  sim_.run_until(Time::sec(1));
+  s->request_document("fig2");
+  sim_.run_until(Time::sec(3));
+  ASSERT_EQ(s->state(), ClientState::kViewing);
+
+  s->annotate("the second image is unclear");
+  s->annotate("great narration");
+  sim_.run_until(Time::sec(4));
+  s->request_annotations("fig2");
+  sim_.run_until(Time::sec(5));
+  EXPECT_EQ(s->annotations(),
+            (std::vector<std::string>{"the second image is unclear",
+                                      "great narration"}));
+  // Server-side store agrees, and is per-user.
+  EXPECT_EQ(deployment_.server(0).annotations("pete", "fig2").size(), 2u);
+  EXPECT_TRUE(deployment_.server(0).annotations("someone", "fig2").empty());
+}
+
+TEST_F(ServiceTest, AnnotateUnknownDocumentIsError) {
+  auto s = session("quil", "basic");
+  s->connect("quil", "secret-quil");
+  sim_.run_until(Time::sec(1));
+  s->request_document("fig2");
+  sim_.run_until(Time::sec(3));
+  // Viewing fig2; now request annotations for a bogus document name.
+  s->request_annotations("nope");  // empty list, not an error
+  sim_.run_until(Time::sec(4));
+  EXPECT_TRUE(s->annotations().empty());
+}
+
+TEST_F(ServiceTest, ReloadRestartsPresentation) {
+  auto s = session("rhea", "basic");
+  s->connect("rhea", "secret-rhea");
+  sim_.run_until(Time::sec(1));
+  s->request_document("fig2");
+  sim_.run_until(Time::sec(8));
+  ASSERT_EQ(s->state(), ClientState::kViewing);
+  const auto fresh_before = s->presentation()->trace().totals().fresh;
+  EXPECT_GT(fresh_before, 0);
+
+  s->reload_document();  // §5: re-request the selected document
+  sim_.run_until(Time::sec(10));
+  ASSERT_EQ(s->state(), ClientState::kViewing) << s->last_error();
+  // A fresh presentation runtime: its trace starts over.
+  EXPECT_LT(s->presentation()->trace().totals().fresh, fresh_before);
+  sim_.run_until(Time::sec(30));
+  EXPECT_TRUE(s->presentation()->scheduler().finished());
+  // The same document was admitted twice under the same session key.
+  EXPECT_EQ(deployment_.server(0).stats().documents_served, 2);
+}
+
+TEST_F(ServiceTest, DurationBeyondSourceLoopsContent) {
+  // The AV source is 4 s long but the scenario schedules 12 s: the flow
+  // scheduler loops the content to fill the window.
+  hermes::LessonBuilder lesson("loop");
+  lesson.av_pair("LA", "audio:pcm:loop-voice:4", "LV",
+                 "video:mpeg:loop-clip:4:600", Time::zero(), Time::sec(12));
+  ASSERT_TRUE(deployment_.server(0)
+                  .documents()
+                  .add("loop", lesson.markup_text())
+                  .ok());
+  auto s = session("sven", "standard");
+  s->connect("sven", "secret-sven");
+  sim_.run_until(Time::sec(1));
+  s->request_document("loop");
+  sim_.run_until(Time::sec(20));
+  ASSERT_NE(s->presentation(), nullptr);
+  EXPECT_TRUE(s->presentation()->scheduler().finished());
+  // 12 s at 25 fps = 300 video slots, 12 s / 40 ms = 300 audio slots.
+  EXPECT_EQ(s->presentation()->trace().stream("LV").fresh, 300);
+  EXPECT_EQ(s->presentation()->trace().stream("LA").fresh, 300);
+  EXPECT_GT(s->presentation()->trace().stream("LV").fresh_ratio(), 0.99);
+}
+
+TEST(MediaHostsTest, FlowsOriginateFromDedicatedMediaServers) {
+  sim::Simulator sim(321);
+  hermes::Deployment::Config config;
+  config.separate_media_hosts = true;
+  hermes::Deployment deployment(sim, config);
+  ASSERT_TRUE(deployment.server(0)
+                  .documents()
+                  .add("fig2", hermes::fig2_lesson_markup())
+                  .ok());
+  // The media hosts really are distinct nodes.
+  const auto video_node =
+      deployment.media_node(0, media::MediaType::kVideo);
+  const auto audio_node =
+      deployment.media_node(0, media::MediaType::kAudio);
+  const auto image_node =
+      deployment.media_node(0, media::MediaType::kImage);
+  EXPECT_NE(video_node, deployment.server_node(0));
+  EXPECT_NE(video_node, audio_node);
+  EXPECT_NE(audio_node, image_node);
+
+  BrowserSession::Config bc;
+  BrowserSession s(deployment.network(), deployment.client_node(0),
+                   deployment.server(0).control_endpoint(), bc);
+  s.set_subscription_form(hermes::student_form("tess", "standard"));
+  s.connect("tess", "secret-tess");
+  sim.run_until(Time::sec(1));
+  s.request_document("fig2");
+  sim.run_until(Time::sec(25));
+
+  // The presentation plays exactly as with co-located media servers.
+  ASSERT_NE(s.presentation(), nullptr) << s.last_error();
+  EXPECT_TRUE(s.presentation()->scheduler().finished());
+  EXPECT_GT(s.presentation()->trace().totals().fresh_ratio(), 0.98);
+
+  // And the parallel connections really crossed the media hosts' links.
+  auto* video_link =
+      deployment.network().find_link(video_node, deployment.router());
+  auto* audio_link =
+      deployment.network().find_link(audio_node, deployment.router());
+  auto* image_link =
+      deployment.network().find_link(image_node, deployment.router());
+  ASSERT_NE(video_link, nullptr);
+  EXPECT_GT(video_link->stats().delivered, 100);  // 150 video frames
+  EXPECT_GT(audio_link->stats().delivered, 100);  // audio fragments
+  EXPECT_GT(image_link->stats().delivered, 10);   // two images over TCP
+}
+
+class MultiServerSearchTest : public ::testing::Test {
+ protected:
+  MultiServerSearchTest() : sim_(4242) {
+    hermes::Deployment::Config config;
+    config.server_count = 3;
+    deployment_ = std::make_unique<hermes::Deployment>(sim_, config);
+    // Spread a catalogue over the three servers.
+    const auto catalogue = hermes::lesson_catalogue(9);
+    for (std::size_t i = 0; i < catalogue.size(); ++i) {
+      auto& server = deployment_->server(static_cast<int>(i % 3));
+      EXPECT_TRUE(
+          server.documents().add(catalogue[i].name, catalogue[i].markup).ok());
+    }
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<hermes::Deployment> deployment_;
+};
+
+TEST_F(MultiServerSearchTest, SearchFansOutToAllServers) {
+  client::BrowserSession::Config c;
+  client::BrowserSession s(deployment_->network(), deployment_->client_node(0),
+                           deployment_->server(0).control_endpoint(), c);
+  s.set_subscription_form(hermes::student_form("pat", "basic"));
+  s.connect("pat", "secret-pat");
+  sim_.run_until(Time::sec(1));
+
+  // "fundamentals" appears in every lesson, across all three servers.
+  s.search("fundamentals");
+  sim_.run_until(Time::sec(4));
+  ASSERT_TRUE(s.search_completed());
+  EXPECT_EQ(s.search_results().size(), 9u);
+  std::set<std::string> servers;
+  for (const auto& hit : s.search_results()) servers.insert(hit.server);
+  EXPECT_EQ(servers.size(), 3u) << "hits must name all three servers";
+  EXPECT_EQ(deployment_->server(1).stats().peer_queries_answered, 1);
+  EXPECT_EQ(deployment_->server(2).stats().peer_queries_answered, 1);
+}
+
+TEST_F(MultiServerSearchTest, SearchWithNoMatchesIsEmptyNotHung) {
+  client::BrowserSession::Config c;
+  client::BrowserSession s(deployment_->network(), deployment_->client_node(0),
+                           deployment_->server(0).control_endpoint(), c);
+  s.set_subscription_form(hermes::student_form("quinn", "basic"));
+  s.connect("quinn", "secret-quinn");
+  sim_.run_until(Time::sec(1));
+  s.search("zebra-unicorn-token");
+  sim_.run_until(Time::sec(4));
+  EXPECT_TRUE(s.search_completed());
+  EXPECT_TRUE(s.search_results().empty());
+}
+
+}  // namespace
+}  // namespace hyms

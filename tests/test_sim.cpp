@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hyms {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(Time::msec(30), [&] { order.push_back(3); });
+  sim.schedule_at(Time::msec(10), [&] { order.push_back(1); });
+  sim.schedule_at(Time::msec(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Time::msec(30));
+}
+
+TEST(SimulatorTest, FifoAmongEqualTimestamps) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(Time::msec(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  sim::Simulator sim;
+  Time fired;
+  sim.schedule_at(Time::msec(100), [&] {
+    sim.schedule_after(Time::msec(50), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, Time::msec(150));
+}
+
+TEST(SimulatorTest, PastSchedulingClampsToNow) {
+  sim::Simulator sim;
+  Time fired = Time::max();
+  sim.schedule_at(Time::msec(100), [&] {
+    sim.schedule_at(Time::msec(10), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, Time::msec(100));
+}
+
+TEST(SimulatorTest, NegativeDelayClamps) {
+  sim::Simulator sim;
+  bool fired = false;
+  sim.schedule_after(Time::usec(-500), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), Time::zero());
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  sim::Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(Time::msec(10), [&] { fired = true; });
+  EXPECT_TRUE(sim.pending(id));
+  sim.cancel(id);
+  EXPECT_FALSE(sim.pending(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  sim::Simulator sim;
+  int count = 0;
+  const auto id = sim.schedule_at(Time::msec(1), [&] { ++count; });
+  sim.run();
+  EXPECT_FALSE(sim.pending(id));
+  sim.cancel(id);  // must not throw or corrupt anything
+  sim.schedule_at(Time::msec(2), [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsNoop) {
+  sim::Simulator sim;
+  sim.cancel(sim::kNoEvent);
+  sim.cancel(987654);
+  EXPECT_FALSE(sim.pending(987654));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(Time::msec(10), [&] { order.push_back(1); });
+  sim.schedule_at(Time::msec(30), [&] { order.push_back(2); });
+  sim.run_until(Time::msec(20));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.now(), Time::msec(20));
+  sim.run_until(Time::msec(40));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, RunUntilIncludesDeadlineEvents) {
+  sim::Simulator sim;
+  bool fired = false;
+  sim.schedule_at(Time::msec(20), [&] { fired = true; });
+  sim.run_until(Time::msec(20));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, QueuedCountTracksLiveEvents) {
+  sim::Simulator sim;
+  const auto a = sim.schedule_at(Time::msec(1), [] {});
+  sim.schedule_at(Time::msec(2), [] {});
+  EXPECT_EQ(sim.queued(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.queued(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.queued(), 0u);
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  sim::Simulator sim;
+  int count = 0;
+  sim.schedule_at(Time::msec(1), [&] { ++count; });
+  sim.schedule_at(Time::msec(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, EventBudgetTrips) {
+  sim::Simulator sim;
+  sim.set_event_budget(100);
+  std::function<void()> loop = [&] { sim.schedule_after(Time::usec(1), loop); };
+  sim.schedule_after(Time::usec(1), loop);
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(SimulatorTest, DeterministicTraceForSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulator sim(seed);
+    std::vector<std::uint64_t> trace;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(Time::msec(sim.rng().range(0, 100)),
+                      [&trace, &sim] { trace.push_back(sim.now().us() % 997); });
+    }
+    sim.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(99), run_once(99));
+  EXPECT_NE(run_once(99), run_once(100));
+}
+
+TEST(PeriodicTimerTest, FiresAtPeriod) {
+  sim::Simulator sim;
+  std::vector<Time> fires;
+  sim::PeriodicTimer timer(sim, Time::msec(10),
+                           [&] { fires.push_back(sim.now()); });
+  sim.run_until(Time::msec(35));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[0], Time::msec(10));
+  EXPECT_EQ(fires[1], Time::msec(20));
+  EXPECT_EQ(fires[2], Time::msec(30));
+}
+
+TEST(PeriodicTimerTest, StopHalts) {
+  sim::Simulator sim;
+  int count = 0;
+  sim::PeriodicTimer timer(sim, Time::msec(10), [&] { ++count; });
+  sim.schedule_at(Time::msec(25), [&] { timer.stop(); });
+  sim.run_until(Time::msec(100));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTimerTest, DestructionCancels) {
+  sim::Simulator sim;
+  int count = 0;
+  {
+    sim::PeriodicTimer timer(sim, Time::msec(10), [&] { ++count; });
+  }
+  sim.run_until(Time::msec(100));
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PeriodicTimerTest, PeriodChangeTakesEffectNextArm) {
+  sim::Simulator sim;
+  std::vector<Time> fires;
+  sim::PeriodicTimer timer(sim, Time::msec(10),
+                           [&] { fires.push_back(sim.now()); });
+  sim.schedule_at(Time::msec(15), [&] { timer.set_period(Time::msec(30)); });
+  sim.run_until(Time::msec(60));
+  // Fires at 10, 20 (already armed with old period), then 50.
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[2], Time::msec(50));
+}
+
+
+/// Property: under random schedule/cancel interleavings, every scheduled
+/// event either fires exactly once or was cancelled exactly once, and the
+/// queue drains to empty.
+class SimCancelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimCancelProperty, EveryEventFiresOrWasCancelled) {
+  sim::Simulator sim(GetParam());
+  auto& rng = sim.rng();
+  int fired = 0;
+  int cancelled = 0;
+  std::vector<sim::EventId> pending;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    if (!pending.empty() && rng.bernoulli(0.3)) {
+      const auto pick = rng.below(pending.size());
+      const auto id = pending[pick];
+      if (sim.pending(id)) {
+        sim.cancel(id);
+        ++cancelled;
+      }
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    pending.push_back(sim.schedule_at(Time::msec(rng.range(0, 1000)),
+                                      [&fired] { ++fired; }));
+  }
+  sim.run();
+  EXPECT_EQ(fired + cancelled, n);
+  EXPECT_EQ(sim.queued(), 0u);
+  EXPECT_EQ(sim.executed(), static_cast<std::size_t>(fired));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimCancelProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace hyms

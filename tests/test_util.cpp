@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace hyms {
+namespace {
+
+// --- Time ---------------------------------------------------------------------
+
+TEST(TimeTest, ConstructionAndAccessors) {
+  EXPECT_EQ(Time::usec(1500).us(), 1500);
+  EXPECT_EQ(Time::msec(3).us(), 3000);
+  EXPECT_EQ(Time::sec(2).us(), 2'000'000);
+  EXPECT_EQ(Time::seconds(0.25).us(), 250'000);
+  EXPECT_EQ(Time::msec(1500).ms(), 1500);
+  EXPECT_DOUBLE_EQ(Time::msec(250).to_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(Time::usec(1500).to_ms(), 1.5);
+}
+
+TEST(TimeTest, Arithmetic) {
+  const Time a = Time::msec(100);
+  const Time b = Time::msec(40);
+  EXPECT_EQ((a + b).ms(), 140);
+  EXPECT_EQ((a - b).ms(), 60);
+  EXPECT_EQ((b * 3).ms(), 120);
+  EXPECT_EQ((a / 2).ms(), 50);
+  EXPECT_EQ((3 * b).ms(), 120);
+  Time c = a;
+  c += b;
+  EXPECT_EQ(c.ms(), 140);
+  c -= a;
+  EXPECT_EQ(c.ms(), 40);
+}
+
+TEST(TimeTest, ComparisonAndOrdering) {
+  EXPECT_LT(Time::msec(1), Time::msec(2));
+  EXPECT_EQ(Time::msec(1000), Time::sec(1));
+  EXPECT_GE(Time::zero(), Time::zero());
+  EXPECT_GT(Time::max(), Time::sec(1'000'000));
+}
+
+TEST(TimeTest, AbsAndRatio) {
+  EXPECT_EQ((Time::msec(10) - Time::msec(30)).abs().ms(), 20);
+  EXPECT_DOUBLE_EQ(Time::msec(250).ratio(Time::msec(500)), 0.5);
+}
+
+TEST(TimeTest, StringRendering) {
+  EXPECT_EQ(Time::msec(1250).str(), "1.250s");
+  EXPECT_EQ(Time::zero().str(), "0.000s");
+  EXPECT_EQ(Time::usec(40'000).str(), "0.040s");
+}
+
+// --- Rng ------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  util::Rng a(42);
+  util::Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkIsIndependentOfParentConsumption) {
+  util::Rng a(7);
+  util::Rng fork_before = a.fork(3);
+  a.next_u64();
+  a.next_u64();
+  // fork() must not depend on how much the parent has consumed after forking.
+  util::Rng c(7);
+  util::Rng fork_again = c.fork(3);
+  EXPECT_EQ(fork_before.next_u64(), fork_again.next_u64());
+}
+
+TEST(RngTest, UniformInRange) {
+  util::Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanConverges) {
+  util::Rng rng(13);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  util::Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  util::Rng rng(19);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(3, 5);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMean) {
+  util::Rng rng(23);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(RngTest, NormalMoments) {
+  util::Rng rng(29);
+  util::OnlineStats stats;
+  for (int i = 0; i < 200'000; ++i) stats.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  util::Rng rng(31);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ParetoAboveScale) {
+  util::Rng rng(37);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(rng.pareto(2.0, 1.5), 1.5);
+  }
+}
+
+// --- OnlineStats ------------------------------------------------------------------
+
+TEST(OnlineStatsTest, BasicMoments) {
+  util::OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  const util::OnlineStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesCombined) {
+  util::Rng rng(41);
+  util::OnlineStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3, 2);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+// --- Sampler ---------------------------------------------------------------------
+
+TEST(SamplerTest, ExactPercentiles) {
+  util::Sampler s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SamplerTest, PercentileAfterMoreAdds) {
+  util::Sampler s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 10.0);
+  s.add(20);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(s.percentile(100), 20.0);
+}
+
+TEST(SamplerTest, EmptySamplerIsSafe) {
+  const util::Sampler s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+// --- Histogram --------------------------------------------------------------------
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  util::Histogram h(0, 10, 10);
+  h.add(-1);
+  h.add(0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10);
+  h.add(42);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.bucket(5), 1);
+  EXPECT_EQ(h.bucket(9), 1);
+  EXPECT_EQ(h.total(), 6);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(util::Histogram(5, 5, 10), std::invalid_argument);
+  EXPECT_THROW(util::Histogram(0, 10, 0), std::invalid_argument);
+}
+
+// --- CounterSet --------------------------------------------------------------------
+
+TEST(CounterSetTest, IncrementAndQuery) {
+  util::CounterSet c;
+  c.inc("drops");
+  c.inc("drops", 4);
+  EXPECT_EQ(c.get("drops"), 5);
+  EXPECT_EQ(c.get("missing"), 0);
+  c.reset();
+  EXPECT_EQ(c.get("drops"), 0);
+}
+
+// --- strings -----------------------------------------------------------------------
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(util::to_lower("HeLLo"), "hello");
+  EXPECT_EQ(util::to_upper("hErMeS"), "HERMES");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(util::trim("  x y  "), "x y");
+  EXPECT_EQ(util::trim("\t\n"), "");
+  EXPECT_EQ(util::trim(""), "");
+  EXPECT_EQ(util::trim("abc"), "abc");
+}
+
+TEST(StringsTest, Split) {
+  const auto parts = util::split("a:b::c", ':');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(util::split("", ':').size(), 1u);
+}
+
+TEST(StringsTest, CaseInsensitiveEquality) {
+  EXPECT_TRUE(util::iequals("MPEG", "mpeg"));
+  EXPECT_FALSE(util::iequals("MPEG", "mpg"));
+  EXPECT_FALSE(util::iequals("a", "ab"));
+}
+
+TEST(StringsTest, ContainsCi) {
+  EXPECT_TRUE(util::contains_ci("Introduction to Networks", "NETWORK"));
+  EXPECT_FALSE(util::contains_ci("algebra", "networks"));
+  EXPECT_TRUE(util::contains_ci("anything", ""));
+  EXPECT_FALSE(util::contains_ci("ab", "abc"));
+}
+
+TEST(StringsTest, JoinAndPad) {
+  EXPECT_EQ(util::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(util::join({}, ","), "");
+  EXPECT_EQ(util::pad("ab", 5), "ab   ");
+  EXPECT_EQ(util::pad("abcdef", 3), "abcdef");
+}
+
+// --- Result -----------------------------------------------------------------------
+
+TEST(ResultTest, ValueAndError) {
+  util::Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+
+  util::Result<int> bad(util::parse_error("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, util::Error::Code::kParse);
+  EXPECT_THROW((void)bad.value(), std::logic_error);
+}
+
+TEST(ResultTest, TakeMoves) {
+  util::Result<std::string> r(std::string("payload"));
+  const std::string s = std::move(r).take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(StatusTest, OkAndError) {
+  util::Status ok;
+  EXPECT_TRUE(ok.ok());
+  util::Status bad(util::validation_error("invalid"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, util::Error::Code::kValidation);
+}
+
+}  // namespace
+}  // namespace hyms
