@@ -9,8 +9,7 @@ namespace hyms::markup {
 namespace {
 
 bool is_keyword_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-         std::isdigit(static_cast<unsigned char>(c));
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
 class Cursor {
@@ -45,6 +44,9 @@ class Cursor {
 
 util::Result<std::vector<Token>> lex(std::string_view input) {
   std::vector<Token> tokens;
+  // A token spans several input characters (tags, words, whitespace between),
+  // so this comfortably bounds most documents with one allocation.
+  tokens.reserve(input.size() / 6 + 8);
   Cursor cur(input);
 
   auto error_at = [&](const std::string& msg) {

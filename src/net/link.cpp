@@ -8,9 +8,9 @@
 namespace hyms::net {
 
 Link::Link(sim::Simulator& sim, std::string name, LinkParams params,
-           NodeId to_node, DeliverFn deliver, util::Rng rng)
+           NodeId to_node, DeliverFn deliver, util::Rng rng, PayloadPool* pool)
     : sim_(sim), name_(std::move(name)), params_(std::move(params)),
-      to_(to_node), deliver_(std::move(deliver)), rng_(rng) {}
+      to_(to_node), deliver_(std::move(deliver)), rng_(rng), pool_(pool) {}
 
 Time Link::serialization_time(std::size_t bytes) const {
   const double seconds =
@@ -25,11 +25,13 @@ void Link::transmit(Packet&& pkt) {
   if (queued_bytes_ + size > params_.queue_capacity_bytes) {
     ++stats_.dropped_queue;
     LOG_TRACE << "link " << name_ << " queue drop pkt " << pkt.id;
+    if (pool_ != nullptr) pool_->release(std::move(pkt.payload));
     return;
   }
   if (params_.loss && params_.loss->drop(rng_)) {
     ++stats_.dropped_loss;
     LOG_TRACE << "link " << name_ << " random loss pkt " << pkt.id;
+    if (pool_ != nullptr) pool_->release(std::move(pkt.payload));
     return;
   }
 

@@ -36,8 +36,11 @@ class Link {
  public:
   using DeliverFn = std::function<void(Packet&&)>;
 
+  /// `pool`, if given, receives the payload buffers of packets the link
+  /// drops, so drop-heavy runs recycle allocations just like delivered ones.
   Link(sim::Simulator& sim, std::string name, LinkParams params,
-       NodeId to_node, DeliverFn deliver, util::Rng rng);
+       NodeId to_node, DeliverFn deliver, util::Rng rng,
+       PayloadPool* pool = nullptr);
 
   /// Offer a packet to the link. May drop (queue full or loss model); on
   /// success schedules delivery at the far end.
@@ -74,6 +77,7 @@ class Link {
   NodeId to_;
   DeliverFn deliver_;
   util::Rng rng_;
+  PayloadPool* pool_ = nullptr;
 
   Time busy_until_ = Time::zero();
   std::size_t queued_bytes_ = 0;

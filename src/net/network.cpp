@@ -45,7 +45,7 @@ std::pair<Link*, Link*> Network::connect(NodeId a, NodeId b,
     auto link = std::make_unique<Link>(
         sim_, nodes_[from]->name + "->" + nodes_[to]->name, p, to,
         [this, to](Packet&& pkt) { deliver_at(to, std::move(pkt)); },
-        rng_.fork(next_link_rng_++));
+        rng_.fork(next_link_rng_++), &pool_);
     Link* raw = link.get();
     nodes_[from]->out_links.push_back(std::move(link));
     return raw;
@@ -57,11 +57,12 @@ std::pair<Link*, Link*> Network::connect(NodeId a, NodeId b,
 }
 
 void Network::compute_routes() {
-  // All-pairs next hop by BFS from every node (hop-count shortest path).
+  // All-pairs next hop by BFS from every node (hop-count shortest path). The
+  // result is a flat per-node vector indexed by destination, so forwarding is
+  // one bounds check and one load per hop.
   for (auto& src : nodes_) {
-    src->next_hop.clear();
+    src->next_hop.assign(nodes_.size(), nullptr);  // first-hop link from src
     std::deque<NodeId> frontier{src->id};
-    std::vector<Link*> via(nodes_.size(), nullptr);  // first-hop link from src
     std::vector<bool> seen(nodes_.size(), false);
     seen[src->id] = true;
     while (!frontier.empty()) {
@@ -71,8 +72,8 @@ void Network::compute_routes() {
         const NodeId nxt = link->to_node();
         if (seen[nxt]) continue;
         seen[nxt] = true;
-        via[nxt] = (cur == src->id) ? link.get() : via[cur];
-        src->next_hop[nxt] = via[nxt];
+        src->next_hop[nxt] =
+            (cur == src->id) ? link.get() : src->next_hop[cur];
         frontier.push_back(nxt);
       }
     }
@@ -122,20 +123,26 @@ void Network::deliver_at(NodeId node_id, Packet&& pkt) {
     if (it == node.sockets.end()) {
       ++stats_.dropped_no_socket;
       LOG_TRACE << "no socket at " << node.name << ":" << pkt.dst.port;
+      pool_.release(std::move(pkt.payload));
       return;
     }
     ++stats_.delivered;
     stats_.end_to_end_delay_ms.add((sim_.now() - pkt.injected_at).to_ms());
     it->second->deliver(pkt);
+    // Receivers see a const Packet& and copy what they keep, so the payload
+    // buffer can be recycled as soon as the callback returns.
+    pool_.release(std::move(pkt.payload));
     return;
   }
-  auto it = node.next_hop.find(pkt.dst.node);
-  if (it == node.next_hop.end()) {
+  Link* hop = pkt.dst.node < node.next_hop.size() ? node.next_hop[pkt.dst.node]
+                                                  : nullptr;
+  if (hop == nullptr) {
     ++stats_.dropped_no_route;
     LOG_WARN << "no route from " << node.name << " to node " << pkt.dst.node;
+    pool_.release(std::move(pkt.payload));
     return;
   }
-  it->second->transmit(std::move(pkt));
+  hop->transmit(std::move(pkt));
 }
 
 const std::string& Network::node_name(NodeId id) const {

@@ -68,6 +68,10 @@ class Network {
   void send(Endpoint src, Endpoint dst, Payload payload);
 
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  /// Buffer pool for datagram payloads. High-rate senders (RTP) acquire
+  /// their wire buffers here; the network returns every payload it finishes
+  /// with (delivered or dropped), closing the recycling loop.
+  [[nodiscard]] PayloadPool& payload_pool() { return pool_; }
   [[nodiscard]] const std::string& node_name(NodeId id) const;
   [[nodiscard]] Link* find_link(NodeId from, NodeId to);
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
@@ -87,7 +91,10 @@ class Network {
     std::string name;
     bool is_host;
     std::vector<std::unique_ptr<Link>> out_links;
-    std::map<NodeId, Link*> next_hop;          // dst -> link
+    /// Flat routing table indexed by destination NodeId (nullptr = no
+    /// route), rebuilt by compute_routes(); one indexed load per hop instead
+    /// of a map lookup.
+    std::vector<Link*> next_hop;
     std::map<Port, std::unique_ptr<DatagramSocket>> sockets;
     Port next_ephemeral = 49152;
   };
@@ -102,6 +109,7 @@ class Network {
   bool routes_dirty_ = true;
   std::uint64_t next_packet_id_ = 1;
   std::uint64_t next_link_rng_ = 1;
+  PayloadPool pool_;
   Stats stats_;
 };
 

@@ -23,6 +23,41 @@ struct Endpoint {
   friend bool operator==(const Endpoint&, const Endpoint&) = default;
 };
 
+/// Recycles payload buffers between datagrams. RTP senders emit thousands of
+/// packets per session; without a pool every one costs a heap allocation for
+/// its payload vector plus a free after delivery. The Network owns one pool,
+/// returns delivered/dropped payloads to it, and hands recycled (cleared,
+/// capacity-retaining) buffers to senders via acquire().
+class PayloadPool {
+ public:
+  /// A cleared buffer with at least `reserve` bytes of capacity.
+  [[nodiscard]] Payload acquire(std::size_t reserve = 0) {
+    if (pool_.empty()) {
+      Payload fresh;
+      fresh.reserve(reserve);
+      return fresh;
+    }
+    Payload buf = std::move(pool_.back());
+    pool_.pop_back();
+    buf.clear();
+    if (buf.capacity() < reserve) buf.reserve(reserve);
+    return buf;
+  }
+
+  /// Return a buffer to the pool (no-op beyond the cap or for empty buffers).
+  void release(Payload&& buf) {
+    if (buf.capacity() > 0 && pool_.size() < kMaxPooled) {
+      pool_.push_back(std::move(buf));
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return pool_.size(); }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 1024;
+  std::vector<Payload> pool_;
+};
+
 /// A datagram in flight. The emulator charges wire_size() bits of link
 /// capacity per hop; payload bytes are the application's serialized data
 /// (e.g. an RTP packet or a TCP-like segment).

@@ -9,7 +9,12 @@ using net::WireWriter;
 
 net::Payload serialize_rtp(const RtpPacket& pkt) {
   net::Payload out;
-  out.reserve(kRtpHeaderSize + 4 + pkt.payload.size());
+  serialize_rtp_into(pkt, out);
+  return out;
+}
+
+void serialize_rtp_into(const RtpPacket& pkt, net::Payload& out) {
+  out.reserve(out.size() + kRtpHeaderSize + 4 + pkt.payload.size());
   WireWriter w(out);
   // V=2 P=0 X=0 CC=0 -> first byte 0x80; M + PT in second byte.
   w.u8(0x80);
@@ -22,7 +27,6 @@ net::Payload serialize_rtp(const RtpPacket& pkt) {
   w.u16(pkt.frag_index);
   w.u16(pkt.frag_count);
   w.bytes(pkt.payload.data(), pkt.payload.size());
-  return out;
 }
 
 std::optional<RtpPacket> parse_rtp(const net::Payload& wire) {
@@ -89,6 +93,11 @@ void write_rtcp_header(WireWriter& w, RtcpType type, std::uint8_t count,
 
 net::Payload serialize_rtcp(const RtcpCompound& compound) {
   net::Payload out;
+  serialize_rtcp_into(compound, out);
+  return out;
+}
+
+void serialize_rtcp_into(const RtcpCompound& compound, net::Payload& out) {
   WireWriter w(out);
 
   for (const auto& sr : compound.sender_reports) {
@@ -136,7 +145,6 @@ net::Payload serialize_rtcp(const RtcpCompound& compound) {
                       static_cast<std::uint16_t>(body.size() / 4));
     w.bytes(body.data(), body.size());
   }
-  return out;
 }
 
 std::optional<RtcpCompound> parse_rtcp(const net::Payload& wire) {

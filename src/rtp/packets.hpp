@@ -31,6 +31,9 @@ struct RtpPacket {
 };
 
 [[nodiscard]] net::Payload serialize_rtp(const RtpPacket& pkt);
+/// Append the wire form to `out` — lets senders serialize into a recycled
+/// buffer (net::PayloadPool) instead of allocating per packet.
+void serialize_rtp_into(const RtpPacket& pkt, net::Payload& out);
 [[nodiscard]] std::optional<RtpPacket> parse_rtp(const net::Payload& wire);
 
 // --- RTCP (RFC 1889 §6) -----------------------------------------------------
@@ -90,6 +93,8 @@ struct RtcpCompound {
 };
 
 [[nodiscard]] net::Payload serialize_rtcp(const RtcpCompound& compound);
+/// Append the wire form to `out` (see serialize_rtp_into).
+void serialize_rtcp_into(const RtcpCompound& compound, net::Payload& out);
 [[nodiscard]] std::optional<RtcpCompound> parse_rtcp(const net::Payload& wire);
 
 }  // namespace hyms::rtp

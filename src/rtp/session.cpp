@@ -50,7 +50,10 @@ void RtpSender::send_frame(const std::vector<std::uint8_t>& data,
                        data.begin() + static_cast<std::ptrdiff_t>(end));
     stats_.octets_sent += static_cast<std::int64_t>(pkt.payload.size());
     ++stats_.packets_sent;
-    rtp_socket_->send(remote_rtp_, serialize_rtp(pkt));
+    auto wire = net_.payload_pool().acquire(kRtpHeaderSize + 4 +
+                                            pkt.payload.size());
+    serialize_rtp_into(pkt, wire);
+    rtp_socket_->send(remote_rtp_, std::move(wire));
   }
   ++stats_.frames_sent;
 }
@@ -65,14 +68,18 @@ void RtpSender::emit_sender_report() {
   sr.octet_count = static_cast<std::uint32_t>(stats_.octets_sent);
   RtcpCompound compound;
   compound.sender_reports.push_back(sr);
-  rtcp_socket_->send(remote_rtcp_, serialize_rtcp(compound));
+  auto wire = net_.payload_pool().acquire();
+  serialize_rtcp_into(compound, wire);
+  rtcp_socket_->send(remote_rtcp_, std::move(wire));
 }
 
 void RtpSender::send_bye(const std::string& reason) {
   if (remote_rtcp_.node == net::kNoNode) return;
   RtcpCompound compound;
   compound.byes.push_back(Bye{params_.ssrc, reason});
-  rtcp_socket_->send(remote_rtcp_, serialize_rtcp(compound));
+  auto wire = net_.payload_pool().acquire();
+  serialize_rtcp_into(compound, wire);
+  rtcp_socket_->send(remote_rtcp_, std::move(wire));
 }
 
 void RtpSender::on_rtcp(const net::Packet& pkt) {
@@ -283,7 +290,9 @@ void RtpReceiver::emit_receiver_report() {
     if (!app.metrics.empty()) compound.app_qos.push_back(std::move(app));
   }
   ++stats_.reports_sent;
-  rtcp_socket_->send(sender_rtcp_, serialize_rtcp(compound));
+  auto wire = net_.payload_pool().acquire();
+  serialize_rtcp_into(compound, wire);
+  rtcp_socket_->send(sender_rtcp_, std::move(wire));
 }
 
 }  // namespace hyms::rtp

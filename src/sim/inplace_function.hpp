@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hyms::sim {
+
+/// Move-only `void()` callable with small-buffer optimization. Event lambdas
+/// (a couple of captured pointers plus some state) are stored inline; only
+/// captures larger than the inline buffer fall back to the heap. This keeps
+/// Simulator::schedule_* allocation-free on the hot path, where
+/// `std::function` would allocate for anything beyond two words.
+///
+/// Callables that are trivially copyable and destructible — almost every
+/// event lambda — are tagged in the vtable pointer's low bit: moving one is a
+/// plain memcpy and destroying it is a no-op, so the simulator's
+/// move-into-slab / move-out-to-fire cycle costs no indirect calls beyond the
+/// final invocation.
+class InplaceFunction {
+ public:
+  /// Inline capture budget. 40 bytes + the vtable pointer sizes the whole
+  /// object at 48 bytes, so a simulator slab slot (callable + 16 bytes of
+  /// bookkeeping) is exactly one cache line; the common event lambdas (a few
+  /// captured pointers and scalars) fit inline, and larger captures — e.g. a
+  /// packet moved into a link-delivery event — fall back to the heap exactly
+  /// as std::function would have.
+  static constexpr std::size_t kInlineBytes = 40;
+
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = reinterpret_cast<std::uintptr_t>(&kInlineVTable<Fn>) |
+            (is_trivial<Fn>() ? kTrivialTag : 0u);
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = reinterpret_cast<std::uintptr_t>(&kHeapVTable<Fn>);
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { take(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  void operator()() { table()->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != 0; }
+
+  void reset() {
+    if (vt_ == 0) return;
+    if ((vt_ & kTrivialTag) == 0) table()->destroy(buf_);
+    vt_ = 0;
+  }
+
+ private:
+  static constexpr std::uintptr_t kTrivialTag = 1;
+
+  struct VTable {
+    void (*invoke)(void* self);
+    /// Move-construct the callable into `dst` from `src`, destroying `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr bool is_trivial() {
+    return std::is_trivially_copyable_v<Fn> &&
+           std::is_trivially_destructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable = {
+      [](void* self) { (*std::launder(static_cast<Fn*>(self)))(); },
+      [](void* dst, void* src) {
+        Fn* from = std::launder(static_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* self) { std::launder(static_cast<Fn*>(self))->~Fn(); },
+  };
+
+  // The heap fallback stores a single Fn* in the buffer; pointers are
+  // trivially destructible, so relocation is a copy and destroy is a delete.
+  template <typename Fn>
+  static constexpr VTable kHeapVTable = {
+      [](void* self) { (**std::launder(static_cast<Fn**>(self)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*std::launder(static_cast<Fn**>(src)));
+      },
+      [](void* self) { delete *std::launder(static_cast<Fn**>(self)); },
+  };
+
+  [[nodiscard]] const VTable* table() const {
+    return reinterpret_cast<const VTable*>(vt_ & ~kTrivialTag);
+  }
+
+  void take(InplaceFunction& other) noexcept {
+    vt_ = other.vt_;
+    if ((vt_ & kTrivialTag) != 0) {
+      std::memcpy(buf_, other.buf_, kInlineBytes);
+    } else if (vt_ != 0) {
+      table()->relocate(buf_, other.buf_);
+    }
+    other.vt_ = 0;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  std::uintptr_t vt_ = 0;
+};
+
+}  // namespace hyms::sim

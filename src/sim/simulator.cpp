@@ -1,17 +1,21 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <cstddef>
+#include <new>
 #include <stdexcept>
-
-#include "util/log.hpp"
 
 namespace hyms::sim {
 
 EventId Simulator::schedule_at(Time when, EventFn fn) {
   if (when < now_) when = now_;
-  const EventId id = next_id_++;
-  heap_.push(Event{when, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+  const std::uint32_t index = acquire_slot();
+  Slot& s = slot(index);
+  s.fn = std::move(fn);
+  s.seq = next_seq_++;
+  heap_push(HeapEntry{when, (s.seq << kSlotBits) | index});
+  ++live_count_;
+  return (static_cast<EventId>(s.gen) << 32) | (index + 1);
 }
 
 EventId Simulator::schedule_after(Time delay, EventFn fn) {
@@ -20,32 +24,88 @@ EventId Simulator::schedule_after(Time delay, EventFn fn) {
 }
 
 void Simulator::cancel(EventId id) {
-  if (id == kNoEvent) return;
-  if (live_.erase(id) > 0) cancelled_.insert(id);
+  const std::uint32_t index = slot_of(id);
+  if (index >= slot_count_) return;  // kNoEvent or a foreign id
+  Slot& s = slot(index);
+  if (s.seq == 0 || s.gen != gen_of(id)) return;  // already fired or cancelled
+  release_slot(index);  // the heap entry goes stale and is pruned lazily
 }
 
 bool Simulator::pending(EventId id) const {
-  return id != kNoEvent && live_.contains(id);
+  const std::uint32_t index = slot_of(id);
+  if (index >= slot_count_) return false;
+  const Slot& s = slot(index);
+  return s.seq != 0 && s.gen == gen_of(id);
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slot(index).next_free;
+    return index;
+  }
+  if (slot_count_ >= kNilSlot) {
+    throw std::length_error("Simulator: too many concurrent events");
+  }
+  if ((slot_count_ & (kChunkSize - 1)) == 0) {
+    // Chunks are raw storage: slots are constructed one by one as the slab's
+    // high-water mark advances, so growing the slab never memsets 256 KiB
+    // through the cache.
+    chunks_.push_back(
+        std::unique_ptr<std::byte[]>(new std::byte[sizeof(Slot) * kChunkSize]));
+    // Grow the heap's capacity in lockstep with the slab (geometrically, to
+    // keep push_back amortized O(1)): as long as stale (cancelled) entries
+    // don't pile up, heap size <= slot capacity, so heap_push never
+    // reallocates mid-run.
+    const std::size_t target = static_cast<std::size_t>(slot_count_) + kChunkSize;
+    if (heap_.capacity() < target) {
+      heap_.reserve(std::max(target, heap_.capacity() * 2));
+    }
+  }
+  ::new (static_cast<void*>(&slot(slot_count_))) Slot();
+  return slot_count_++;
+}
+
+Simulator::~Simulator() {
+  for (std::uint32_t i = 0; i < slot_count_; ++i) slot(i).~Slot();
+}
+
+void Simulator::release_slot(std::uint32_t index) {
+  Slot& s = slot(index);
+  s.fn.reset();
+  s.seq = 0;
+  ++s.gen;  // invalidates every EventId handed out for this occupancy
+  s.next_free = free_head_;
+  free_head_ = index;
+  --live_count_;
+}
+
+bool Simulator::prune_to_live_top() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    const std::uint32_t index = static_cast<std::uint32_t>(top.key) & kSlotMask;
+    if (slot(index).seq == top.key >> kSlotBits) return true;
+    heap_pop();  // cancelled: the slot was released or already re-occupied
+  }
+  return false;
 }
 
 bool Simulator::step() {
-  while (!heap_.empty()) {
-    Event ev = heap_.top();
-    heap_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    live_.erase(ev.id);
-    now_ = ev.when;
-    ++executed_;
-    if (executed_ > event_budget_) {
-      throw std::runtime_error("Simulator: event budget exceeded");
-    }
-    ev.fn();
-    return true;
+  if (!prune_to_live_top()) return false;
+  const HeapEntry top = heap_.front();
+  heap_pop();
+  const std::uint32_t index = static_cast<std::uint32_t>(top.key) & kSlotMask;
+  now_ = top.when;
+  // Move the callback out and free the slot before invoking: the callback may
+  // schedule or cancel, and must see itself as not pending.
+  EventFn fn = std::move(slot(index).fn);
+  release_slot(index);
+  ++executed_;
+  if (executed_ > event_budget_) {
+    throw std::runtime_error("Simulator: event budget exceeded");
   }
-  return false;
+  fn();
+  return true;
 }
 
 void Simulator::run() {
@@ -54,17 +114,41 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(Time deadline) {
-  while (!heap_.empty()) {
-    const Event& top = heap_.top();
-    if (cancelled_.contains(top.id)) {
-      cancelled_.erase(top.id);
-      heap_.pop();
-      continue;
-    }
-    if (top.when > deadline) break;
-    step();
-  }
+  while (prune_to_live_top() && heap_.front().when <= deadline) step();
   if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Simulator::heap_pop() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return;
+  const std::size_t n = heap_.size();
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first = kHeapArity * hole + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + kHeapArity, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], last)) break;
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  heap_[hole] = last;
 }
 
 }  // namespace hyms::sim

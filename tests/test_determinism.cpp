@@ -1,0 +1,86 @@
+// Determinism regression: the simulator guarantees that a given seed produces
+// the identical trace, so two full client-server sessions with the same
+// parameters must agree on every metric bit for bit. This pins down the event
+// kernel's FIFO ordering at equal timestamps, slot recycling, and the RNG
+// substream forking — a regression in any of them shows up here as a metric
+// diff long before anyone inspects a trace by hand.
+
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+#include "net/loss.hpp"
+
+namespace hyms {
+namespace {
+
+bench::SessionParams impaired_params(std::uint64_t seed) {
+  bench::SessionParams params;
+  params.markup = bench::lecture_markup(/*seconds=*/8);
+  params.seed = seed;
+  params.run_for = Time::sec(12);
+  // Exercise every randomized component: jitter, random loss, bursty loss
+  // state machine, and on/off cross traffic.
+  params.jitter_mean = Time::msec(2);
+  params.jitter_stddev = Time::msec(1);
+  params.bernoulli_loss = 0.005;
+  params.cross_rate_bps = 2e6;
+  return params;
+}
+
+void expect_identical(const bench::SessionMetrics& a,
+                      const bench::SessionMetrics& b) {
+  EXPECT_EQ(a.totals.fresh, b.totals.fresh);
+  EXPECT_EQ(a.totals.duplicates, b.totals.duplicates);
+  EXPECT_EQ(a.totals.sync_pauses, b.totals.sync_pauses);
+  EXPECT_EQ(a.totals.sync_skips, b.totals.sync_skips);
+  EXPECT_EQ(a.totals.overflow_drops, b.totals.overflow_drops);
+  EXPECT_EQ(a.totals.late_discards, b.totals.late_discards);
+  EXPECT_EQ(a.totals.gap_skips, b.totals.gap_skips);
+  EXPECT_EQ(a.totals.rebuffers, b.totals.rebuffers);
+  EXPECT_EQ(a.totals.first_play, b.totals.first_play);
+  EXPECT_EQ(a.totals.last_play, b.totals.last_play);
+  // Doubles compare exactly on purpose: a deterministic replay performs the
+  // identical arithmetic, so even floating-point results must match bit for
+  // bit.
+  EXPECT_EQ(a.fresh_ratio, b.fresh_ratio);
+  EXPECT_EQ(a.max_skew_ms, b.max_skew_ms);
+  EXPECT_EQ(a.p95_skew_ms, b.p95_skew_ms);
+  EXPECT_EQ(a.underflow_duplicates, b.underflow_duplicates);
+  EXPECT_EQ(a.late_discards, b.late_discards);
+  EXPECT_EQ(a.overflow_drops, b.overflow_drops);
+  EXPECT_EQ(a.sync_skips, b.sync_skips);
+  EXPECT_EQ(a.sync_pauses, b.sync_pauses);
+  EXPECT_EQ(a.qos.reports, b.qos.reports);
+  EXPECT_EQ(a.qos.bad_reports, b.qos.bad_reports);
+  EXPECT_EQ(a.qos.degrades, b.qos.degrades);
+  EXPECT_EQ(a.qos.degrades_video, b.qos.degrades_video);
+  EXPECT_EQ(a.qos.degrades_audio, b.qos.degrades_audio);
+  EXPECT_EQ(a.qos.upgrades, b.qos.upgrades);
+  EXPECT_EQ(a.qos.stops, b.qos.stops);
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.setup_ms, b.setup_ms);
+  EXPECT_EQ(a.transit_p99_ms, b.transit_p99_ms);
+}
+
+TEST(DeterminismTest, SameSeedSameMetrics) {
+  const auto first = bench::run_session(impaired_params(42));
+  const auto second = bench::run_session(impaired_params(42));
+  ASSERT_FALSE(first.failed) << first.error;
+  EXPECT_TRUE(first.finished);
+  expect_identical(first, second);
+}
+
+TEST(DeterminismTest, SameSeedSameMetricsCleanNetwork) {
+  bench::SessionParams params;
+  params.markup = bench::lecture_markup(/*seconds=*/8);
+  params.seed = 7;
+  params.run_for = Time::sec(12);
+  const auto first = bench::run_session(params);
+  const auto second = bench::run_session(params);
+  ASSERT_FALSE(first.failed) << first.error;
+  expect_identical(first, second);
+}
+
+}  // namespace
+}  // namespace hyms

@@ -87,6 +87,56 @@ TEST(SimulatorTest, CancelUnknownIdIsNoop) {
   EXPECT_FALSE(sim.pending(987654));
 }
 
+TEST(SimulatorTest, CancelledIdStaysDeadAfterSlotReuse) {
+  // The kernel recycles event slots through a free list; a cancelled id must
+  // never come back to life when its slot is re-occupied by a new event.
+  sim::Simulator sim;
+  const auto stale = sim.schedule_at(Time::msec(5), [] {});
+  sim.cancel(stale);
+  EXPECT_FALSE(sim.pending(stale));
+  // The freed slot is the head of the free list, so the very next schedule
+  // reuses it.
+  bool fired = false;
+  const auto fresh = sim.schedule_at(Time::msec(6), [&] { fired = true; });
+  EXPECT_NE(stale, fresh);
+  EXPECT_FALSE(sim.pending(stale));  // generation mismatch, not the new event
+  EXPECT_TRUE(sim.pending(fresh));
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StaleIdFromFiredEventCannotCancelNewOccupant) {
+  // An id retained past its event's firing must be inert: cancelling it after
+  // the slot has a new occupant must not kill the occupant.
+  sim::Simulator sim;
+  int first = 0;
+  const auto stale = sim.schedule_at(Time::msec(1), [&] { ++first; });
+  sim.run();
+  EXPECT_EQ(first, 1);
+  int second = 0;
+  const auto fresh = sim.schedule_at(Time::msec(2), [&] { ++second; });
+  sim.cancel(stale);  // fired long ago; its slot now belongs to `fresh`
+  EXPECT_TRUE(sim.pending(fresh));
+  sim.run();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(SimulatorTest, IdsStayDistinctAcrossHeavyReuse) {
+  // Churn one slot through many occupancies: every handle the simulator hands
+  // out must be distinct from all previous ones (the generation advances).
+  sim::Simulator sim;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    const auto id = sim.schedule_at(Time::msec(i), [] {});
+    for (const auto prev : ids) EXPECT_NE(prev, id);
+    ids.push_back(id);
+    sim.cancel(id);
+  }
+  for (const auto id : ids) EXPECT_FALSE(sim.pending(id));
+  sim.run();
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
 TEST(SimulatorTest, RunUntilStopsAtDeadline) {
   sim::Simulator sim;
   std::vector<int> order;
