@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "buffer/media_buffer.hpp"
+#include "harness.hpp"
 #include "media/source.hpp"
 #include "net/network.hpp"
 #include "rtp/packets.hpp"
@@ -249,6 +250,12 @@ int main(int argc, char** argv) {
   int argc2 = static_cast<int>(args.size());
   benchmark::Initialize(&argc2, args.data());
   if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  // Debug builds are not comparable to the committed Release baselines:
+  // warn loudly and tag the JSON so a stray regeneration is identifiable.
+  hyms::bench::warn_if_debug_build("bench_micro");
+  benchmark::AddCustomContext(
+      "assertions",
+      hyms::bench::built_with_assertions() ? "enabled" : "disabled");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

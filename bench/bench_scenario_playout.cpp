@@ -1,10 +1,15 @@
 // E2 — Fig. 2: the paper's example scenario plays out at its authored
 // instants. Prints the authored schedule vs the measured playout times over a
 // clean network, plus an ASCII timeline like the figure's lower half.
+//
+// `--events` dumps the raw per-event CSV instead (the byte-identical
+// regression surface for refactors of the playout path); `--json` mirrors
+// the per-stream results into BENCH_scenario_playout.json.
 
 #include <cstdio>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "client/browser_session.hpp"
 #include "harness.hpp"
@@ -14,8 +19,25 @@
 
 using namespace hyms;
 
-int main() {
-  std::printf("E2: Fig. 2 scenario playout over a clean 10 Mbps access link\n\n");
+int main(int argc, char** argv) {
+  bool json = false;
+  bool events_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--events") {
+      events_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_scenario_playout [--events] [--json]\n");
+      return 1;
+    }
+  }
+  if (!events_only) {
+    std::printf(
+        "E2: Fig. 2 scenario playout over a clean 10 Mbps access link\n\n");
+  }
 
   sim::Simulator sim(42);
   hermes::Deployment deployment(sim, hermes::Deployment::Config{});
@@ -40,6 +62,48 @@ int main() {
   auto& runtime = *session.presentation();
   const auto& trace = runtime.trace();
   const Time epoch = runtime.scheduler().presentation_epoch();
+
+  if (events_only) {
+    std::fputs(trace.events_csv().c_str(), stdout);
+    return 0;
+  }
+
+  if (json) {
+    std::FILE* out = std::fopen("BENCH_scenario_playout.json", "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_scenario_playout.json\n");
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"context\": {\n"
+                 "    \"benchmark\": \"bench_scenario_playout\",\n"
+                 "    \"assertions\": \"%s\"\n"
+                 "  },\n"
+                 "  \"max_skew_ms\": %.3f,\n"
+                 "  \"finished\": %s,\n"
+                 "  \"streams\": [\n",
+                 bench::built_with_assertions() ? "enabled" : "disabled",
+                 trace.max_abs_skew_ms(),
+                 runtime.scheduler().finished() ? "true" : "false");
+    const auto& specs = runtime.scenario().streams;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const auto& spec = specs[i];
+      const auto& stats = trace.stream(spec.id);
+      std::fprintf(
+          out,
+          "    {\"stream\": \"%s\", \"type\": \"%s\", "
+          "\"authored_start_s\": %.3f, \"measured_start_s\": %.3f, "
+          "\"measured_end_s\": %.3f, \"fresh_ratio\": %.4f}%s\n",
+          spec.id.c_str(), media::to_string(spec.type).c_str(),
+          spec.start.to_seconds(),
+          (stats.first_play - epoch).to_seconds(),
+          (stats.last_play - epoch).to_seconds(), stats.fresh_ratio(),
+          i + 1 < specs.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+  }
 
   bench::table_header({"stream", "type", "authored start", "authored end",
                        "measured start", "measured end", "fresh%"});

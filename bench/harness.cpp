@@ -1,5 +1,8 @@
 #include "harness.hpp"
 
+#include <atomic>
+#include <thread>
+
 #include "client/browser_session.hpp"
 #include "hermes/deployment.hpp"
 #include "hermes/lesson_builder.hpp"
@@ -137,6 +140,91 @@ SessionMetrics run_session(const SessionParams& params) {
   }
   if (!transit.empty()) metrics.transit_p99_ms = transit.max();
   return metrics;
+}
+
+std::vector<SessionMetrics> run_sessions_sharded(const SessionParams& base,
+                                                 int count, int threads) {
+  std::vector<SessionMetrics> results(static_cast<std::size_t>(count));
+  if (count <= 0) return results;
+  threads = std::max(1, std::min(threads, count));
+
+  // Work stealing over a shared index: shards stay busy even when session
+  // costs are uneven, and session i always runs seed base.seed + i.
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      SessionParams params = base;
+      params.seed = base.seed + static_cast<std::uint64_t>(i);
+      results[static_cast<std::size_t>(i)] = run_session(params);
+    }
+  };
+  if (threads == 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  return results;
+}
+
+std::uint64_t session_fingerprint(const SessionMetrics& metrics) {
+  // FNV-1a over the integral outcome fields; doubles are hashed through
+  // their bit patterns, which is exact because the simulation itself is
+  // deterministic (identical runs produce identical bits, not just values).
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_double = [&mix](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(static_cast<std::uint64_t>(metrics.totals.fresh));
+  mix(static_cast<std::uint64_t>(metrics.totals.duplicates));
+  mix(static_cast<std::uint64_t>(metrics.totals.gap_skips));
+  mix(static_cast<std::uint64_t>(metrics.totals.rebuffers));
+  mix(static_cast<std::uint64_t>(metrics.totals.late_discards));
+  mix(static_cast<std::uint64_t>(metrics.totals.overflow_drops));
+  mix(static_cast<std::uint64_t>(metrics.totals.sync_skips));
+  mix(static_cast<std::uint64_t>(metrics.totals.sync_pauses));
+  mix(static_cast<std::uint64_t>(metrics.qos.reports));
+  mix(static_cast<std::uint64_t>(metrics.qos.degrades));
+  mix(static_cast<std::uint64_t>(metrics.qos.upgrades));
+  mix(metrics.finished ? 1 : 0);
+  mix(metrics.failed ? 1 : 0);
+  mix_double(metrics.fresh_ratio);
+  mix_double(metrics.max_skew_ms);
+  mix_double(metrics.p95_skew_ms);
+  mix_double(metrics.setup_ms);
+  mix_double(metrics.transit_p99_ms);
+  return h;
+}
+
+bool built_with_assertions() {
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+void warn_if_debug_build(const char* bench_name) {
+  if (!built_with_assertions()) return;
+  std::fprintf(stderr,
+               "*** WARNING: %s was compiled WITHOUT NDEBUG (debug/assert "
+               "build). ***\n"
+               "*** Results are NOT comparable to committed Release "
+               "baselines; rebuild with -DCMAKE_BUILD_TYPE=Release. ***\n",
+               bench_name);
 }
 
 namespace {

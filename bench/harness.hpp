@@ -73,6 +73,24 @@ struct SessionMetrics {
 /// Run one complete session (connect, subscribe, request, play, teardown).
 SessionMetrics run_session(const SessionParams& params);
 
+/// Run `count` independent sessions (seeds base.seed, base.seed+1, ...)
+/// sharded across `threads` worker threads. Each session owns its Simulator
+/// and deployment, so the shards share no mutable state and results are
+/// byte-for-byte the ones a sequential loop would produce, in seed order.
+std::vector<SessionMetrics> run_sessions_sharded(const SessionParams& base,
+                                                 int count, int threads);
+
+/// Order-sensitive digest of the observable outcome of one session; two runs
+/// of the same seed must produce equal fingerprints (determinism check).
+std::uint64_t session_fingerprint(const SessionMetrics& metrics);
+
+/// True when the binary was compiled with assertions on (no NDEBUG).
+[[nodiscard]] bool built_with_assertions();
+
+/// Print a loud stderr warning when the benchmark binary is a debug build —
+/// numbers from it are not comparable to the committed Release baselines.
+void warn_if_debug_build(const char* bench_name);
+
 /// A ~`seconds`-long lecture document with one synced AV pair and a slide.
 std::string lecture_markup(int seconds, int video_kbps = 1200);
 

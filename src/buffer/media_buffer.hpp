@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +24,16 @@ struct BufferedFrame {
 /// a per-stream reorder buffer whose *length corresponds to a playback time*
 /// — the media time window. Watermarks drive the short-term synchronization
 /// mechanisms (duplication on underflow, dropping on overflow).
+///
+/// Storage is a contiguous ring keyed by content index: frame k lives in
+/// slot k mod capacity (a power of two), so push/pop/peek on the per-frame
+/// path are vector indexing with no node allocation or tree walk. The ring
+/// grows geometrically to cover the live index span; out-of-order arrivals
+/// land directly in their slot, and the smallest buffered index is tracked
+/// so in-order consumption stays O(1) amortized. Ring size is bounded by the
+/// span actually buffered, not by `capacity_frames`, preserving the old
+/// node-map acceptance behavior for sparse indices; only a span so wide the
+/// ring would exceed kMaxSlots (pathological sender) is rejected.
 class MediaBuffer {
  public:
   struct Config {
@@ -32,14 +42,16 @@ class MediaBuffer {
     /// Fractions of the time window that trigger the monitor's actions.
     double low_watermark = 0.25;
     double high_watermark = 2.0;
-    /// Hard cap, in frames, against pathological senders.
+    /// Hard cap, in frames (and in buffered index span), against
+    /// pathological senders.
     std::size_t capacity_frames = 4096;
   };
 
   MediaBuffer(std::string stream_id, Config config);
 
-  /// Insert a frame (kept sorted by index; duplicates are dropped). Returns
-  /// false when the frame was rejected (buffer at hard capacity).
+  /// Insert a frame (kept ordered by index; duplicates are dropped). Returns
+  /// false when the frame was rejected (buffer at hard capacity, duplicate
+  /// index, or an index span past kMaxSlots).
   bool push(BufferedFrame frame);
 
   /// Remove and return the earliest buffered frame.
@@ -50,8 +62,8 @@ class MediaBuffer {
   std::size_t drop_before(std::int64_t first_kept);
   void clear();
 
-  [[nodiscard]] std::size_t size() const { return frames_.size(); }
-  [[nodiscard]] bool empty() const { return frames_.empty(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
   /// Buffered playback time: sum of durations of queued frames.
   [[nodiscard]] Time occupancy_time() const { return occupancy_; }
   [[nodiscard]] double fill_ratio() const {
@@ -77,11 +89,31 @@ class MediaBuffer {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
+  /// Sentinel for an unoccupied ring slot (no valid content index).
+  static constexpr std::int64_t kEmptySlot =
+      std::numeric_limits<std::int64_t>::min();
+  /// Largest ring the buffer will allocate; an index span wider than this
+  /// (only reachable with absurdly sparse indices) is rejected as capacity.
+  static constexpr std::uint64_t kMaxSlots = std::uint64_t{1} << 20;
+
   void note_occupancy() { stats_.occupancy_ms.add(occupancy_.to_ms()); }
+  [[nodiscard]] std::size_t slot_of(std::int64_t index) const {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(index) & mask_);
+  }
+  /// Grow the ring to a power of two that can hold `span` distinct indices.
+  void grow_to_span(std::uint64_t span);
+  /// Remove the frame at min_index_ and advance min_index_ to the next
+  /// occupied slot (or leave the ring empty).
+  BufferedFrame take_min();
 
   std::string stream_id_;
   Config config_;
-  std::map<std::int64_t, BufferedFrame> frames_;  // keyed by content index
+  std::vector<BufferedFrame> ring_;       // frame k at slot k & mask_
+  std::vector<std::int64_t> slot_index_;  // occupant index, or kEmptySlot
+  std::size_t mask_ = 0;                  // ring_.size() - 1 (power of two)
+  std::size_t size_ = 0;
+  std::int64_t min_index_ = 0;            // valid while size_ > 0
+  std::int64_t max_index_ = 0;            // valid while size_ > 0
   Time occupancy_ = Time::zero();
   Stats stats_;
 };

@@ -31,6 +31,7 @@ proto::StreamSetup PresentationRuntime::prepare_setup(
 
   for (const auto& spec : scenario_.streams) {
     auto rt = std::make_unique<StreamRuntime>();
+    rt->id = registry_.intern(spec.id);
     rt->spec = spec;
     buffer::MediaBuffer::Config bc;
     bc.time_window = config_.time_window;
@@ -52,7 +53,9 @@ proto::StreamSetup PresentationRuntime::prepare_setup(
       port.rtp_port = rt->receiver->rtp_endpoint().port;
     }
     setup.streams.push_back(port);
-    streams_[spec.id] = std::move(rt);
+    const core::StreamId id = rt->id;
+    streams_.resize(registry_.size());
+    streams_[id] = std::move(rt);
   }
   return setup;
 }
@@ -60,12 +63,12 @@ proto::StreamSetup PresentationRuntime::prepare_setup(
 void PresentationRuntime::activate(const proto::StreamSetupReply& reply,
                                    net::NodeId server_node) {
   for (const auto& info : reply.streams) {
-    auto it = streams_.find(info.stream_id);
-    if (it == streams_.end()) {
+    const core::StreamId id = registry_.find(info.stream_id);
+    if (id == core::kInvalidStreamId) {
       LOG_WARN << "setup reply names unknown stream '" << info.stream_id << "'";
       continue;
     }
-    StreamRuntime& rt = *it->second;
+    StreamRuntime& rt = *streams_[id];
     rt.frame_interval = Time::usec(info.frame_interval_us);
     rt.frame_count = info.frame_count;
     // Playout length is bounded by the scenario DURATION when present.
@@ -81,7 +84,7 @@ void PresentationRuntime::activate(const proto::StreamSetupReply& reply,
           info.sender_rtcp_port});
       // The Client QoS Manager supplies the APP("QOSM") metrics that ride
       // each receiver report (the paper's feedback reports, §4).
-      qos_.attach(rt.spec.id, rt.buffer.get(), rt.receiver.get());
+      qos_.attach(rt.id, rt.buffer.get(), rt.receiver.get());
       StreamRuntime* rt_ptr = &rt;
       rt.receiver->set_on_frame([this, rt_ptr](rtp::ReceivedFrame&& frame) {
         on_frame(*rt_ptr, std::move(frame));
@@ -155,27 +158,28 @@ void PresentationRuntime::pause() { scheduler_->pause(); }
 
 void PresentationRuntime::resume() { scheduler_->resume(); }
 
-void PresentationRuntime::disable_stream(const std::string& stream_id) {
-  auto it = streams_.find(stream_id);
-  if (it == streams_.end()) return;
-  qos_.detach(stream_id);
-  it->second->receiver.reset();  // stop consuming packets
-  it->second->buffer->clear();
+void PresentationRuntime::disable_stream(core::StreamId id) {
+  if (id >= streams_.size() || streams_[id] == nullptr) return;
+  qos_.detach(id);
+  streams_[id]->receiver.reset();  // stop consuming packets
+  streams_[id]->buffer->clear();
 }
 
-buffer::MediaBuffer* PresentationRuntime::buffer(const std::string& stream_id) {
-  auto it = streams_.find(stream_id);
-  return it == streams_.end() ? nullptr : it->second->buffer.get();
+buffer::MediaBuffer* PresentationRuntime::buffer(core::StreamId id) {
+  if (id >= streams_.size() || streams_[id] == nullptr) return nullptr;
+  return streams_[id]->buffer.get();
 }
 
-rtp::RtpReceiver* PresentationRuntime::receiver(const std::string& stream_id) {
-  auto it = streams_.find(stream_id);
-  return it == streams_.end() ? nullptr : it->second->receiver.get();
+rtp::RtpReceiver* PresentationRuntime::receiver(core::StreamId id) {
+  if (id >= streams_.size() || streams_[id] == nullptr) return nullptr;
+  return streams_[id]->receiver.get();
 }
 
 bool PresentationRuntime::objects_complete() const {
-  for (const auto& [id, rt] : streams_) {
-    if (rt->object_conn != nullptr && !rt->object_done) return false;
+  for (const auto& rt : streams_) {
+    if (rt != nullptr && rt->object_conn != nullptr && !rt->object_done) {
+      return false;
+    }
   }
   return true;
 }

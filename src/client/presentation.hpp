@@ -1,14 +1,15 @@
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "buffer/media_buffer.hpp"
 #include "client/qos_manager.hpp"
 #include "core/playout.hpp"
 #include "core/scenario.hpp"
+#include "core/stream_id.hpp"
 #include "net/tcp.hpp"
 #include "proto/messages.hpp"
 #include "rtp/session.hpp"
@@ -19,6 +20,10 @@ namespace hyms::client {
 /// media buffers, RTP receivers (time-sensitive media), TCP object fetchers
 /// (images/text), the playout scheduler, and the client QoS manager feeding
 /// APP("QOSM") metrics into each stream's RTCP receiver reports.
+///
+/// Stream names are interned once during setup into a session-scoped
+/// core::StreamRegistry; every steady-state structure (stream runtimes, QoS
+/// references) is a plain vector indexed by the resulting core::StreamId.
 class PresentationRuntime {
  public:
   struct Config {
@@ -50,7 +55,10 @@ class PresentationRuntime {
   void pause();
   void resume();
   /// Stop consuming a single stream (user disabled the media).
-  void disable_stream(const std::string& stream_id);
+  void disable_stream(core::StreamId id);
+  void disable_stream(std::string_view stream_id) {
+    disable_stream(registry_.find(stream_id));
+  }
 
   [[nodiscard]] core::PlayoutScheduler& scheduler() { return *scheduler_; }
   [[nodiscard]] const core::PlayoutTrace& trace() const {
@@ -59,8 +67,18 @@ class PresentationRuntime {
   [[nodiscard]] const core::PresentationScenario& scenario() const {
     return scenario_;
   }
-  [[nodiscard]] buffer::MediaBuffer* buffer(const std::string& stream_id);
-  [[nodiscard]] rtp::RtpReceiver* receiver(const std::string& stream_id);
+  /// The session's name<->id mapping (populated by prepare_setup).
+  [[nodiscard]] const core::StreamRegistry& registry() const {
+    return registry_;
+  }
+  [[nodiscard]] buffer::MediaBuffer* buffer(core::StreamId id);
+  [[nodiscard]] buffer::MediaBuffer* buffer(std::string_view stream_id) {
+    return buffer(registry_.find(stream_id));
+  }
+  [[nodiscard]] rtp::RtpReceiver* receiver(core::StreamId id);
+  [[nodiscard]] rtp::RtpReceiver* receiver(std::string_view stream_id) {
+    return receiver(registry_.find(stream_id));
+  }
   [[nodiscard]] ClientQosManager& qos_manager() { return qos_; }
   [[nodiscard]] bool objects_complete() const;
 
@@ -74,6 +92,7 @@ class PresentationRuntime {
 
  private:
   struct StreamRuntime {
+    core::StreamId id = core::kInvalidStreamId;
     core::StreamSpec spec;
     std::unique_ptr<buffer::MediaBuffer> buffer;
     std::unique_ptr<rtp::RtpReceiver> receiver;  // RTP streams only
@@ -95,7 +114,8 @@ class PresentationRuntime {
   net::NodeId node_;
   core::PresentationScenario scenario_;
   Config config_;
-  std::map<std::string, std::unique_ptr<StreamRuntime>> streams_;
+  core::StreamRegistry registry_;
+  std::vector<std::unique_ptr<StreamRuntime>> streams_;  // indexed by StreamId
   std::unique_ptr<core::PlayoutScheduler> scheduler_;
   ClientQosManager qos_;
   Stats stats_;

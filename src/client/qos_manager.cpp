@@ -5,31 +5,30 @@
 
 namespace hyms::client {
 
-void ClientQosManager::attach(const std::string& stream_id,
-                              buffer::MediaBuffer* buffer,
+void ClientQosManager::attach(core::StreamId id, buffer::MediaBuffer* buffer,
                               rtp::RtpReceiver* receiver) {
-  streams_[stream_id] = StreamRef{buffer, receiver};
+  if (id >= streams_.size()) streams_.resize(id + 1);
+  if (!streams_[id].attached) ++attached_;
+  streams_[id] = StreamRef{buffer, receiver, true};
   if (receiver != nullptr) {
-    receiver->set_extra_metrics(
-        [this, stream_id] { return metrics_for(stream_id); });
+    receiver->set_extra_metrics([this, id] { return metrics_for(id); });
   }
 }
 
-void ClientQosManager::detach(const std::string& stream_id) {
-  auto it = streams_.find(stream_id);
-  if (it == streams_.end()) return;
-  if (it->second.receiver != nullptr) {
-    it->second.receiver->set_extra_metrics({});
+void ClientQosManager::detach(core::StreamId id) {
+  if (id >= streams_.size() || !streams_[id].attached) return;
+  if (streams_[id].receiver != nullptr) {
+    streams_[id].receiver->set_extra_metrics({});
   }
-  streams_.erase(it);
+  streams_[id] = StreamRef{};
+  --attached_;
 }
 
 std::vector<std::pair<std::string, double>> ClientQosManager::metrics_for(
-    const std::string& stream_id) const {
+    core::StreamId id) const {
   std::vector<std::pair<std::string, double>> metrics;
-  auto it = streams_.find(stream_id);
-  if (it == streams_.end()) return metrics;
-  const StreamRef& ref = it->second;
+  if (id >= streams_.size() || !streams_[id].attached) return metrics;
+  const StreamRef& ref = streams_[id];
   if (config_.report_buffer && ref.buffer != nullptr) {
     metrics.emplace_back("buffer_ms", ref.buffer->occupancy_time().to_ms());
   }
@@ -49,8 +48,8 @@ std::vector<std::pair<std::string, double>> ClientQosManager::metrics_for(
 double ClientQosManager::min_buffer_ms() const {
   double lowest = std::numeric_limits<double>::infinity();
   bool any = false;
-  for (const auto& [id, ref] : streams_) {
-    if (ref.buffer != nullptr) {
+  for (const StreamRef& ref : streams_) {
+    if (ref.attached && ref.buffer != nullptr) {
       lowest = std::min(lowest, ref.buffer->occupancy_time().to_ms());
       any = true;
     }
@@ -60,8 +59,8 @@ double ClientQosManager::min_buffer_ms() const {
 
 double ClientQosManager::worst_jitter_ms() const {
   double worst = 0.0;
-  for (const auto& [id, ref] : streams_) {
-    if (ref.receiver != nullptr) {
+  for (const StreamRef& ref : streams_) {
+    if (ref.attached && ref.receiver != nullptr) {
       worst = std::max(worst, ref.receiver->stats().jitter_ms);
     }
   }
@@ -70,8 +69,8 @@ double ClientQosManager::worst_jitter_ms() const {
 
 std::int64_t ClientQosManager::total_incomplete_frames() const {
   std::int64_t total = 0;
-  for (const auto& [id, ref] : streams_) {
-    if (ref.receiver != nullptr) {
+  for (const StreamRef& ref : streams_) {
+    if (ref.attached && ref.receiver != nullptr) {
       total += ref.receiver->stats().frames_incomplete;
     }
   }

@@ -1,12 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "buffer/media_buffer.hpp"
+#include "core/stream_id.hpp"
 #include "rtp/session.hpp"
 
 namespace hyms::client {
@@ -18,6 +17,10 @@ namespace hyms::client {
 /// wire carrier is the receiver's RTCP RR + APP("QOSM") compound packet;
 /// this class decides what goes into the APP part and keeps client-side
 /// aggregate statistics.
+///
+/// Streams are addressed by their session-interned core::StreamId (the
+/// presentation runtime's registry hands them out), so the per-report
+/// metrics lookup is a vector index, not a string-map walk.
 class ClientQosManager {
  public:
   struct Config {
@@ -34,28 +37,30 @@ class ClientQosManager {
 
   /// Register a stream: wires this manager as the receiver's APP-metrics
   /// source. Pointers are non-owning and must outlive the manager's use.
-  void attach(const std::string& stream_id, buffer::MediaBuffer* buffer,
+  void attach(core::StreamId id, buffer::MediaBuffer* buffer,
               rtp::RtpReceiver* receiver);
-  void detach(const std::string& stream_id);
+  void detach(core::StreamId id);
 
   /// The metrics for one stream's next feedback report.
   [[nodiscard]] std::vector<std::pair<std::string, double>> metrics_for(
-      const std::string& stream_id) const;
+      core::StreamId id) const;
 
   /// Client-side aggregates across all attached streams.
   [[nodiscard]] double min_buffer_ms() const;
   [[nodiscard]] double worst_jitter_ms() const;
   [[nodiscard]] std::int64_t total_incomplete_frames() const;
-  [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
+  [[nodiscard]] std::size_t stream_count() const { return attached_; }
 
  private:
   struct StreamRef {
     buffer::MediaBuffer* buffer = nullptr;
     rtp::RtpReceiver* receiver = nullptr;
+    bool attached = false;
   };
 
   Config config_{};
-  std::map<std::string, StreamRef> streams_;
+  std::vector<StreamRef> streams_;  // indexed by StreamId
+  std::size_t attached_ = 0;
 };
 
 }  // namespace hyms::client

@@ -24,7 +24,7 @@ PlayoutScheduler::PlayoutScheduler(sim::Simulator& sim,
 }
 
 PlayoutScheduler::~PlayoutScheduler() {
-  for (auto& [id, process] : processes_) sim_.cancel(process->tick_event);
+  for (auto& process : processes_) sim_.cancel(process->tick_event);
   for (auto event : link_events_) sim_.cancel(event);
 }
 
@@ -44,7 +44,31 @@ void PlayoutScheduler::attach_stream(const std::string& stream_id,
   process->interval =
       frame_interval > Time::zero() ? frame_interval : config_.image_poll;
   process->frame_count = std::max<std::int64_t>(1, frame_count);
-  processes_[stream_id] = std::move(process);
+  // Keep the array sorted by stream id; replace a re-attached stream.
+  const auto pos = std::lower_bound(
+      processes_.begin(), processes_.end(), stream_id,
+      [](const std::unique_ptr<Process>& p, const std::string& id) {
+        return p->spec.id < id;
+      });
+  if (pos != processes_.end() && (*pos)->spec.id == stream_id) {
+    sim_.cancel((*pos)->tick_event);
+    *pos = std::move(process);
+  } else {
+    processes_.insert(pos, std::move(process));
+  }
+}
+
+const PlayoutScheduler::Process* PlayoutScheduler::find_process(
+    std::string_view stream_id) const {
+  const auto pos = std::lower_bound(
+      processes_.begin(), processes_.end(), stream_id,
+      [](const std::unique_ptr<Process>& p, std::string_view id) {
+        return p->spec.id < id;
+      });
+  if (pos != processes_.end() && (*pos)->spec.id == stream_id) {
+    return pos->get();
+  }
+  return nullptr;
 }
 
 void PlayoutScheduler::start() {
@@ -52,7 +76,7 @@ void PlayoutScheduler::start() {
   started_ = true;
   running_ = true;
   epoch_ = sim_.now() + config_.initial_delay;
-  for (auto& [id, process] : processes_) start_process(*process);
+  for (auto& process : processes_) start_process(*process);
   schedule_timed_links();
 }
 
@@ -82,7 +106,7 @@ void PlayoutScheduler::pause() {
   paused_ = true;
   running_ = false;
   pause_began_ = sim_.now();
-  for (auto& [id, process] : processes_) {
+  for (auto& process : processes_) {
     sim_.cancel(process->tick_event);
     process->tick_event = sim::kNoEvent;
   }
@@ -95,7 +119,7 @@ void PlayoutScheduler::resume() {
   paused_ = false;
   running_ = true;
   epoch_ += sim_.now() - pause_began_;  // scenario clock stood still
-  for (auto& [id, process] : processes_) {
+  for (auto& process : processes_) {
     if (process->done || !process->active) continue;
     Process* proc = process.get();
     proc->tick_event = sim_.schedule_after(proc->interval, [this, proc] {
@@ -116,16 +140,15 @@ void PlayoutScheduler::resume() {
 }
 
 bool PlayoutScheduler::finished() const {
-  for (const auto& [id, process] : processes_) {
+  for (const auto& process : processes_) {
     if (!process->done) return false;
   }
   return started_;
 }
 
 Time PlayoutScheduler::content_position(const std::string& stream_id) const {
-  auto it = processes_.find(stream_id);
-  return it == processes_.end() ? Time::zero()
-                                : it->second->content_position();
+  const Process* process = find_process(stream_id);
+  return process == nullptr ? Time::zero() : process->content_position();
 }
 
 void PlayoutScheduler::play_slot(Process& p, PlayoutAction action) {
@@ -165,7 +188,7 @@ void PlayoutScheduler::enforce_sync(Process& p) {
 
   // Collect the live members of my sync group.
   std::vector<Process*> group;
-  for (auto& [id, process] : processes_) {
+  for (auto& process : processes_) {
     if (process->spec.sync_group == p.spec.sync_group && process->active &&
         !process->done) {
       group.push_back(process.get());

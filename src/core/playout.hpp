@@ -1,9 +1,9 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "buffer/media_buffer.hpp"
@@ -132,6 +132,7 @@ class PlayoutScheduler {
     }
   };
 
+  [[nodiscard]] const Process* find_process(std::string_view stream_id) const;
   void start_process(Process& p);
   void tick(Process& p);
   void begin_rebuffer(Process& p);
@@ -146,7 +147,10 @@ class PlayoutScheduler {
   sim::Simulator& sim_;
   PresentationScenario scenario_;
   PlayoutConfig config_;
-  std::map<std::string, std::unique_ptr<Process>> processes_;
+  /// Flat and sorted by stream id (the order the old string-keyed map
+  /// iterated in, which tie-breaks simultaneous ticks and sync decisions),
+  /// so per-tick group scans walk a contiguous array.
+  std::vector<std::unique_ptr<Process>> processes_;
   std::vector<sim::EventId> link_events_;
   PlayoutTrace trace_;
   Time epoch_;

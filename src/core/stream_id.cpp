@@ -1,0 +1,26 @@
+#include "core/stream_id.hpp"
+
+#include <algorithm>
+
+namespace hyms::core {
+
+StreamId StreamRegistry::intern(std::string_view name) {
+  const auto it = std::lower_bound(
+      by_name_.begin(), by_name_.end(), name,
+      [this](StreamId id, std::string_view n) { return names_[id] < n; });
+  if (it != by_name_.end() && names_[*it] == name) return *it;
+  const auto id = static_cast<StreamId>(names_.size());
+  names_.emplace_back(name);
+  by_name_.insert(it, id);
+  return id;
+}
+
+StreamId StreamRegistry::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      by_name_.begin(), by_name_.end(), name,
+      [this](StreamId id, std::string_view n) { return names_[id] < n; });
+  if (it != by_name_.end() && names_[*it] == name) return *it;
+  return kInvalidStreamId;
+}
+
+}  // namespace hyms::core

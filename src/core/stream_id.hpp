@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hyms::core {
+
+/// Session-scoped interned stream identifier: a small dense integer handed
+/// out by a StreamRegistry in intern order (0, 1, 2, ...). Everything on the
+/// per-frame/per-packet path — QoS managers, the presentation runtime, the
+/// playout trace — indexes plain vectors with it instead of walking
+/// string-keyed node maps.
+using StreamId = std::uint32_t;
+inline constexpr StreamId kInvalidStreamId = 0xFFFF'FFFFu;
+
+/// Name <-> id mapping for one session's streams. Interning is
+/// O(log n) (sorted index over the names); resolving an id back to its name
+/// is a vector load. Registries are tiny (a handful of streams per
+/// presentation) and session-scoped, so ids stay dense and cache-friendly.
+class StreamRegistry {
+ public:
+  /// Return the existing id for `name`, or mint the next dense one.
+  StreamId intern(std::string_view name);
+
+  /// Id for an already-interned name, or kInvalidStreamId.
+  [[nodiscard]] StreamId find(std::string_view name) const;
+
+  /// Name for a valid id (undefined for ids this registry never minted).
+  [[nodiscard]] const std::string& name(StreamId id) const {
+    return names_[id];
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return find(name) != kInvalidStreamId;
+  }
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] bool empty() const { return names_.empty(); }
+  void clear() {
+    names_.clear();
+    by_name_.clear();
+  }
+
+ private:
+  std::vector<std::string> names_;   // id -> name
+  std::vector<StreamId> by_name_;    // ids sorted by their names
+};
+
+}  // namespace hyms::core

@@ -157,11 +157,7 @@ void RtpReceiver::on_rtp(const net::Packet& pkt) {
   update_jitter(rtp.header.timestamp, now);
 
   // Reassemble the frame this fragment belongs to.
-  Assembly& asmb = assemblies_[rtp.header.timestamp];
-  if (asmb.parts.empty()) {
-    asmb.parts.resize(rtp.frag_count);
-    asmb.first_arrival = now;
-  }
+  Assembly& asmb = assembly_for(rtp.header.timestamp, rtp.frag_count, now);
   if (rtp.frag_index < asmb.parts.size() &&
       asmb.parts[rtp.frag_index].empty()) {
     asmb.parts[rtp.frag_index] = rtp.payload;
@@ -181,11 +177,40 @@ void RtpReceiver::on_rtp(const net::Packet& pkt) {
     for (const auto& p : asmb.parts) {
       frame.payload.insert(frame.payload.end(), p.begin(), p.end());
     }
-    assemblies_.erase(rtp.header.timestamp);
+    asmb.live = false;
+    --live_assemblies_;
     ++stats_.frames_delivered;
     if (on_frame_) on_frame_(std::move(frame));
   }
   evict_stale(now);
+}
+
+RtpReceiver::Assembly& RtpReceiver::assembly_for(std::uint32_t rtp_ts,
+                                                 std::uint16_t frag_count,
+                                                 Time now) {
+  Assembly* dead = nullptr;
+  for (auto& asmb : assemblies_) {
+    if (asmb.live) {
+      if (asmb.rtp_timestamp == rtp_ts) return asmb;
+    } else if (dead == nullptr) {
+      dead = &asmb;
+    }
+  }
+  if (dead == nullptr) {
+    assemblies_.emplace_back();
+    dead = &assemblies_.back();
+  }
+  // Recycle the slot: the fragment buffers keep their capacity across frames.
+  Assembly& asmb = *dead;
+  asmb.rtp_timestamp = rtp_ts;
+  asmb.live = true;
+  for (auto& part : asmb.parts) part.clear();
+  asmb.parts.resize(frag_count);
+  asmb.received = 0;
+  asmb.first_arrival = now;
+  asmb.last_transit = Time::zero();
+  ++live_assemblies_;
+  return asmb;
 }
 
 void RtpReceiver::update_sequence(std::uint16_t seq) {
@@ -219,12 +244,12 @@ void RtpReceiver::update_jitter(std::uint32_t rtp_ts, Time arrival) {
 }
 
 void RtpReceiver::evict_stale(Time now) {
-  for (auto it = assemblies_.begin(); it != assemblies_.end();) {
-    if (now - it->second.first_arrival > params_.reassembly_timeout) {
+  if (live_assemblies_ == 0) return;
+  for (auto& asmb : assemblies_) {
+    if (asmb.live && now - asmb.first_arrival > params_.reassembly_timeout) {
       ++stats_.frames_incomplete;
-      it = assemblies_.erase(it);
-    } else {
-      ++it;
+      asmb.live = false;
+      --live_assemblies_;
     }
   }
 }

@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -162,13 +161,21 @@ class RtpReceiver {
   void send_report_now() { emit_receiver_report(); }
 
  private:
+  /// One in-flight frame reassembly. Slots live in a small flat array
+  /// scanned linearly (a session rarely has more than one or two frames in
+  /// flight); dead slots are recycled so the per-fragment path reuses the
+  /// `parts` buffers instead of allocating a map node per frame.
   struct Assembly {
+    std::uint32_t rtp_timestamp = 0;
+    bool live = false;
     std::vector<std::vector<std::uint8_t>> parts;
     std::size_t received = 0;
     Time first_arrival;
     Time last_transit;
   };
 
+  Assembly& assembly_for(std::uint32_t rtp_ts, std::uint16_t frag_count,
+                         Time now);
   void on_rtp(const net::Packet& pkt);
   void on_rtcp(const net::Packet& pkt);
   void update_sequence(std::uint16_t seq);
@@ -203,7 +210,8 @@ class RtpReceiver {
   std::uint32_t last_sr_middle_ = 0;
   Time last_sr_arrival_;
 
-  std::map<std::uint32_t, Assembly> assemblies_;  // keyed by rtp timestamp
+  std::vector<Assembly> assemblies_;  // flat, linearly scanned, recycled
+  std::size_t live_assemblies_ = 0;
   Stats stats_;
 };
 

@@ -225,7 +225,7 @@ class MultimediaServer::ClientSession {
             server_.net_, server_.media_host(spec.type), source.value(), spec,
             net::Endpoint{conn_->remote().node, port_it->rtp_port}, params);
         session->set_on_feedback(
-            [this](const std::string& id, const rtp::ReceiverFeedback& fb) {
+            [this](core::StreamId id, const rtp::ReceiverFeedback& fb) {
               if (qos_) qos_->on_feedback(id, fb);
             });
         qos_->attach(session.get());

@@ -4,10 +4,13 @@
 
 namespace hyms::server {
 
-void ServerQosManager::attach(MediaStreamSession* session) {
+core::StreamId ServerQosManager::attach(MediaStreamSession* session) {
+  const auto id = static_cast<core::StreamId>(streams_.size());
   StreamState state;
   state.session = session;
-  streams_[session->spec().id] = state;
+  streams_.push_back(state);
+  session->set_stream_id(id);
+  return id;
 }
 
 void ServerQosManager::detach_all() { streams_.clear(); }
@@ -24,12 +27,12 @@ bool ServerQosManager::report_is_bad(const MediaStreamSession& session,
   return false;
 }
 
-void ServerQosManager::on_feedback(const std::string& stream_id,
+void ServerQosManager::on_feedback(core::StreamId stream_id,
                                    const rtp::ReceiverFeedback& feedback) {
   if (!config_.enabled) return;
-  auto it = streams_.find(stream_id);
-  if (it == streams_.end() || it->second.session->stopped()) return;
-  StreamState& state = it->second;
+  if (stream_id >= streams_.size()) return;
+  StreamState& state = streams_[stream_id];
+  if (state.session->stopped()) return;
   ++stats_.reports;
 
   const bool bad = report_is_bad(*state.session, feedback);
@@ -44,7 +47,7 @@ void ServerQosManager::on_feedback(const std::string& stream_id,
 
   // Upgrade only when every live stream has been clean for a while.
   bool all_clean = true;
-  for (const auto& [id, other] : streams_) {
+  for (const StreamState& other : streams_) {
     if (other.session->stopped() || other.session->flow_complete()) continue;
     if (other.good_streak < config_.good_reports_for_upgrade) {
       all_clean = false;
@@ -59,7 +62,7 @@ MediaStreamSession* ServerQosManager::pick_degrade_victim(
   // Among live streams of this type, degrade the one currently at the best
   // quality (it has the most headroom and the most bandwidth to give back).
   MediaStreamSession* best = nullptr;
-  for (const auto& [id, state] : streams_) {
+  for (const StreamState& state : streams_) {
     MediaStreamSession* s = state.session;
     if (s->media_type() != type || s->stopped() || s->flow_complete() ||
         s->at_floor()) {
@@ -76,7 +79,7 @@ MediaStreamSession* ServerQosManager::pick_upgrade_candidate(
     media::MediaType type) const {
   // Upgrade the most-degraded stream of this type first.
   MediaStreamSession* worst = nullptr;
-  for (const auto& [id, state] : streams_) {
+  for (const StreamState& state : streams_) {
     MediaStreamSession* s = state.session;
     if (s->media_type() != type || s->stopped() || s->flow_complete() ||
         s->at_best()) {
@@ -123,13 +126,14 @@ void ServerQosManager::try_degrade() {
     // the heaviest stream (video before audio).
     for (media::MediaType type :
          {media::MediaType::kVideo, media::MediaType::kAudio}) {
-      for (auto& [id, state] : streams_) {
+      for (StreamState& state : streams_) {
         MediaStreamSession* s = state.session;
         if (s->media_type() == type && !s->stopped() && !s->flow_complete()) {
           s->stop();
           ++stats_.stops;
           last_action_ = sim_.now();
-          LOG_DEBUG << "qos: stopped stream " << id << " (at floor)";
+          LOG_DEBUG << "qos: stopped stream " << s->spec().id
+                    << " (at floor)";
           return;
         }
       }
@@ -158,7 +162,7 @@ void ServerQosManager::try_upgrade() {
   ++stats_.upgrades;
   last_action_ = sim_.now();
   // Demand fresh evidence before the next upgrade step.
-  for (auto& [id, state] : streams_) state.good_streak = 0;
+  for (StreamState& state : streams_) state.good_streak = 0;
   LOG_DEBUG << "qos: upgraded stream " << candidate->spec().id << " to level "
             << candidate->current_level();
 }

@@ -1,10 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <string>
 #include <vector>
 
+#include "core/stream_id.hpp"
 #include "rtp/session.hpp"
 #include "server/stream_session.hpp"
 #include "sim/simulator.hpp"
@@ -38,12 +37,14 @@ class ServerQosManager {
   ServerQosManager(sim::Simulator& sim, Config config)
       : sim_(sim), config_(config) {}
 
-  /// Register a stream session of this presentation (non-owning).
-  void attach(MediaStreamSession* session);
+  /// Register a stream session of this presentation (non-owning). Returns
+  /// the dense session-scoped id feedback must be addressed with (it is also
+  /// stamped onto the session, so its sender callback self-identifies).
+  core::StreamId attach(MediaStreamSession* session);
   void detach_all();
 
   /// Entry point wired to every RtpSender's feedback callback.
-  void on_feedback(const std::string& stream_id,
+  void on_feedback(core::StreamId stream_id,
                    const rtp::ReceiverFeedback& feedback);
 
   struct Stats {
@@ -75,7 +76,7 @@ class ServerQosManager {
 
   sim::Simulator& sim_;
   Config config_;
-  std::map<std::string, StreamState> streams_;
+  std::vector<StreamState> streams_;  // indexed by the id attach() returned
   Time last_action_ = Time::usec(-1'000'000'000);
   Stats stats_;
 };

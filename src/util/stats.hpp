@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hyms::util {
@@ -81,20 +81,48 @@ class Histogram {
 };
 
 /// Named counters, e.g. frames_dropped / frames_duplicated / rtcp_reports.
+/// Counters are bumped on hot paths, so the storage is a flat vector kept
+/// sorted by name: lookups are a cache-friendly binary search over
+/// contiguous pairs instead of a node-based tree walk, and a counter set
+/// stabilizes after the first few increments (inserts stop happening).
 class CounterSet {
  public:
-  void inc(const std::string& name, std::int64_t by = 1) { counters_[name] += by; }
-  [[nodiscard]] std::int64_t get(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+  void inc(std::string_view name, std::int64_t by = 1) {
+    const auto it = lower_bound(name);
+    if (it != counters_.end() && it->first == name) {
+      it->second += by;
+    } else {
+      counters_.emplace(it, std::string(name), by);
+    }
   }
-  [[nodiscard]] const std::map<std::string, std::int64_t>& all() const {
+  [[nodiscard]] std::int64_t get(std::string_view name) const {
+    const auto it = lower_bound(name);
+    return it != counters_.end() && it->first == name ? it->second : 0;
+  }
+  /// All counters, sorted by name (the order the old map iterated in).
+  [[nodiscard]] const std::vector<std::pair<std::string, std::int64_t>>& all()
+      const {
     return counters_;
   }
   void reset() { counters_.clear(); }
 
  private:
-  std::map<std::string, std::int64_t> counters_;
+  using Entry = std::pair<std::string, std::int64_t>;
+
+  [[nodiscard]] std::vector<Entry>::iterator lower_bound(
+      std::string_view name) {
+    return std::lower_bound(
+        counters_.begin(), counters_.end(), name,
+        [](const Entry& e, std::string_view n) { return e.first < n; });
+  }
+  [[nodiscard]] std::vector<Entry>::const_iterator lower_bound(
+      std::string_view name) const {
+    return std::lower_bound(
+        counters_.begin(), counters_.end(), name,
+        [](const Entry& e, std::string_view n) { return e.first < n; });
+  }
+
+  std::vector<Entry> counters_;
 };
 
 }  // namespace hyms::util

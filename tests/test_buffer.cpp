@@ -115,6 +115,90 @@ TEST(MediaBufferTest, FillRatio) {
   EXPECT_DOUBLE_EQ(buf.fill_ratio(), 0.5);
 }
 
+// --- ring-specific behavior -------------------------------------------------
+// The storage is a ring keyed by content index mod a power-of-two capacity;
+// these pin the wrap-around and growth cases a node-map never exercised.
+
+TEST(MediaBufferRingTest, WrapsAcrossInitialRingBoundary) {
+  // Indices straddling the initial 64-slot ring land in wrapped slots but
+  // must still pop in index order.
+  MediaBuffer buf("s", window(500));
+  for (std::int64_t k = 70; k >= 58; --k) buf.push(frame(k));  // reverse order
+  for (std::int64_t k = 58; k <= 70; ++k) {
+    auto f = buf.pop();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->index, k);
+  }
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(MediaBufferRingTest, LargeBaseIndexWrapsCleanly) {
+  // A stream joined mid-presentation: indices start huge, wrap position is
+  // index & mask, and ordering must be unaffected.
+  MediaBuffer buf("s", window(500));
+  const std::int64_t base = std::int64_t{1} << 40;
+  buf.push(frame(base + 3));
+  buf.push(frame(base));
+  buf.push(frame(base + 1));
+  EXPECT_FALSE(buf.push(frame(base + 1)));  // duplicate across the wrap
+  for (const std::int64_t k : {base, base + 1, base + 3}) {
+    auto f = buf.pop();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->index, k);
+  }
+}
+
+TEST(MediaBufferRingTest, GrowthPreservesContentsAndOrder) {
+  // Fill past the initial ring so it must reallocate and rehome every live
+  // frame, then verify nothing was lost or reordered.
+  MediaBuffer buf("s", window(500));
+  for (std::int64_t k = 199; k >= 0; --k) buf.push(frame(k));
+  EXPECT_EQ(buf.size(), 200u);
+  for (std::int64_t k = 0; k < 200; ++k) {
+    auto f = buf.pop();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->index, k);
+  }
+}
+
+TEST(MediaBufferRingTest, SparseSpanAcceptedLikeTheOldMap) {
+  // The count cap, not the index span, gates acceptance (node-map parity):
+  // three frames spread over a 200-wide span fit a capacity of 8.
+  MediaBuffer::Config config = window(500);
+  config.capacity_frames = 8;
+  MediaBuffer buf("s", config);
+  EXPECT_TRUE(buf.push(frame(0)));
+  EXPECT_TRUE(buf.push(frame(100)));
+  EXPECT_TRUE(buf.push(frame(200)));
+  EXPECT_EQ(buf.stats().rejected_capacity, 0);
+  EXPECT_EQ(buf.pop()->index, 0);
+  EXPECT_EQ(buf.pop()->index, 100);
+  EXPECT_EQ(buf.pop()->index, 200);
+}
+
+TEST(MediaBufferRingTest, AbsurdSpanRejectedAsCapacity) {
+  // Pathological sender: an index so far from the live window the ring
+  // would exceed its hard slot bound is refused, not allocated.
+  MediaBuffer buf("s", window(500));
+  EXPECT_TRUE(buf.push(frame(0)));
+  EXPECT_FALSE(buf.push(frame(std::int64_t{1} << 21)));
+  EXPECT_EQ(buf.stats().rejected_capacity, 1);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(MediaBufferRingTest, ReinsertBelowCurrentMinimum) {
+  // A retransmitted frame older than everything buffered becomes the new
+  // head (the old map accepted it the same way).
+  MediaBuffer buf("s", window(500));
+  for (std::int64_t k = 10; k < 15; ++k) buf.push(frame(k));
+  buf.pop();  // 10
+  buf.pop();  // 11
+  EXPECT_TRUE(buf.push(frame(11)));
+  EXPECT_EQ(buf.peek()->index, 11);
+  EXPECT_EQ(buf.pop()->index, 11);
+  EXPECT_EQ(buf.pop()->index, 12);
+}
+
 /// Model-based property: against a reference map of (index -> duration), the
 /// buffer's size, occupancy, head and pop order must agree exactly under
 /// randomized push/pop/drop_before sequences with duplicates and reordering.

@@ -2,6 +2,7 @@
 
 #include "buffer/media_buffer.hpp"
 #include "client/qos_manager.hpp"
+#include "core/stream_id.hpp"
 #include "net/network.hpp"
 #include "rtp/session.hpp"
 #include "sim/simulator.hpp"
@@ -27,6 +28,7 @@ class ClientQosTest : public ::testing::Test {
     return f;
   }
 
+  core::StreamRegistry reg_;
   sim::Simulator sim_;
   net::Network net_;
   net::NodeId a_, b_;
@@ -38,9 +40,9 @@ TEST_F(ClientQosTest, MetricsReflectBufferState) {
   buffer.push(frame(1, Time::msec(40)));
 
   ClientQosManager manager;
-  manager.attach("A", &buffer, nullptr);
+  manager.attach(reg_.intern("A"), &buffer, nullptr);
 
-  const auto metrics = manager.metrics_for("A");
+  const auto metrics = manager.metrics_for(reg_.find("A"));
   ASSERT_EQ(metrics.size(), 1u);  // no receiver: buffer metric only
   EXPECT_EQ(metrics[0].first, "buffer_ms");
   EXPECT_DOUBLE_EQ(metrics[0].second, 80.0);
@@ -60,7 +62,7 @@ TEST_F(ClientQosTest, MetricsFlowThroughReceiverReports) {
   buffer::MediaBuffer buffer("S", {});
   buffer.push(frame(0, Time::msec(120)));
   ClientQosManager manager;
-  manager.attach("S", &buffer, &receiver);
+  manager.attach(reg_.intern("S"), &buffer, &receiver);
 
   std::vector<std::pair<std::string, double>> seen;
   sender.set_on_feedback([&](const rtp::ReceiverFeedback& fb) {
@@ -85,8 +87,8 @@ TEST_F(ClientQosTest, ConfigDisablesMetrics) {
   buffer::MediaBuffer buffer("A", {});
   rtp::RtpReceiver::Params rp;
   rtp::RtpReceiver receiver(net_, b_, 0, net::Endpoint{}, rp);
-  manager.attach("A", &buffer, &receiver);
-  const auto metrics = manager.metrics_for("A");
+  manager.attach(reg_.intern("A"), &buffer, &receiver);
+  const auto metrics = manager.metrics_for(reg_.find("A"));
   ASSERT_EQ(metrics.size(), 1u);
   EXPECT_EQ(metrics[0].first, "buffer_ms");
 }
@@ -97,19 +99,19 @@ TEST_F(ClientQosTest, AggregatesAcrossStreams) {
   audio.push(frame(0, Time::msec(200)));
   video.push(frame(0, Time::msec(80)));
   ClientQosManager manager;
-  manager.attach("A", &audio, nullptr);
-  manager.attach("V", &video, nullptr);
+  manager.attach(reg_.intern("A"), &audio, nullptr);
+  manager.attach(reg_.intern("V"), &video, nullptr);
   EXPECT_EQ(manager.stream_count(), 2u);
   EXPECT_DOUBLE_EQ(manager.min_buffer_ms(), 80.0);
-  manager.detach("V");
+  manager.detach(reg_.find("V"));
   EXPECT_DOUBLE_EQ(manager.min_buffer_ms(), 200.0);
   EXPECT_EQ(manager.stream_count(), 1u);
 }
 
 TEST_F(ClientQosTest, UnknownStreamIsEmpty) {
   ClientQosManager manager;
-  EXPECT_TRUE(manager.metrics_for("nope").empty());
-  manager.detach("nope");  // harmless
+  EXPECT_TRUE(manager.metrics_for(reg_.find("nope")).empty());
+  manager.detach(reg_.find("nope"));  // harmless
   EXPECT_DOUBLE_EQ(manager.min_buffer_ms(), 0.0);
   EXPECT_DOUBLE_EQ(manager.worst_jitter_ms(), 0.0);
   EXPECT_EQ(manager.total_incomplete_frames(), 0);

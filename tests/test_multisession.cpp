@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness.hpp"
+
+namespace hyms {
+namespace {
+
+// Sharded multi-session runs must be embarrassingly parallel: every session
+// owns its Simulator and deployment, so running N sessions across a thread
+// pool has to produce, per session, exactly the outcome a sequential loop
+// produces with the same seed — regardless of the thread count or of which
+// shard picked the session up. (Run under TSan in CI, this also proves the
+// shards share no mutable state.)
+
+bench::SessionParams small_params() {
+  bench::SessionParams params;
+  params.markup = bench::lecture_markup(4);
+  params.seed = 11;
+  params.run_for = Time::sec(6);
+  return params;
+}
+
+TEST(MultiSessionTest, ShardedMatchesSequentialPerSession) {
+  const auto base = small_params();
+  constexpr int kSessions = 6;
+
+  std::vector<std::uint64_t> sequential;
+  for (int i = 0; i < kSessions; ++i) {
+    bench::SessionParams params = base;
+    params.seed = base.seed + static_cast<std::uint64_t>(i);
+    sequential.push_back(bench::session_fingerprint(bench::run_session(params)));
+  }
+
+  for (const int threads : {1, 2, 4}) {
+    const auto sharded = bench::run_sessions_sharded(base, kSessions, threads);
+    ASSERT_EQ(sharded.size(), static_cast<std::size_t>(kSessions));
+    for (int i = 0; i < kSessions; ++i) {
+      EXPECT_FALSE(sharded[static_cast<std::size_t>(i)].failed);
+      EXPECT_EQ(bench::session_fingerprint(sharded[static_cast<std::size_t>(i)]),
+                sequential[static_cast<std::size_t>(i)])
+          << "session " << i << " diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(MultiSessionTest, DistinctSeedsProduceDistinctWork) {
+  // Guard against a fingerprint that ignores its inputs: sessions are real
+  // runs, so at least the timing-derived fields differ across seeds.
+  const auto base = small_params();
+  const auto runs = bench::run_sessions_sharded(base, 3, 2);
+  for (const auto& m : runs) {
+    EXPECT_FALSE(m.failed);
+    EXPECT_TRUE(m.finished);
+    EXPECT_GT(m.totals.fresh, 0);
+  }
+}
+
+TEST(MultiSessionTest, MoreThreadsThanSessionsIsSafe) {
+  const auto base = small_params();
+  const auto runs = bench::run_sessions_sharded(base, 2, 8);
+  ASSERT_EQ(runs.size(), 2u);
+  for (const auto& m : runs) EXPECT_FALSE(m.failed);
+}
+
+TEST(MultiSessionTest, ZeroSessionsReturnsEmpty) {
+  EXPECT_TRUE(bench::run_sessions_sharded(small_params(), 0, 4).empty());
+}
+
+}  // namespace
+}  // namespace hyms

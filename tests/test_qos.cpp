@@ -70,9 +70,9 @@ class QosTest : public ::testing::Test {
 TEST_F(QosTest, LossTriggersDegrade) {
   auto video = stream("V", "video:mpeg:v:60", 3);
   ServerQosManager manager(sim_, config());
-  manager.attach(video.get());
+  const auto vid = manager.attach(video.get());
 
-  manager.on_feedback("V", feedback(0.10));
+  manager.on_feedback(vid, feedback(0.10));
   EXPECT_EQ(video->current_level(), 1);
   EXPECT_EQ(manager.stats().degrades, 1);
   EXPECT_EQ(manager.stats().bad_reports, 1);
@@ -81,13 +81,13 @@ TEST_F(QosTest, LossTriggersDegrade) {
 TEST_F(QosTest, HoldTimeSpacesActions) {
   auto video = stream("V", "video:mpeg:v:60", 3);
   ServerQosManager manager(sim_, config());
-  manager.attach(video.get());
+  const auto vid = manager.attach(video.get());
 
-  manager.on_feedback("V", feedback(0.10));
-  manager.on_feedback("V", feedback(0.10));  // within the hold window
+  manager.on_feedback(vid, feedback(0.10));
+  manager.on_feedback(vid, feedback(0.10));  // within the hold window
   EXPECT_EQ(video->current_level(), 1);
   sim_.run_until(Time::sec(1));
-  manager.on_feedback("V", feedback(0.10));
+  manager.on_feedback(vid, feedback(0.10));
   EXPECT_EQ(video->current_level(), 2);
 }
 
@@ -96,21 +96,21 @@ TEST_F(QosTest, VideoDegradedBeforeAudio) {
   auto audio = stream("A", "audio:pcm:a:60", 3);
   ServerQosManager manager(sim_, config());
   manager.attach(video.get());
-  manager.attach(audio.get());
+  const auto aid = manager.attach(audio.get());
 
   // Report loss on the AUDIO stream: the manager must still sacrifice video
   // first ("users can tolerate lower video quality rather than not hear
   // well").
   for (int i = 0; i < 3; ++i) {
     sim_.run_until(Time::sec(i + 1));
-    manager.on_feedback("A", feedback(0.10));
+    manager.on_feedback(aid, feedback(0.10));
   }
   EXPECT_EQ(video->current_level(), 3);
   EXPECT_EQ(audio->current_level(), 0);
 
   // Video exhausted (at floor): now audio is graded.
   sim_.run_until(Time::sec(10));
-  manager.on_feedback("A", feedback(0.10));
+  manager.on_feedback(aid, feedback(0.10));
   EXPECT_EQ(audio->current_level(), 1);
 }
 
@@ -120,10 +120,10 @@ TEST_F(QosTest, AudioFirstOrderReversesTheSacrifice) {
   auto video = stream("V", "video:mpeg:v:60", 3);
   auto audio = stream("A", "audio:pcm:a:60", 3);
   ServerQosManager manager(sim_, c);
-  manager.attach(video.get());
+  const auto vid = manager.attach(video.get());
   manager.attach(audio.get());
 
-  manager.on_feedback("V", feedback(0.10));
+  manager.on_feedback(vid, feedback(0.10));
   EXPECT_EQ(audio->current_level(), 1) << "audio-first must grade audio";
   EXPECT_EQ(video->current_level(), 0);
   EXPECT_EQ(manager.stats().degrades_audio, 1);
@@ -134,12 +134,12 @@ TEST_F(QosTest, PerTypeDegradeCountersTrack) {
   auto video = stream("V", "video:mpeg:v:60", 1);
   auto audio = stream("A", "audio:pcm:a:60", 1);
   ServerQosManager manager(sim_, config());
-  manager.attach(video.get());
+  const auto vid = manager.attach(video.get());
   manager.attach(audio.get());
   // Video floor reached after 1 rung; the next degrade hits audio.
-  manager.on_feedback("V", feedback(0.10));
+  manager.on_feedback(vid, feedback(0.10));
   sim_.run_until(Time::sec(1));
-  manager.on_feedback("V", feedback(0.10));
+  manager.on_feedback(vid, feedback(0.10));
   EXPECT_EQ(manager.stats().degrades_video, 1);
   EXPECT_EQ(manager.stats().degrades_audio, 1);
   EXPECT_EQ(manager.stats().degrades, 2);
@@ -149,8 +149,8 @@ TEST_F(QosTest, CleanStreakUpgradesAudioFirst) {
   auto video = stream("V", "video:mpeg:v:60", 3);
   auto audio = stream("A", "audio:pcm:a:60", 3);
   ServerQosManager manager(sim_, config());
-  manager.attach(video.get());
-  manager.attach(audio.get());
+  const auto vid = manager.attach(video.get());
+  const auto aid = manager.attach(audio.get());
   video->degrade();
   video->degrade();
   audio->degrade();
@@ -158,8 +158,8 @@ TEST_F(QosTest, CleanStreakUpgradesAudioFirst) {
   // Three clean reports on every stream allow one upgrade: audio first.
   for (int i = 0; i < 3; ++i) {
     sim_.run_until(Time::sec(i + 1));
-    manager.on_feedback("V", feedback(0.0));
-    manager.on_feedback("A", feedback(0.0));
+    manager.on_feedback(vid, feedback(0.0));
+    manager.on_feedback(aid, feedback(0.0));
   }
   EXPECT_EQ(audio->current_level(), 0);
   EXPECT_EQ(video->current_level(), 2);
@@ -167,8 +167,8 @@ TEST_F(QosTest, CleanStreakUpgradesAudioFirst) {
   // Next clean streak restores video one rung.
   for (int i = 0; i < 4; ++i) {
     sim_.run_until(Time::sec(4 + i));
-    manager.on_feedback("V", feedback(0.0));
-    manager.on_feedback("A", feedback(0.0));
+    manager.on_feedback(vid, feedback(0.0));
+    manager.on_feedback(aid, feedback(0.0));
   }
   EXPECT_EQ(video->current_level(), 1);
   EXPECT_GE(manager.stats().upgrades, 2);
@@ -177,16 +177,16 @@ TEST_F(QosTest, CleanStreakUpgradesAudioFirst) {
 TEST_F(QosTest, BadReportResetsUpgradeStreak) {
   auto video = stream("V", "video:mpeg:v:60", 3);
   ServerQosManager manager(sim_, config());
-  manager.attach(video.get());
+  const auto vid = manager.attach(video.get());
   video->degrade();
   const int before = video->current_level();
 
-  manager.on_feedback("V", feedback(0.0));
-  manager.on_feedback("V", feedback(0.0));
+  manager.on_feedback(vid, feedback(0.0));
+  manager.on_feedback(vid, feedback(0.0));
   sim_.run_until(Time::sec(2));
-  manager.on_feedback("V", feedback(0.10));  // bad: streak resets, degrade
-  manager.on_feedback("V", feedback(0.0));
-  manager.on_feedback("V", feedback(0.0));
+  manager.on_feedback(vid, feedback(0.10));  // bad: streak resets, degrade
+  manager.on_feedback(vid, feedback(0.0));
+  manager.on_feedback(vid, feedback(0.0));
   // Two clean reports after the reset are not enough for an upgrade.
   EXPECT_GE(video->current_level(), before);
   EXPECT_EQ(manager.stats().upgrades, 0);
@@ -195,17 +195,17 @@ TEST_F(QosTest, BadReportResetsUpgradeStreak) {
 TEST_F(QosTest, LowClientBufferTriggersDegrade) {
   auto video = stream("V", "video:mpeg:v:60", 3);
   ServerQosManager manager(sim_, config());
-  manager.attach(video.get());
-  manager.on_feedback("V", feedback(0.0, /*buffer_ms=*/40.0));
+  const auto vid = manager.attach(video.get());
+  manager.on_feedback(vid, feedback(0.0, /*buffer_ms=*/40.0));
   EXPECT_EQ(video->current_level(), 1);
 }
 
 TEST_F(QosTest, JitterTriggersDegrade) {
   auto video = stream("V", "video:mpeg:v:60", 3);
   ServerQosManager manager(sim_, config());
-  manager.attach(video.get());
+  const auto vid = manager.attach(video.get());
   // 90kHz clock: 100ms of jitter = 9000 units (> 80ms threshold).
-  manager.on_feedback("V", feedback(0.0, 500.0, 9000));
+  manager.on_feedback(vid, feedback(0.0, 500.0, 9000));
   EXPECT_EQ(video->current_level(), 1);
 }
 
@@ -214,13 +214,13 @@ TEST_F(QosTest, StopAtFloorWhenConfigured) {
   c.stop_at_floor = true;
   auto video = stream("V", "video:mpeg:v:60", 1);  // short ladder to floor
   ServerQosManager manager(sim_, c);
-  manager.attach(video.get());
+  const auto vid = manager.attach(video.get());
 
-  manager.on_feedback("V", feedback(0.10));
+  manager.on_feedback(vid, feedback(0.10));
   EXPECT_EQ(video->current_level(), 1);
   EXPECT_TRUE(video->at_floor());
   sim_.run_until(Time::sec(1));
-  manager.on_feedback("V", feedback(0.10));
+  manager.on_feedback(vid, feedback(0.10));
   EXPECT_TRUE(video->stopped());
   EXPECT_EQ(manager.stats().stops, 1);
 }
@@ -228,10 +228,10 @@ TEST_F(QosTest, StopAtFloorWhenConfigured) {
 TEST_F(QosTest, NoStopAtFloorByDefault) {
   auto video = stream("V", "video:mpeg:v:60", 1);
   ServerQosManager manager(sim_, config());
-  manager.attach(video.get());
-  manager.on_feedback("V", feedback(0.10));
+  const auto vid = manager.attach(video.get());
+  manager.on_feedback(vid, feedback(0.10));
   sim_.run_until(Time::sec(1));
-  manager.on_feedback("V", feedback(0.10));
+  manager.on_feedback(vid, feedback(0.10));
   EXPECT_FALSE(video->stopped());
   EXPECT_EQ(manager.stats().stops, 0);
 }
@@ -241,25 +241,25 @@ TEST_F(QosTest, DisabledManagerDoesNothing) {
   c.enabled = false;
   auto video = stream("V", "video:mpeg:v:60", 3);
   ServerQosManager manager(sim_, c);
-  manager.attach(video.get());
-  manager.on_feedback("V", feedback(0.5));
+  const auto vid = manager.attach(video.get());
+  manager.on_feedback(vid, feedback(0.5));
   EXPECT_EQ(video->current_level(), 0);
   EXPECT_EQ(manager.stats().reports, 0);
 }
 
 TEST_F(QosTest, UnknownStreamIgnored) {
   ServerQosManager manager(sim_, config());
-  manager.on_feedback("nope", feedback(0.5));
+  manager.on_feedback(core::StreamId{7}, feedback(0.5));
   EXPECT_EQ(manager.stats().reports, 0);
 }
 
 TEST_F(QosTest, DegradeNeverPassesUserFloor) {
   auto video = stream("V", "video:mpeg:v:60", 2);
   ServerQosManager manager(sim_, config());
-  manager.attach(video.get());
+  const auto vid = manager.attach(video.get());
   for (int i = 0; i < 10; ++i) {
     sim_.run_until(Time::sec(i + 1));
-    manager.on_feedback("V", feedback(0.2));
+    manager.on_feedback(vid, feedback(0.2));
   }
   EXPECT_EQ(video->current_level(), 2) << "must stop at the user's floor";
 }

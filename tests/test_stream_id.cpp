@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/stream_id.hpp"
+
+namespace hyms {
+namespace {
+
+using core::kInvalidStreamId;
+using core::StreamId;
+using core::StreamRegistry;
+
+TEST(StreamRegistryTest, InternAssignsDenseIdsInOrder) {
+  StreamRegistry reg;
+  EXPECT_EQ(reg.intern("VI"), StreamId{0});
+  EXPECT_EQ(reg.intern("AU"), StreamId{1});
+  EXPECT_EQ(reg.intern("SLIDE"), StreamId{2});
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(StreamRegistryTest, InternIsIdempotent) {
+  StreamRegistry reg;
+  const StreamId a = reg.intern("A");
+  EXPECT_EQ(reg.intern("A"), a);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(StreamRegistryTest, RoundTripsNameAndId) {
+  StreamRegistry reg;
+  const std::vector<std::string> names = {"VI", "AU", "SLIDE", "TXT", "A1"};
+  std::vector<StreamId> ids;
+  for (const auto& name : names) ids.push_back(reg.intern(name));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(reg.name(ids[i]), names[i]);
+    EXPECT_EQ(reg.find(names[i]), ids[i]);
+    EXPECT_TRUE(reg.contains(names[i]));
+  }
+}
+
+TEST(StreamRegistryTest, FindMissingReturnsInvalid) {
+  StreamRegistry reg;
+  EXPECT_EQ(reg.find("nope"), kInvalidStreamId);
+  reg.intern("A");
+  EXPECT_EQ(reg.find("nope"), kInvalidStreamId);
+  EXPECT_FALSE(reg.contains("nope"));
+}
+
+TEST(StreamRegistryTest, EmptyAndClear) {
+  StreamRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.intern("A");
+  EXPECT_FALSE(reg.empty());
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.find("A"), kInvalidStreamId);
+  // Ids restart dense after a clear.
+  EXPECT_EQ(reg.intern("B"), StreamId{0});
+}
+
+TEST(StreamRegistryTest, ManyNamesStayConsistent) {
+  StreamRegistry reg;
+  std::vector<StreamId> ids;
+  for (int i = 0; i < 500; ++i) {
+    ids.push_back(reg.intern("stream-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 500; ++i) {
+    const std::string name = "stream-" + std::to_string(i);
+    EXPECT_EQ(reg.find(name), ids[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(reg.name(ids[static_cast<std::size_t>(i)]), name);
+    // Re-interning never mints a new id.
+    EXPECT_EQ(reg.intern(name), ids[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(reg.size(), 500u);
+}
+
+TEST(StreamRegistryTest, PrefixNamesDoNotCollide) {
+  StreamRegistry reg;
+  const StreamId a = reg.intern("A");
+  const StreamId a1 = reg.intern("A1");
+  const StreamId a11 = reg.intern("A11");
+  EXPECT_NE(a, a1);
+  EXPECT_NE(a1, a11);
+  EXPECT_EQ(reg.find("A"), a);
+  EXPECT_EQ(reg.find("A1"), a1);
+  EXPECT_EQ(reg.find("A11"), a11);
+}
+
+}  // namespace
+}  // namespace hyms
