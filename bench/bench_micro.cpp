@@ -18,6 +18,7 @@
 #include "net/network.hpp"
 #include "rtp/packets.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -225,6 +226,86 @@ void BM_PacketForwardingSteadyState(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_PacketForwardingSteadyState);
+
+void BM_PacketForwardingTelemetryOn(benchmark::State& state) {
+  // The same steady-state path with a telemetry hub installed and tracing
+  // enabled: the delta against BM_PacketForwardingSteadyState is the price
+  // of a fully instrumented run (queue-depth counters on every link event).
+  // The no-hub case must stay within 3% of the pre-telemetry baseline —
+  // tools/check_telemetry_overhead.py enforces that from BENCH_micro.json.
+  sim::Simulator sim;
+  telemetry::Hub hub;
+  hub.set_tracing(true);
+  sim.set_telemetry(&hub);
+  net::Network net(sim);
+  const auto a = net.add_host("a");
+  const auto r = net.add_router("r");
+  const auto b = net.add_host("b");
+  net::LinkParams lp;
+  lp.queue_capacity_bytes = 1 << 20;
+  net.connect(a, r, lp);
+  net.connect(r, b, lp);
+  std::int64_t received = 0;
+  net.bind(b, 50, [&](const net::Packet&) { ++received; });
+  const std::size_t payload_bytes = 1000;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      auto buf = net.payload_pool().acquire(payload_bytes);
+      buf.resize(payload_bytes);
+      net.send(net::Endpoint{a, 1}, net::Endpoint{b, 50}, std::move(buf));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(received);
+    // Keep the record vector from growing without bound across iterations;
+    // records are trivially destructible so this is O(1).
+    hub.tracer().reset();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PacketForwardingTelemetryOn);
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  // The metric hot path itself: one interned-id counter bump.
+  telemetry::MetricsRegistry metrics;
+  const auto id = metrics.counter("bench/counter");
+  for (auto _ : state) {
+    metrics.add(id);
+    benchmark::DoNotOptimize(metrics);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  telemetry::MetricsRegistry metrics;
+  const auto id =
+      metrics.histogram("bench/hist", telemetry::HistogramSpec{0.0, 100.0, 64});
+  double v = 0.0;
+  for (auto _ : state) {
+    metrics.observe(id, v);
+    v += 0.37;
+    if (v > 110.0) v = -5.0;  // touch underflow/overflow paths too
+    benchmark::DoNotOptimize(metrics);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+void BM_TracerInstant(benchmark::State& state) {
+  // One interned-id trace record: a 24-byte push_back behind the enabled
+  // branch. Reset once the vector fills so memory stays bounded.
+  telemetry::SpanTracer tracer;
+  const auto track = tracer.track("bench");
+  const auto name = tracer.name("event");
+  std::int64_t ts = 0;
+  for (auto _ : state) {
+    tracer.instant(track, name, Time::usec(ts++), 1.0);
+    if (tracer.record_count() >= (1u << 20)) tracer.reset();
+  }
+  benchmark::DoNotOptimize(tracer);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerInstant);
 
 }  // namespace
 

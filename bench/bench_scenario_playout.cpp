@@ -4,7 +4,9 @@
 //
 // `--events` dumps the raw per-event CSV instead (the byte-identical
 // regression surface for refactors of the playout path); `--json` mirrors
-// the per-stream results into BENCH_scenario_playout.json.
+// the per-stream results into BENCH_scenario_playout.json. `--trace FILE`
+// writes a Chrome/Perfetto trace of the whole run (open in ui.perfetto.dev)
+// and `--metrics FILE` the final metrics snapshot as CSV.
 
 #include <cstdio>
 #include <map>
@@ -16,21 +18,29 @@
 #include "hermes/deployment.hpp"
 #include "hermes/sample_content.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace hyms;
 
 int main(int argc, char** argv) {
   bool json = false;
   bool events_only = false;
+  std::string trace_file;
+  std::string metrics_file;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--json") {
       json = true;
     } else if (arg == "--events") {
       events_only = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_file = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: bench_scenario_playout [--events] [--json]\n");
+                   "usage: bench_scenario_playout [--events] [--json] "
+                   "[--trace FILE] [--metrics FILE]\n");
       return 1;
     }
   }
@@ -40,6 +50,14 @@ int main(int argc, char** argv) {
   }
 
   sim::Simulator sim(42);
+  // The hub must be installed before the deployment wires the network, so
+  // links/sessions can intern their trace tracks at construction.
+  telemetry::Hub hub;
+  const bool telemetry_on = !trace_file.empty() || !metrics_file.empty();
+  if (telemetry_on) {
+    hub.set_tracing(!trace_file.empty());
+    sim.set_telemetry(&hub);
+  }
   hermes::Deployment deployment(sim, hermes::Deployment::Config{});
   deployment.server(0).documents().add("fig2", hermes::fig2_lesson_markup());
 
@@ -62,6 +80,19 @@ int main(int argc, char** argv) {
   auto& runtime = *session.presentation();
   const auto& trace = runtime.trace();
   const Time epoch = runtime.scheduler().presentation_epoch();
+
+  if (telemetry_on) {
+    sim.flush_telemetry();
+    deployment.network().flush_telemetry();
+    deployment.server(0).flush_telemetry();
+    runtime.flush_telemetry();
+    if (!trace_file.empty() && hub.write_trace_json(trace_file)) {
+      std::fprintf(stderr, "trace written to %s\n", trace_file.c_str());
+    }
+    if (!metrics_file.empty() && hub.write_metrics_csv(metrics_file)) {
+      std::fprintf(stderr, "metrics written to %s\n", metrics_file.c_str());
+    }
+  }
 
   if (events_only) {
     std::fputs(trace.events_csv().c_str(), stdout);

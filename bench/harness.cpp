@@ -9,6 +9,7 @@
 #include "hermes/sample_content.hpp"
 #include "net/cross_traffic.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/strings.hpp"
 
 namespace hyms::bench {
@@ -30,6 +31,16 @@ std::string lecture_markup(int seconds, int video_kbps) {
 SessionMetrics run_session(const SessionParams& params) {
   SessionMetrics metrics;
   sim::Simulator sim(params.seed);
+
+  // Install the hub before the deployment builds the network: components
+  // intern their telemetry tracks in their constructors.
+  telemetry::Hub hub;
+  const bool telemetry_on =
+      !params.trace_file.empty() || !params.metrics_file.empty();
+  if (telemetry_on) {
+    hub.set_tracing(!params.trace_file.empty());
+    sim.set_telemetry(&hub);
+  }
 
   hermes::Deployment::Config config;
   config.client_access.bandwidth_bps = params.access_bandwidth_bps;
@@ -101,7 +112,20 @@ SessionMetrics run_session(const SessionParams& params) {
   session.request_document("doc");
   sim.run_until(params.run_for);
 
+  auto export_telemetry = [&] {
+    if (!telemetry_on) return;
+    sim.flush_telemetry();
+    deployment.network().flush_telemetry();
+    deployment.server(0).flush_telemetry();
+    if (session.presentation() != nullptr) {
+      session.presentation()->flush_telemetry();
+    }
+    if (!params.trace_file.empty()) hub.write_trace_json(params.trace_file);
+    if (!params.metrics_file.empty()) hub.write_metrics_csv(params.metrics_file);
+  };
+
   if (session.presentation() == nullptr) {
+    export_telemetry();
     metrics.failed = true;
     metrics.error = session.last_error();
     return metrics;
@@ -139,6 +163,7 @@ SessionMetrics run_session(const SessionParams& params) {
     }
   }
   if (!transit.empty()) metrics.transit_p99_ms = transit.max();
+  export_telemetry();
   return metrics;
 }
 

@@ -48,6 +48,12 @@ struct SessionParams {
   double cross_rate_bps = 0.0;
   Time cross_mean_on = Time::sec(4);
   Time cross_mean_off = Time::sec(4);
+
+  // Telemetry export (empty = off). When either is set a telemetry::Hub is
+  // installed on the simulator before the deployment is built; at the end of
+  // the run the Perfetto trace JSON / metrics CSV are written to these paths.
+  std::string trace_file;
+  std::string metrics_file;
 };
 
 struct SessionMetrics {

@@ -4,24 +4,57 @@
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
+//
+// Pass `--trace run.json` to export a Chrome/Perfetto trace of the run
+// (open in ui.perfetto.dev) and `--metrics run.csv` for the final metrics
+// snapshot.
 
 #include <cstdio>
+#include <string>
+#include <string_view>
 
 #include "client/browser_session.hpp"
 #include "hermes/deployment.hpp"
 #include "hermes/sample_content.hpp"
 #include "markup/parser.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/log.hpp"
 
 using namespace hyms;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_file;
+  std::string metrics_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_file = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: quickstart [--trace FILE] [--metrics FILE]\n");
+      return 1;
+    }
+  }
+
   // 1. The document: the paper's Fig. 2 pre-orchestrated scenario.
   const std::string markup = hermes::fig2_lesson_markup();
   std::printf("--- markup (Fig. 2 scenario) ---\n%s\n", markup.c_str());
 
   // 2. A minimal deployment: one server, one client, one backbone router.
+  //    The telemetry hub goes in before the deployment so every component
+  //    can intern its trace track at construction.
   sim::Simulator sim(/*seed=*/42);
+  // Stamp any log output with simulated time rather than nothing.
+  util::Log::set_time_source([&sim] { return sim.now(); });
+  telemetry::Hub hub;
+  const bool telemetry_on = !trace_file.empty() || !metrics_file.empty();
+  if (telemetry_on) {
+    hub.set_tracing(!trace_file.empty());
+    sim.set_telemetry(&hub);
+  }
   hermes::Deployment deployment(sim, hermes::Deployment::Config{});
   if (!deployment.server(0).documents().add("fig2", markup).ok()) {
     std::fprintf(stderr, "failed to store document\n");
@@ -64,8 +97,23 @@ int main() {
   std::printf("presentation finished: %s\n",
               browser.presentation()->scheduler().finished() ? "yes" : "no");
 
+  if (telemetry_on) {
+    sim.flush_telemetry();
+    deployment.network().flush_telemetry();
+    deployment.server(0).flush_telemetry();
+    browser.presentation()->flush_telemetry();
+    if (!trace_file.empty() && hub.write_trace_json(trace_file)) {
+      std::printf("trace written to %s (open in ui.perfetto.dev)\n",
+                  trace_file.c_str());
+    }
+    if (!metrics_file.empty() && hub.write_metrics_csv(metrics_file)) {
+      std::printf("metrics written to %s\n", metrics_file.c_str());
+    }
+  }
+
   browser.disconnect();
   sim.run_until(Time::sec(21));
   std::printf("final client state: %s\n", to_string(browser.state()).c_str());
+  util::Log::set_time_source({});
   return 0;
 }

@@ -48,6 +48,7 @@ proto::StreamSetup PresentationRuntime::prepare_setup(
       rtp::RtpReceiver::Params rp;
       rp.local_ssrc = media::hash_source_name("client/" + spec.id) | 1u;
       rp.rr_interval = config_.rtcp_rr_interval;
+      rp.label = "client/" + spec.id + "/rtp";
       rt->receiver = std::make_unique<rtp::RtpReceiver>(
           net_, node_, 0, net::Endpoint{}, rp);
       port.rtp_port = rt->receiver->rtp_endpoint().port;
@@ -173,6 +174,34 @@ buffer::MediaBuffer* PresentationRuntime::buffer(core::StreamId id) {
 rtp::RtpReceiver* PresentationRuntime::receiver(core::StreamId id) {
   if (id >= streams_.size() || streams_[id] == nullptr) return nullptr;
   return streams_[id]->receiver.get();
+}
+
+void PresentationRuntime::flush_telemetry() {
+  auto* hub = sim_.telemetry();
+  if (hub == nullptr) return;
+  auto& m = hub->metrics();
+  m.set(m.gauge("client/frames_received"),
+        static_cast<double>(stats_.frames_received));
+  m.set(m.gauge("client/frames_buffered"),
+        static_cast<double>(stats_.frames_buffered));
+  m.set(m.gauge("client/payload_corruptions"),
+        static_cast<double>(stats_.payload_corruptions));
+  m.set(m.gauge("client/objects_fetched"),
+        static_cast<double>(stats_.objects_fetched));
+  for (const auto& rt : streams_) {
+    if (rt == nullptr) continue;
+    if (rt->buffer != nullptr) {
+      const auto& bs = rt->buffer->stats();
+      const std::string prefix = "client/buffer/" + rt->spec.id;
+      m.set(m.gauge(prefix + "/pushed"), static_cast<double>(bs.pushed));
+      m.set(m.gauge(prefix + "/popped"), static_cast<double>(bs.popped));
+      m.set(m.gauge(prefix + "/dropped"), static_cast<double>(bs.dropped));
+      if (!bs.occupancy_ms.empty()) {
+        m.set(m.gauge(prefix + "/occupancy_ms_mean"), bs.occupancy_ms.mean());
+      }
+    }
+    if (rt->receiver != nullptr) rt->receiver->flush_telemetry();
+  }
 }
 
 bool PresentationRuntime::objects_complete() const {

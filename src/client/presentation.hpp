@@ -90,6 +90,11 @@ class PresentationRuntime {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Snapshot client-side counters (frame delivery, per-stream buffer
+  /// occupancy, RTP receiver stats) into the telemetry hub. No-op without
+  /// a hub installed on the simulator.
+  void flush_telemetry();
+
  private:
   struct StreamRuntime {
     core::StreamId id = core::kInvalidStreamId;

@@ -21,6 +21,15 @@ PlayoutScheduler::PlayoutScheduler(sim::Simulator& sim,
                                    PlayoutConfig config)
     : sim_(sim), scenario_(std::move(scenario)), config_(config) {
   trace_.set_record_events(config_.record_events);
+  if (auto* hub = sim_.telemetry()) {
+    auto& tr = hub->tracer();
+    for (std::uint8_t a = 0; a < 8; ++a) {
+      n_action_[a] = tr.name(to_string(static_cast<PlayoutAction>(a)));
+    }
+    n_buffer_ms_ = tr.name("buffer_ms");
+    n_skew_ms_ = tr.name("skew_ms");
+    n_rebuffer_ = tr.name("rebuffer");
+  }
 }
 
 PlayoutScheduler::~PlayoutScheduler() {
@@ -44,6 +53,17 @@ void PlayoutScheduler::attach_stream(const std::string& stream_id,
   process->interval =
       frame_interval > Time::zero() ? frame_interval : config_.image_poll;
   process->frame_count = std::max<std::int64_t>(1, frame_count);
+  process->trace_id = trace_.intern_stream(stream_id);
+  if (!spec->sync_group.empty()) {
+    process->group_id = trace_.intern_group(spec->sync_group);
+  }
+  if (auto* hub = sim_.telemetry()) {
+    auto& tr = hub->tracer();
+    process->track = tr.track("client/playout/" + stream_id);
+    if (!spec->sync_group.empty()) {
+      process->group_track = tr.track("client/sync/" + spec->sync_group);
+    }
+  }
   // Keep the array sorted by stream id; replace a re-attached stream.
   const auto pos = std::lower_bound(
       processes_.begin(), processes_.end(), stream_id,
@@ -152,13 +172,17 @@ Time PlayoutScheduler::content_position(const std::string& stream_id) const {
 }
 
 void PlayoutScheduler::play_slot(Process& p, PlayoutAction action) {
-  PlayoutEvent event;
-  event.stream_id = p.spec.id;
-  event.action = action;
-  event.frame_index = p.next_index;
-  event.at = sim_.now();
-  event.content_position = p.content_position();
-  trace_.note(std::move(event));
+  trace_.note(p.trace_id, action, p.next_index, sim_.now(),
+              p.content_position());
+  if (auto* hub = sim_.telemetry()) {
+    // Fresh slots are the steady state; tracing every one would drown the
+    // timeline, so only the anomalies become instants.
+    if (action != PlayoutAction::kFresh) {
+      hub->tracer().instant(
+          p.track, n_action_[static_cast<std::uint8_t>(action)], sim_.now(),
+          static_cast<double>(p.next_index));
+    }
+  }
 }
 
 void PlayoutScheduler::handle_overflow(Process& p) {
@@ -212,7 +236,13 @@ void PlayoutScheduler::enforce_sync(Process& p) {
   // One member (the lexicographically first) samples the group's skew so
   // each group tick contributes a single data point. Sampling happens even
   // with the controller disabled — the E4 experiment compares exactly that.
-  if (p.spec.id == first_id) trace_.note_skew(p.spec.sync_group, skew);
+  if (p.spec.id == first_id) {
+    trace_.note_skew(p.group_id, skew);
+    if (auto* hub = sim_.telemetry()) {
+      hub->tracer().counter(p.group_track, n_skew_ms_, sim_.now(),
+                            skew.to_ms());
+    }
+  }
   if (!policy.enabled) return;
   if (skew <= policy.max_skew) return;
 
@@ -243,6 +273,13 @@ void PlayoutScheduler::enforce_sync(Process& p) {
 
 void PlayoutScheduler::tick(Process& p) {
   if (!running_ || p.done) return;
+
+  if (auto* hub = sim_.telemetry()) {
+    if (p.buffer != nullptr) {
+      hub->tracer().counter(p.track, n_buffer_ms_, sim_.now(),
+                            p.buffer->occupancy_time().to_ms());
+    }
+  }
 
   enforce_sync(p);
   handle_overflow(p);
@@ -342,6 +379,9 @@ void PlayoutScheduler::begin_rebuffer(Process& p) {
   // starved_run keeps accumulating across rebuffer attempts so the
   // starvation_advance_after liveness cap still engages eventually.
   play_slot(p, PlayoutAction::kRebuffer);
+  if (auto* hub = sim_.telemetry()) {
+    hub->tracer().begin(p.track, n_rebuffer_, sim_.now());
+  }
   pause();
   const Time began = sim_.now();
   Process* proc = &p;
@@ -357,6 +397,9 @@ void PlayoutScheduler::poll_rebuffer(Process* p, Time began) {
   const bool timed_out = sim_.now() - began >= config_.rebuffer.max_wait;
   if (refilled || timed_out) {
     rebuffering_ = false;
+    if (auto* hub = sim_.telemetry()) {
+      hub->tracer().end(p->track, sim_.now());
+    }
     resume();
     return;
   }

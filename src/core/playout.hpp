@@ -126,6 +126,12 @@ class PlayoutScheduler {
     bool active = false;
     bool done = false;
     sim::EventId tick_event = sim::kNoEvent;
+    /// Trace ids cached at attach time so the per-slot path never touches a
+    /// string: dense PlayoutTrace ids + the telemetry track (if tracing).
+    StreamId trace_id = kInvalidStreamId;
+    StreamId group_id = kInvalidStreamId;
+    telemetry::TrackId track = telemetry::kInvalidTraceId;
+    telemetry::TrackId group_track = telemetry::kInvalidTraceId;
 
     [[nodiscard]] Time content_position() const {
       return spec.start + interval * next_index;
@@ -147,6 +153,12 @@ class PlayoutScheduler {
   sim::Simulator& sim_;
   PresentationScenario scenario_;
   PlayoutConfig config_;
+  /// Interned telemetry event names, one per PlayoutAction (indexed by the
+  /// action's underlying value), plus the occupancy/skew counters.
+  telemetry::NameId n_action_[8] = {};
+  telemetry::NameId n_buffer_ms_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_skew_ms_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_rebuffer_ = telemetry::kInvalidTraceId;
   /// Flat and sorted by stream id (the order the old string-keyed map
   /// iterated in, which tie-breaks simultaneous ticks and sync decisions),
   /// so per-tick group scans walk a contiguous array.

@@ -1,6 +1,6 @@
 #include "core/trace.hpp"
 
-#include <stdexcept>
+#include <algorithm>
 
 namespace hyms::core {
 
@@ -18,12 +18,26 @@ std::string to_string(PlayoutAction action) {
   return "?";
 }
 
-void PlayoutTrace::note(PlayoutEvent event) {
-  StreamPlayoutStats& s = streams_[event.stream_id];
-  switch (event.action) {
+StreamId PlayoutTrace::intern_stream(std::string_view name) {
+  const StreamId id = stream_names_.intern(name);
+  if (id >= stats_.size()) stats_.resize(id + 1);
+  return id;
+}
+
+StreamId PlayoutTrace::intern_group(std::string_view name) {
+  const StreamId id = group_names_.intern(name);
+  if (id >= skew_.size()) skew_.resize(id + 1);
+  return id;
+}
+
+void PlayoutTrace::note(StreamId stream, PlayoutAction action,
+                        std::int64_t frame_index, Time at,
+                        Time content_position) {
+  StreamPlayoutStats& s = stats_[stream];
+  switch (action) {
     case PlayoutAction::kFresh:
-      if (s.fresh == 0) s.first_play = event.at;
-      s.last_play = event.at;
+      if (s.fresh == 0) s.first_play = at;
+      s.last_play = at;
       ++s.fresh;
       break;
     case PlayoutAction::kDuplicate: ++s.duplicates; break;
@@ -34,34 +48,64 @@ void PlayoutTrace::note(PlayoutEvent event) {
     case PlayoutAction::kGapSkip: ++s.gap_skips; break;
     case PlayoutAction::kRebuffer: ++s.rebuffers; break;
   }
-  if (record_events_) events_.push_back(std::move(event));
+  if (record_events_) {
+    records_.push_back(
+        EventRec{stream, action, frame_index, at, content_position});
+  }
+}
+
+void PlayoutTrace::note(PlayoutEvent event) {
+  note(intern_stream(event.stream_id), event.action, event.frame_index,
+       event.at, event.content_position);
 }
 
 void PlayoutTrace::note_skew(const std::string& sync_group, Time skew) {
-  skew_[sync_group].add(skew.abs().to_ms());
+  note_skew(intern_group(sync_group), skew);
+}
+
+std::vector<PlayoutEvent> PlayoutTrace::events() const {
+  std::vector<PlayoutEvent> out;
+  out.reserve(records_.size());
+  for (const EventRec& rec : records_) {
+    out.push_back(PlayoutEvent{stream_names_.name(rec.stream), rec.action,
+                               rec.frame_index, rec.at, rec.content_position});
+  }
+  return out;
 }
 
 const StreamPlayoutStats& PlayoutTrace::stream(const std::string& id) const {
-  auto it = streams_.find(id);
-  if (it == streams_.end()) {
+  const StreamId sid = stream_names_.find(id);
+  if (sid == kInvalidStreamId) {
     static const StreamPlayoutStats kEmpty{};
     return kEmpty;
   }
-  return it->second;
+  return stats_[sid];
+}
+
+std::vector<std::pair<std::string, StreamPlayoutStats>> PlayoutTrace::streams()
+    const {
+  std::vector<std::pair<std::string, StreamPlayoutStats>> out;
+  out.reserve(stats_.size());
+  for (StreamId id = 0; id < stats_.size(); ++id) {
+    out.emplace_back(stream_names_.name(id), stats_[id]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 const util::Sampler& PlayoutTrace::skew_ms(const std::string& group) const {
-  auto it = skew_.find(group);
-  if (it == skew_.end()) {
+  const StreamId gid = group_names_.find(group);
+  if (gid == kInvalidStreamId) {
     static const util::Sampler kEmpty{};
     return kEmpty;
   }
-  return it->second;
+  return skew_[gid];
 }
 
 double PlayoutTrace::max_abs_skew_ms() const {
   double max_skew = 0.0;
-  for (const auto& [group, sampler] : skew_) {
+  for (const util::Sampler& sampler : skew_) {
     if (!sampler.empty()) max_skew = std::max(max_skew, sampler.max());
   }
   return max_skew;
@@ -69,16 +113,16 @@ double PlayoutTrace::max_abs_skew_ms() const {
 
 std::string PlayoutTrace::events_csv() const {
   std::string out = "stream,action,frame,at_us,pos_us\n";
-  for (const auto& event : events_) {
-    out += event.stream_id;
+  for (const EventRec& rec : records_) {
+    out += stream_names_.name(rec.stream);
     out += ',';
-    out += to_string(event.action);
+    out += to_string(rec.action);
     out += ',';
-    out += std::to_string(event.frame_index);
+    out += std::to_string(rec.frame_index);
     out += ',';
-    out += std::to_string(event.at.us());
+    out += std::to_string(rec.at.us());
     out += ',';
-    out += std::to_string(event.content_position.us());
+    out += std::to_string(rec.content_position.us());
     out += '\n';
   }
   return out;
@@ -86,7 +130,7 @@ std::string PlayoutTrace::events_csv() const {
 
 StreamPlayoutStats PlayoutTrace::totals() const {
   StreamPlayoutStats total;
-  for (const auto& [id, s] : streams_) {
+  for (const StreamPlayoutStats& s : stats_) {
     total.fresh += s.fresh;
     total.duplicates += s.duplicates;
     total.sync_pauses += s.sync_pauses;

@@ -1,10 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/stream_id.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
 
@@ -24,6 +25,9 @@ enum class PlayoutAction : std::uint8_t {
 
 [[nodiscard]] std::string to_string(PlayoutAction action);
 
+/// String-keyed view of one playout event, for tests/examples. Hot callers
+/// (the playout scheduler) use the interned-id note() overload instead and
+/// never build one of these.
 struct PlayoutEvent {
   std::string stream_id;
   PlayoutAction action;
@@ -58,21 +62,49 @@ struct StreamPlayoutStats {
 
 /// Aggregated record of an entire presentation run: the event log (optional,
 /// for tests and examples), per-stream stats, and intermedia skew samples.
+///
+/// Storage is keyed by interned dense ids — the trace owns a StreamRegistry
+/// for stream names and another for sync groups — so the per-slot note()
+/// fast path indexes flat vectors. The string-keyed note()/stream()/skew_ms()
+/// accessors intern (or look up) on the way in and exist for tests and
+/// call sites off the per-frame path.
 class PlayoutTrace {
  public:
   void set_record_events(bool record) { record_events_ = record; }
 
+  /// Intern a stream/sync-group name once (at attach time); the returned id
+  /// addresses the fast-path overloads below.
+  StreamId intern_stream(std::string_view name);
+  StreamId intern_group(std::string_view name);
+
+  /// Per-slot fast path: flat vector indexing, no string handling.
+  void note(StreamId stream, PlayoutAction action, std::int64_t frame_index,
+            Time at, Time content_position);
+  void note_skew(StreamId group, Time skew) {
+    skew_[group].add(skew.abs().to_ms());
+  }
+
+  /// String-keyed conveniences (intern on the way in).
   void note(PlayoutEvent event);
   void note_skew(const std::string& sync_group, Time skew);
 
-  [[nodiscard]] const std::vector<PlayoutEvent>& events() const {
-    return events_;
-  }
+  /// Recorded events with stream names materialized (requires
+  /// set_record_events(true) before the run). Built on demand.
+  [[nodiscard]] std::vector<PlayoutEvent> events() const;
+  [[nodiscard]] std::size_t event_count() const { return records_.size(); }
+
   [[nodiscard]] const StreamPlayoutStats& stream(const std::string& id) const;
-  [[nodiscard]] const std::map<std::string, StreamPlayoutStats>& streams()
-      const {
-    return streams_;
+  [[nodiscard]] const StreamPlayoutStats& stream(StreamId id) const {
+    return stats_[id];
   }
+  /// (name, stats) pairs sorted by stream name — the iteration order the old
+  /// std::map-backed storage gave callers.
+  [[nodiscard]] std::vector<std::pair<std::string, StreamPlayoutStats>>
+  streams() const;
+  [[nodiscard]] const StreamRegistry& stream_names() const {
+    return stream_names_;
+  }
+
   /// Skew samples per sync group, in milliseconds (absolute value).
   [[nodiscard]] const util::Sampler& skew_ms(const std::string& group) const;
   [[nodiscard]] double max_abs_skew_ms() const;
@@ -86,10 +118,21 @@ class PlayoutTrace {
   [[nodiscard]] std::string events_csv() const;
 
  private:
+  /// Compact event record: 32 bytes, no string per event.
+  struct EventRec {
+    StreamId stream;
+    PlayoutAction action;
+    std::int64_t frame_index;
+    Time at;
+    Time content_position;
+  };
+
   bool record_events_ = false;
-  std::vector<PlayoutEvent> events_;
-  std::map<std::string, StreamPlayoutStats> streams_;
-  std::map<std::string, util::Sampler> skew_;
+  StreamRegistry stream_names_;
+  StreamRegistry group_names_;
+  std::vector<EventRec> records_;
+  std::vector<StreamPlayoutStats> stats_;  // indexed by StreamId
+  std::vector<util::Sampler> skew_;        // indexed by group id
 };
 
 }  // namespace hyms::core

@@ -10,7 +10,15 @@ namespace hyms::net {
 Link::Link(sim::Simulator& sim, std::string name, LinkParams params,
            NodeId to_node, DeliverFn deliver, util::Rng rng, PayloadPool* pool)
     : sim_(sim), name_(std::move(name)), params_(std::move(params)),
-      to_(to_node), deliver_(std::move(deliver)), rng_(rng), pool_(pool) {}
+      to_(to_node), deliver_(std::move(deliver)), rng_(rng), pool_(pool) {
+  if (auto* hub = sim_.telemetry()) {
+    auto& tr = hub->tracer();
+    trace_track_ = tr.track("link/" + name_);
+    n_queue_bytes_ = tr.name("queue_bytes");
+    n_drop_queue_ = tr.name("drop/queue");
+    n_drop_loss_ = tr.name("drop/loss");
+  }
+}
 
 Time Link::serialization_time(std::size_t bytes) const {
   const double seconds =
@@ -25,12 +33,18 @@ void Link::transmit(Packet&& pkt) {
   if (queued_bytes_ + size > params_.queue_capacity_bytes) {
     ++stats_.dropped_queue;
     LOG_TRACE << "link " << name_ << " queue drop pkt " << pkt.id;
+    if (auto* hub = sim_.telemetry()) {
+      hub->tracer().instant(trace_track_, n_drop_queue_, sim_.now());
+    }
     if (pool_ != nullptr) pool_->release(std::move(pkt.payload));
     return;
   }
   if (params_.loss && params_.loss->drop(rng_)) {
     ++stats_.dropped_loss;
     LOG_TRACE << "link " << name_ << " random loss pkt " << pkt.id;
+    if (auto* hub = sim_.telemetry()) {
+      hub->tracer().instant(trace_track_, n_drop_loss_, sim_.now());
+    }
     if (pool_ != nullptr) pool_->release(std::move(pkt.payload));
     return;
   }
@@ -58,13 +72,50 @@ void Link::transmit(Packet&& pkt) {
   }
   const Time arrival = finish + params_.propagation + extra;
 
-  sim_.schedule_at(finish, [this, size] { queued_bytes_ -= size; });
+  if (auto* hub = sim_.telemetry()) {
+    hub->tracer().counter(trace_track_, n_queue_bytes_, now,
+                          static_cast<double>(queued_bytes_));
+  }
+
+  // Telemetry stays passive: the queue-depth sample at `finish` rides the
+  // dequeue event that exists regardless, so traced and untraced runs
+  // execute the identical event sequence.
+  sim_.schedule_at(finish, [this, size] {
+    queued_bytes_ -= size;
+    if (auto* hub = sim_.telemetry()) {
+      hub->tracer().counter(trace_track_, n_queue_bytes_, sim_.now(),
+                            static_cast<double>(queued_bytes_));
+    }
+  });
   sim_.schedule_at(arrival,
                    [this, p = std::move(pkt), size]() mutable {
                      ++stats_.delivered;
                      stats_.bytes_delivered += static_cast<std::int64_t>(size);
                      deliver_(std::move(p));
                    });
+}
+
+void Link::flush_telemetry() {
+  auto* hub = sim_.telemetry();
+  if (hub == nullptr) return;
+  auto& m = hub->metrics();
+  const std::string prefix = "link/" + name_ + "/";
+  m.set(m.gauge(prefix + "offered"), static_cast<double>(stats_.offered));
+  m.set(m.gauge(prefix + "delivered"), static_cast<double>(stats_.delivered));
+  m.set(m.gauge(prefix + "dropped_queue"),
+        static_cast<double>(stats_.dropped_queue));
+  m.set(m.gauge(prefix + "dropped_loss"),
+        static_cast<double>(stats_.dropped_loss));
+  m.set(m.gauge(prefix + "bytes_delivered"),
+        static_cast<double>(stats_.bytes_delivered));
+  const double elapsed_s = sim_.now().to_seconds();
+  const double utilization =
+      elapsed_s > 0.0 ? static_cast<double>(stats_.bytes_delivered) * 8.0 /
+                            (params_.bandwidth_bps * elapsed_s)
+                      : 0.0;
+  m.set(m.gauge(prefix + "utilization"), utilization);
+  m.set(m.gauge(prefix + "queue_delay_ms_p95"),
+        stats_.queueing_delay_ms.percentile(95));
 }
 
 }  // namespace hyms::net

@@ -68,6 +68,10 @@ class Link {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t queued_bytes() const { return queued_bytes_; }
 
+  /// Snapshot counters into the telemetry hub's metric registry
+  /// (link/<name>/* family). No-op without a hub.
+  void flush_telemetry();
+
  private:
   [[nodiscard]] Time serialization_time(std::size_t bytes) const;
 
@@ -82,6 +86,13 @@ class Link {
   Time busy_until_ = Time::zero();
   std::size_t queued_bytes_ = 0;
   Stats stats_;
+
+  // Trace ids, interned once at construction when a telemetry hub is
+  // installed on the simulator (unused otherwise).
+  telemetry::TrackId trace_track_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_queue_bytes_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_drop_queue_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_drop_loss_ = telemetry::kInvalidTraceId;
 };
 
 }  // namespace hyms::net

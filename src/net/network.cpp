@@ -145,6 +145,25 @@ void Network::deliver_at(NodeId node_id, Packet&& pkt) {
   hop->transmit(std::move(pkt));
 }
 
+void Network::flush_telemetry() {
+  auto* hub = sim_.telemetry();
+  if (hub == nullptr) return;
+  auto& m = hub->metrics();
+  m.set(m.gauge("net/sent"), static_cast<double>(stats_.sent));
+  m.set(m.gauge("net/delivered"), static_cast<double>(stats_.delivered));
+  m.set(m.gauge("net/dropped_no_route"),
+        static_cast<double>(stats_.dropped_no_route));
+  m.set(m.gauge("net/dropped_no_socket"),
+        static_cast<double>(stats_.dropped_no_socket));
+  m.set(m.gauge("net/e2e_delay_ms_p50"),
+        stats_.end_to_end_delay_ms.percentile(50));
+  m.set(m.gauge("net/e2e_delay_ms_p95"),
+        stats_.end_to_end_delay_ms.percentile(95));
+  for (auto& node : nodes_) {
+    for (auto& link : node->out_links) link->flush_telemetry();
+  }
+}
+
 const std::string& Network::node_name(NodeId id) const {
   return nodes_.at(id)->name;
 }

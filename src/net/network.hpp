@@ -85,6 +85,10 @@ class Network {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Snapshot network + per-link counters into the telemetry hub (net/* and
+  /// link/<name>/* metric families). No-op without a hub.
+  void flush_telemetry();
+
  private:
   struct Node {
     NodeId id;

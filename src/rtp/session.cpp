@@ -14,6 +14,15 @@ RtpSender::RtpSender(net::Network& net, net::NodeId node,
                      Params params)
     : net_(net), sim_(net.sim()), params_(params), remote_rtp_(remote_rtp),
       remote_rtcp_(remote_rtcp) {
+  if (auto* hub = sim_.telemetry()) {
+    auto& tr = hub->tracer();
+    trace_track_ = tr.track(
+        params_.label.empty()
+            ? "rtp/sender/" + std::to_string(params_.ssrc)
+            : params_.label);
+    n_report_ = tr.name("rtcp/fraction_lost");
+    n_rtt_ = tr.name("rtcp/rtt_ms");
+  }
   rtp_socket_ = &net_.bind(node, 0, [](const net::Packet&) {});
   rtcp_socket_ =
       &net_.bind(node, 0, [this](const net::Packet& pkt) { on_rtcp(pkt); });
@@ -114,9 +123,33 @@ void RtpSender::on_rtcp(const net::Packet& pkt) {
         fb.app_metrics.insert(fb.app_metrics.end(), app.metrics.begin(),
                               app.metrics.end());
       }
+      if (auto* hub = sim_.telemetry()) {
+        auto& tr = hub->tracer();
+        tr.counter(trace_track_, n_report_, fb.at, fb.fraction_lost());
+        if (fb.rtt_ms) tr.counter(trace_track_, n_rtt_, fb.at, *fb.rtt_ms);
+      }
       if (on_feedback_) on_feedback_(fb);
     }
   }
+}
+
+void RtpSender::flush_telemetry() {
+  auto* hub = sim_.telemetry();
+  if (hub == nullptr) return;
+  auto& m = hub->metrics();
+  const std::string prefix =
+      (params_.label.empty() ? "rtp/sender/" + std::to_string(params_.ssrc)
+                             : params_.label) +
+      "/";
+  m.set(m.gauge(prefix + "frames_sent"),
+        static_cast<double>(stats_.frames_sent));
+  m.set(m.gauge(prefix + "packets_sent"),
+        static_cast<double>(stats_.packets_sent));
+  m.set(m.gauge(prefix + "octets_sent"),
+        static_cast<double>(stats_.octets_sent));
+  m.set(m.gauge(prefix + "reports_received"),
+        static_cast<double>(stats_.reports_received));
+  m.set(m.gauge(prefix + "last_rtt_ms"), stats_.last_rtt_ms);
 }
 
 // --- RtpReceiver -------------------------------------------------------------
@@ -125,6 +158,16 @@ RtpReceiver::RtpReceiver(net::Network& net, net::NodeId node,
                          net::Port rtp_port, net::Endpoint sender_rtcp,
                          Params params)
     : net_(net), sim_(net.sim()), params_(params), sender_rtcp_(sender_rtcp) {
+  if (auto* hub = sim_.telemetry()) {
+    auto& tr = hub->tracer();
+    trace_track_ = tr.track(
+        params_.label.empty()
+            ? "rtp/receiver/" + std::to_string(params_.local_ssrc)
+            : params_.label);
+    n_jitter_ = tr.name("rtcp/jitter_ms");
+    n_lost_ = tr.name("rtcp/lost_cumulative");
+    n_incomplete_ = tr.name("frame_incomplete");
+  }
   rtp_socket_ = &net_.bind(node, rtp_port,
                            [this](const net::Packet& pkt) { on_rtp(pkt); });
   rtcp_socket_ =
@@ -250,6 +293,9 @@ void RtpReceiver::evict_stale(Time now) {
       ++stats_.frames_incomplete;
       asmb.live = false;
       --live_assemblies_;
+      if (auto* hub = sim_.telemetry()) {
+        hub->tracer().instant(trace_track_, n_incomplete_, now);
+      }
     }
   }
 }
@@ -315,9 +361,37 @@ void RtpReceiver::emit_receiver_report() {
     if (!app.metrics.empty()) compound.app_qos.push_back(std::move(app));
   }
   ++stats_.reports_sent;
+  if (auto* hub = sim_.telemetry()) {
+    auto& tr = hub->tracer();
+    tr.counter(trace_track_, n_jitter_, sim_.now(), stats_.jitter_ms);
+    tr.counter(trace_track_, n_lost_, sim_.now(),
+               static_cast<double>(stats_.packets_lost_cumulative));
+  }
   auto wire = net_.payload_pool().acquire();
   serialize_rtcp_into(compound, wire);
   rtcp_socket_->send(sender_rtcp_, std::move(wire));
+}
+
+void RtpReceiver::flush_telemetry() {
+  auto* hub = sim_.telemetry();
+  if (hub == nullptr) return;
+  auto& m = hub->metrics();
+  const std::string prefix =
+      (params_.label.empty()
+           ? "rtp/receiver/" + std::to_string(params_.local_ssrc)
+           : params_.label) +
+      "/";
+  m.set(m.gauge(prefix + "packets_received"),
+        static_cast<double>(stats_.packets_received));
+  m.set(m.gauge(prefix + "frames_delivered"),
+        static_cast<double>(stats_.frames_delivered));
+  m.set(m.gauge(prefix + "frames_incomplete"),
+        static_cast<double>(stats_.frames_incomplete));
+  m.set(m.gauge(prefix + "reports_sent"),
+        static_cast<double>(stats_.reports_sent));
+  m.set(m.gauge(prefix + "packets_lost"),
+        static_cast<double>(stats_.packets_lost_cumulative));
+  m.set(m.gauge(prefix + "jitter_ms"), stats_.jitter_ms);
 }
 
 }  // namespace hyms::rtp

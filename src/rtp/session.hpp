@@ -56,6 +56,8 @@ class RtpSender {
     MediaClock clock;
     std::size_t max_payload = 1400;   // fragment size
     Time sr_interval = Time::sec(1);
+    /// Telemetry track name ("" -> "rtp/sender/<ssrc>").
+    std::string label;
   };
 
   RtpSender(net::Network& net, net::NodeId node, net::Endpoint remote_rtp,
@@ -84,6 +86,9 @@ class RtpSender {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Snapshot sender counters into the telemetry hub. No-op without a hub.
+  void flush_telemetry();
+
  private:
   void emit_sender_report();
   void on_rtcp(const net::Packet& pkt);
@@ -100,6 +105,10 @@ class RtpSender {
   FeedbackFn on_feedback_;
   std::unique_ptr<sim::PeriodicTimer> sr_timer_;
   Stats stats_;
+
+  telemetry::TrackId trace_track_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_report_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_rtt_ = telemetry::kInvalidTraceId;
 };
 
 /// A reassembled media frame as delivered to the buffering layer.
@@ -126,6 +135,8 @@ class RtpReceiver {
     MediaClock clock;
     Time rr_interval = Time::sec(1);
     Time reassembly_timeout = Time::msec(1500);
+    /// Telemetry track name ("" -> "rtp/receiver/<ssrc>").
+    std::string label;
   };
 
   RtpReceiver(net::Network& net, net::NodeId node, net::Port rtp_port,
@@ -159,6 +170,9 @@ class RtpReceiver {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   /// Force an immediate receiver report (used when feedback must not wait).
   void send_report_now() { emit_receiver_report(); }
+
+  /// Snapshot receiver counters into the telemetry hub. No-op without a hub.
+  void flush_telemetry();
 
  private:
   /// One in-flight frame reassembly. Slots live in a small flat array
@@ -213,6 +227,11 @@ class RtpReceiver {
   std::vector<Assembly> assemblies_;  // flat, linearly scanned, recycled
   std::size_t live_assemblies_ = 0;
   Stats stats_;
+
+  telemetry::TrackId trace_track_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_jitter_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_lost_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_incomplete_ = telemetry::kInvalidTraceId;
 };
 
 }  // namespace hyms::rtp

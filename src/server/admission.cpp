@@ -2,6 +2,19 @@
 
 namespace hyms::server {
 
+AdmissionControl::AdmissionControl(Config config, sim::Simulator* sim)
+    : config_(config), sim_(sim) {
+  if (sim_ != nullptr) {
+    if (auto* hub = sim_->telemetry()) {
+      auto& tr = hub->tracer();
+      trace_track_ = tr.track("server/admission");
+      n_admit_ = tr.name("admit");
+      n_reject_ = tr.name("reject");
+      n_reserved_ = tr.name("reserved_bps");
+    }
+  }
+}
+
 AdmissionControl::Decision AdmissionControl::evaluate_and_reserve(
     const std::string& key, double demand_bps, double tier_utilization) {
   Decision decision;
@@ -21,6 +34,7 @@ AdmissionControl::Decision AdmissionControl::evaluate_and_reserve(
                       std::to_string(ceiling / 1e6) + " Mbps (reserved " +
                       std::to_string(current / 1e6) + ")";
     decision.reserved_after_bps = reserved_;
+    note_decision(n_reject_, demand_bps);
     return decision;
   }
   ++admitted_;
@@ -29,7 +43,28 @@ AdmissionControl::Decision AdmissionControl::evaluate_and_reserve(
   reserved_ += demand_bps;
   decision.admitted = true;
   decision.reserved_after_bps = reserved_;
+  note_decision(n_admit_, demand_bps);
   return decision;
+}
+
+void AdmissionControl::note_decision(telemetry::NameId which,
+                                     double demand_bps) {
+  if (sim_ == nullptr) return;
+  if (auto* hub = sim_->telemetry()) {
+    auto& tr = hub->tracer();
+    tr.instant(trace_track_, which, sim_->now(), demand_bps);
+    tr.counter(trace_track_, n_reserved_, sim_->now(), reserved_);
+  }
+}
+
+void AdmissionControl::flush_telemetry() {
+  if (sim_ == nullptr) return;
+  auto* hub = sim_->telemetry();
+  if (hub == nullptr) return;
+  auto& m = hub->metrics();
+  m.set(m.gauge("server/admission/admitted"), static_cast<double>(admitted_));
+  m.set(m.gauge("server/admission/rejected"), static_cast<double>(rejected_));
+  m.set(m.gauge("server/admission/reserved_bps"), reserved_);
 }
 
 void AdmissionControl::release(const std::string& key) {

@@ -4,6 +4,8 @@
 #include <map>
 #include <string>
 
+#include "sim/simulator.hpp"
+
 namespace hyms::server {
 
 /// Connection admission control (§4): a new presentation is admitted when
@@ -25,7 +27,9 @@ class AdmissionControl {
     double reserved_after_bps = 0.0;
   };
 
-  explicit AdmissionControl(Config config) : config_(config) {}
+  /// `sim`, if given, provides the telemetry hub (and timestamps) for
+  /// admit/reject instants on the "server/admission" track.
+  explicit AdmissionControl(Config config, sim::Simulator* sim = nullptr);
 
   /// Evaluate a request; on admission the demand is reserved under `key`.
   Decision evaluate_and_reserve(const std::string& key, double demand_bps,
@@ -36,12 +40,23 @@ class AdmissionControl {
   [[nodiscard]] std::int64_t admitted_count() const { return admitted_; }
   [[nodiscard]] std::int64_t rejected_count() const { return rejected_; }
 
+  /// Snapshot admission counters into the telemetry hub. No-op without one.
+  void flush_telemetry();
+
  private:
+  void note_decision(telemetry::NameId which, double demand_bps);
+
   Config config_;
+  sim::Simulator* sim_ = nullptr;
   double reserved_ = 0.0;
   std::map<std::string, double> reservations_;
   std::int64_t admitted_ = 0;
   std::int64_t rejected_ = 0;
+
+  telemetry::TrackId trace_track_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_admit_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_reject_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_reserved_ = telemetry::kInvalidTraceId;
 };
 
 }  // namespace hyms::server

@@ -29,7 +29,7 @@ const FlowPlan::Entry* FlowPlan::find(const std::string& stream_id) const {
 
 util::Result<FlowPlan> FlowScheduler::plan(
     const core::PresentationScenario& scenario, MediaCatalog& catalog,
-    int video_floor, int audio_floor) {
+    int video_floor, int audio_floor, sim::Simulator* sim) {
   FlowPlan plan;
   for (const auto& spec : scenario.streams) {
     auto source = catalog.resolve(spec.source);
@@ -59,6 +59,17 @@ util::Result<FlowPlan> FlowScheduler::plan(
       entry.object_bytes = object.frame(0, 0).payload.size();
     }
     plan.entries.push_back(std::move(entry));
+  }
+  if (sim != nullptr) {
+    if (auto* hub = sim->telemetry()) {
+      auto& tr = hub->tracer();
+      const auto track = tr.track("server/flow_scheduler");
+      for (const auto& entry : plan.entries) {
+        tr.instant(track, "plan/" + entry.stream_id, sim->now(),
+                   entry.via_rtp ? entry.nominal_rate_bps
+                                 : static_cast<double>(entry.object_bytes));
+      }
+    }
   }
   return plan;
 }

@@ -5,6 +5,7 @@
 
 #include "core/scenario.hpp"
 #include "server/catalog.hpp"
+#include "sim/simulator.hpp"
 #include "util/result.hpp"
 
 namespace hyms::server {
@@ -46,10 +47,14 @@ struct FlowPlan {
 class FlowScheduler {
  public:
   /// `video_floor`/`audio_floor` are the user's worst-acceptable quality
-  /// levels from the subscription form.
+  /// levels from the subscription form. `sim`, if given, emits one
+  /// "plan/<stream>" instant per entry on the "server/flow_scheduler" track
+  /// (value = nominal rate) so the computed flow scenario shows on the
+  /// timeline.
   static util::Result<FlowPlan> plan(const core::PresentationScenario& scenario,
                                      MediaCatalog& catalog, int video_floor,
-                                     int audio_floor);
+                                     int audio_floor,
+                                     sim::Simulator* sim = nullptr);
 };
 
 }  // namespace hyms::server

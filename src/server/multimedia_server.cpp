@@ -162,7 +162,8 @@ class MultimediaServer::ClientSession {
     // reserves its minimum feasible rate (every stream at the user's floor).
     const auto plan = FlowScheduler::plan(doc->scenario, server_.catalog_,
                                           record->video_floor_level,
-                                          record->audio_floor_level);
+                                          record->audio_floor_level,
+                                          &server_.sim_);
     if (!plan.ok()) {
       send(proto::DocumentReply{false, plan.error().message, ""});
       return;
@@ -438,6 +439,11 @@ class MultimediaServer::ClientSession {
     return qos_.get();
   }
 
+  void flush_telemetry() {
+    for (auto& [id, stream] : streams_) stream->flush_telemetry();
+    if (qos_) qos_->flush_telemetry();
+  }
+
  private:
 
   void teardown() {
@@ -522,7 +528,7 @@ class MultimediaServer::ClientSession {
 MultimediaServer::MultimediaServer(net::Network& net, net::NodeId node,
                                    Config config)
     : net_(net), sim_(net.sim()), node_(node), config_(std::move(config)),
-      admission_(config_.admission) {
+      admission_(config_.admission, &sim_) {
   listener_ = std::make_unique<net::StreamListener>(
       net_, node_, config_.control_port,
       [this](std::unique_ptr<net::StreamConnection> conn) {
@@ -612,6 +618,11 @@ ServerQosManager::Stats MultimediaServer::qos_totals() const {
     }
   }
   return totals;
+}
+
+void MultimediaServer::flush_telemetry() {
+  admission_.flush_telemetry();
+  for (auto& session : sessions_) session->flush_telemetry();
 }
 
 std::vector<SessionState> MultimediaServer::session_states() const {

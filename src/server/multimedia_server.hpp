@@ -126,6 +126,10 @@ class MultimediaServer {
   /// (grading actions survive session teardown for experiment accounting).
   [[nodiscard]] ServerQosManager::Stats qos_totals() const;
 
+  /// Snapshot admission + per-session flow/QoS counters into the telemetry
+  /// hub. No-op without a hub.
+  void flush_telemetry();
+
  private:
   class ClientSession;
   friend class ClientSession;

@@ -58,7 +58,12 @@ class ServerQosManager {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Snapshot grading counters into the telemetry hub. No-op without one.
+  void flush_telemetry();
+
  private:
+  void note_grade(const char* action, const MediaStreamSession& session);
+
   struct StreamState {
     MediaStreamSession* session = nullptr;
     int good_streak = 0;

@@ -34,6 +34,13 @@ MediaStreamSession::MediaStreamSession(
   if (spec_.duration && source_->frame_interval() > Time::zero()) {
     frame_limit_ = spec_.duration->us() / source_->frame_interval().us();
   }
+  if (auto* hub = sim_.telemetry()) {
+    auto& tr = hub->tracer();
+    trace_track_ = tr.track("server/stream/" + spec_.id);
+    n_send_window_ = tr.name("send_window");
+    n_rate_ = tr.name("rate_bps");
+    n_object_ = tr.name("object_served");
+  }
 }
 
 std::unique_ptr<MediaStreamSession> MediaStreamSession::make_rtp(
@@ -51,6 +58,7 @@ std::unique_ptr<MediaStreamSession> MediaStreamSession::make_rtp(
   sp.clock.clock_rate = session->clock_rate_;
   sp.max_payload = params.max_payload;
   sp.sr_interval = params.sr_interval;
+  sp.label = "server/stream/" + session->spec_.id + "/rtp";
   // The receiver learns our RTCP endpoint from the setup reply; it reports
   // straight to the sender's RTCP socket.
   session->sender_ = std::make_unique<rtp::RtpSender>(
@@ -82,6 +90,11 @@ std::unique_ptr<MediaStreamSession> MediaStreamSession::make_object(
         conn->send(frame.payload);
         conn->close();
         ++raw->stats_.objects_served;
+        if (auto* hub = raw->sim_.telemetry()) {
+          hub->tracer().instant(raw->trace_track_, raw->n_object_,
+                                raw->sim_.now(),
+                                static_cast<double>(frame.payload.size()));
+        }
         raw->complete_ = true;
         raw->object_conns_.push_back(std::move(conn));
       });
@@ -106,7 +119,15 @@ void MediaStreamSession::pace_frame() {
   if (paused_ || stopped_) return;
   if (next_frame_ >= frame_limit_) {
     complete_ = true;
+    end_send_window();
     return;
+  }
+  if (next_frame_ == 0) {
+    if (auto* hub = sim_.telemetry()) {
+      hub->tracer().begin(trace_track_, n_send_window_, sim_.now());
+      window_open_ = true;
+      note_rate();
+    }
   }
   // Loop through the source when the scenario runs past its end; the RTP
   // timestamp keeps advancing with the scenario position, not the source's.
@@ -120,9 +141,49 @@ void MediaStreamSession::pace_frame() {
   ++next_frame_;
   if (next_frame_ >= frame_limit_) {
     complete_ = true;
+    end_send_window();
     return;
   }
   schedule_next(source_->frame_interval());
+}
+
+bool MediaStreamSession::degrade() {
+  const bool changed = converter_.degrade();
+  if (changed) note_rate();
+  return changed;
+}
+
+bool MediaStreamSession::upgrade() {
+  const bool changed = converter_.upgrade();
+  if (changed) note_rate();
+  return changed;
+}
+
+void MediaStreamSession::note_rate() {
+  if (auto* hub = sim_.telemetry()) {
+    hub->tracer().counter(trace_track_, n_rate_, sim_.now(),
+                          converter_.current_bitrate_bps());
+  }
+}
+
+void MediaStreamSession::end_send_window() {
+  if (!window_open_) return;
+  window_open_ = false;
+  if (auto* hub = sim_.telemetry()) {
+    hub->tracer().end(trace_track_, sim_.now());
+  }
+}
+
+void MediaStreamSession::flush_telemetry() {
+  auto* hub = sim_.telemetry();
+  if (hub == nullptr) return;
+  auto& m = hub->metrics();
+  const std::string prefix = "server/stream/" + spec_.id + "/";
+  m.set(m.gauge(prefix + "frames_sent"),
+        static_cast<double>(stats_.frames_sent));
+  m.set(m.gauge(prefix + "level"),
+        static_cast<double>(converter_.current_level()));
+  if (sender_) sender_->flush_telemetry();
 }
 
 void MediaStreamSession::pause() {
@@ -143,6 +204,7 @@ void MediaStreamSession::stop() {
   stopped_ = true;
   sim_.cancel(pace_event_);
   pace_event_ = sim::kNoEvent;
+  end_send_window();
   if (sender_) sender_->send_bye("stream stopped");
 }
 

@@ -62,8 +62,8 @@ class MediaStreamSession {
   [[nodiscard]] bool is_rtp() const { return sender_ != nullptr; }
 
   // Long-term quality grading (Media Stream Quality Converter).
-  bool degrade() { return converter_.degrade(); }
-  bool upgrade() { return converter_.upgrade(); }
+  bool degrade();
+  bool upgrade();
   [[nodiscard]] int current_level() const { return converter_.current_level(); }
   [[nodiscard]] bool at_floor() const { return converter_.at_floor(); }
   [[nodiscard]] bool at_best() const { return converter_.at_best(); }
@@ -91,6 +91,9 @@ class MediaStreamSession {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Snapshot flow counters into the telemetry hub. No-op without one.
+  void flush_telemetry();
+
  private:
   MediaStreamSession(net::Network& net, net::NodeId server_node,
                      std::shared_ptr<media::MediaSource> source,
@@ -98,6 +101,8 @@ class MediaStreamSession {
 
   void pace_frame();
   void schedule_next(Time delay);
+  void note_rate();
+  void end_send_window();
 
   net::Network& net_;
   sim::Simulator& sim_;
@@ -124,6 +129,12 @@ class MediaStreamSession {
   bool complete_ = false;
   FeedbackFn on_feedback_;
   Stats stats_;
+
+  telemetry::TrackId trace_track_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_send_window_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_rate_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_object_ = telemetry::kInvalidTraceId;
+  bool window_open_ = false;
 };
 
 }  // namespace hyms::server

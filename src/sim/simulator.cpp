@@ -28,6 +28,7 @@ void Simulator::cancel(EventId id) {
   if (index >= slot_count_) return;  // kNoEvent or a foreign id
   Slot& s = slot(index);
   if (s.seq == 0 || s.gen != gen_of(id)) return;  // already fired or cancelled
+  ++cancelled_;
   release_slot(index);  // the heap entry goes stale and is pruned lazily
 }
 
@@ -113,6 +114,16 @@ void Simulator::run() {
   }
 }
 
+void Simulator::flush_telemetry() {
+  if (telemetry_ == nullptr) return;
+  auto& m = telemetry_->metrics();
+  m.set(m.gauge("sim/events_executed"), static_cast<double>(executed_));
+  m.set(m.gauge("sim/events_cancelled"), static_cast<double>(cancelled_));
+  m.set(m.gauge("sim/events_queued"), static_cast<double>(live_count_));
+  m.set(m.gauge("sim/heap_peak"), static_cast<double>(heap_peak_));
+  m.set(m.gauge("sim/now_ms"), now_.to_ms());
+}
+
 void Simulator::run_until(Time deadline) {
   while (prune_to_live_top() && heap_.front().when <= deadline) step();
   if (now_ < deadline) now_ = deadline;
@@ -120,6 +131,7 @@ void Simulator::run_until(Time deadline) {
 
 void Simulator::heap_push(HeapEntry entry) {
   heap_.push_back(entry);
+  if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
   std::size_t i = heap_.size() - 1;
   while (i > 0) {
     const std::size_t parent = (i - 1) / kHeapArity;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/inplace_function.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -67,6 +68,21 @@ class Simulator {
 
   /// Safety valve against runaway simulations (default: 500M events).
   void set_event_budget(std::size_t budget) { event_budget_ = budget; }
+
+  /// Install (or remove, with nullptr) the run's telemetry hub. Non-owning.
+  /// Install it immediately after constructing the Simulator — components
+  /// intern their metric ids and trace tracks in their constructors, through
+  /// this pointer. With no hub installed every instrumentation site costs
+  /// one null-check branch.
+  void set_telemetry(telemetry::Hub* hub) { telemetry_ = hub; }
+  [[nodiscard]] telemetry::Hub* telemetry() const { return telemetry_; }
+
+  [[nodiscard]] std::size_t cancelled() const { return cancelled_; }
+  [[nodiscard]] std::size_t heap_peak() const { return heap_peak_; }
+
+  /// Snapshot event-loop stats into the hub's metric registry (sim/*
+  /// family). Called by export paths; a no-op without a hub.
+  void flush_telemetry();
 
  private:
   /// Slot indices occupy the low kSlotBits of a heap key; the schedule
@@ -133,7 +149,10 @@ class Simulator {
   std::uint64_t next_seq_ = 1;
   std::size_t executed_ = 0;
   std::size_t live_count_ = 0;
+  std::size_t cancelled_ = 0;
+  std::size_t heap_peak_ = 0;
   std::size_t event_budget_ = 500'000'000;
+  telemetry::Hub* telemetry_ = nullptr;
   std::vector<HeapEntry> heap_;  // kHeapArity-ary min-heap
   std::vector<std::unique_ptr<std::byte[]>> chunks_;  // raw Slot storage
   std::uint32_t slot_count_ = 0;

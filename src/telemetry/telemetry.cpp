@@ -1,0 +1,39 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cstdio>
+
+#include "util/log.hpp"
+
+namespace hyms::telemetry {
+namespace {
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    LOG_ERROR << "telemetry: cannot open " << path << " for writing";
+    return false;
+  }
+  const std::size_t wrote =
+      contents.empty() ? 0 : std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool ok = wrote == contents.size() && std::fclose(f) == 0;
+  if (!ok) {
+    LOG_ERROR << "telemetry: short write to " << path;
+  }
+  return ok;
+}
+
+}  // namespace
+
+bool Hub::write_trace_json(const std::string& path) const {
+  if (tracer_.dropped() > 0) {
+    LOG_WARN << "telemetry: trace capped, " << tracer_.dropped()
+             << " records dropped";
+  }
+  return write_file(path, tracer_.to_chrome_json());
+}
+
+bool Hub::write_metrics_csv(const std::string& path) const {
+  return write_file(path, metrics_.to_csv());
+}
+
+}  // namespace hyms::telemetry

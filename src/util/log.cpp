@@ -1,14 +1,45 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 
 namespace hyms::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
-Log::Sink g_sink;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-const char* level_name(LogLevel level) {
+// Sink / time source / capture ring share one mutex: none of them are on any
+// hot path (write() already filtered by level), and a single lock keeps the
+// replace-while-logging semantics easy to reason about. The sink itself is
+// invoked OUTSIDE the lock on a shared_ptr copy, so a sink may call
+// set_sink() (or even log) without deadlocking.
+std::mutex g_mutex;
+std::shared_ptr<const Log::Sink> g_sink;
+std::shared_ptr<const Log::TimeSource> g_time_source;
+
+struct CaptureRing {
+  std::vector<std::string> lines;
+  std::size_t capacity = 64;
+  std::size_t next = 0;   // write cursor when full
+  bool wrapped = false;
+};
+CaptureRing g_capture;
+
+void capture_line(const std::string& line) {
+  if (g_capture.capacity == 0) return;
+  if (g_capture.lines.size() < g_capture.capacity) {
+    g_capture.lines.push_back(line);
+    return;
+  }
+  g_capture.lines[g_capture.next] = line;
+  g_capture.next = (g_capture.next + 1) % g_capture.capacity;
+  g_capture.wrapped = true;
+}
+}  // namespace
+
+const char* to_string(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";
     case LogLevel::kDebug: return "DEBUG";
@@ -19,18 +50,69 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
-LogLevel Log::level() { return g_level; }
-void Log::set_level(LogLevel level) { g_level = level; }
-void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = sink ? std::make_shared<const Sink>(std::move(sink)) : nullptr;
+}
+
+void Log::set_time_source(TimeSource source) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_time_source =
+      source ? std::make_shared<const TimeSource>(std::move(source)) : nullptr;
+}
+
+void Log::set_capture_capacity(std::size_t lines) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_capture.capacity = lines;
+  g_capture.lines.clear();
+  g_capture.next = 0;
+  g_capture.wrapped = false;
+}
+
+std::vector<std::string> Log::recent_lines() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_capture.wrapped) return g_capture.lines;
+  std::vector<std::string> out;
+  out.reserve(g_capture.lines.size());
+  for (std::size_t i = 0; i < g_capture.lines.size(); ++i) {
+    out.push_back(g_capture.lines[(g_capture.next + i) % g_capture.lines.size()]);
+  }
+  return out;
+}
+
+void Log::clear_recent() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_capture.lines.clear();
+  g_capture.next = 0;
+  g_capture.wrapped = false;
+}
 
 void Log::write(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
-  if (g_sink) {
-    g_sink(level, msg);
+  if (level < Log::level()) return;
+  std::shared_ptr<const Sink> sink;
+  std::string line;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    sink = g_sink;
+    if (g_time_source) {
+      line = "[" + (*g_time_source)().str() + "] ";
+    }
+    line += "[";
+    line += to_string(level);
+    line += "] ";
+    line += msg;
+    capture_line(line);
+  }
+  if (sink) {
+    (*sink)(level, msg);
   } else {
-    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+    std::fprintf(stderr, "%s\n", line.c_str());
   }
 }
 

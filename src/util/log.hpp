@@ -1,24 +1,51 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include "util/time.hpp"
 
 namespace hyms::util {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
+[[nodiscard]] const char* to_string(LogLevel level);
+
 /// Process-wide logger. Components log through LOG_* macros; tests install a
 /// capturing sink to assert on event sequences, benches set kOff.
+///
+/// Lines are stamped with simulated time when a time source is installed
+/// (set_time_source, typically wired to a sim::Simulator's clock), and the
+/// last N formatted lines are always retained in a ring buffer
+/// (recent_lines) so a failing test can dump the context leading up to the
+/// failure even when nothing was captured.
+///
+/// Sink replacement is safe while another thread is inside write(): the
+/// active sink is held by shared_ptr and copied before being invoked, so the
+/// old sink finishes its call even if replaced mid-flight.
 class Log {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
+  using TimeSource = std::function<Time()>;
 
   static LogLevel level();
   static void set_level(LogLevel level);
   static void set_sink(Sink sink);    // empty sink -> stderr
   static void write(LogLevel level, const std::string& msg);
   static bool enabled(LogLevel level) { return level >= Log::level(); }
+
+  /// Install/remove the clock used to stamp lines with simulated time.
+  /// With no source installed, lines carry no timestamp (seed behaviour).
+  static void set_time_source(TimeSource source);
+
+  /// Ring buffer of the most recent formatted lines ("[LEVEL] msg" or
+  /// "[t] [LEVEL] msg"), oldest first. Capacity 0 disables retention.
+  static void set_capture_capacity(std::size_t lines);
+  static std::vector<std::string> recent_lines();
+  static void clear_recent();
 };
 
 namespace detail {

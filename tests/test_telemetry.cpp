@@ -1,0 +1,416 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+#include "harness.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/time.hpp"
+
+namespace hyms {
+namespace {
+
+using telemetry::HistogramSpec;
+using telemetry::kInvalidMetricId;
+using telemetry::kInvalidTraceId;
+using telemetry::MetricsRegistry;
+using telemetry::Phase;
+using telemetry::SpanTracer;
+
+// --- minimal JSON well-formedness checker -------------------------------------
+// Just enough of a recursive-descent parser to prove an export would load in
+// a real JSON parser (objects, arrays, strings with escapes, numbers,
+// true/false/null). Returns true iff the whole input is one valid value.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
+        return false;  // raw control characters must be escaped
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing '"'
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// --- MetricsRegistry ----------------------------------------------------------
+
+TEST(MetricsTest, InterningRoundTrips) {
+  MetricsRegistry m;
+  const auto a = m.counter("net/sent");
+  const auto b = m.gauge("sim/now_ms");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(m.counter("net/sent"), a);  // same name, same kind -> same id
+  EXPECT_EQ(m.gauge("sim/now_ms"), b);
+  EXPECT_EQ(m.find("net/sent"), a);
+  EXPECT_EQ(m.find("no/such/metric"), kInvalidMetricId);
+  EXPECT_EQ(m.name(a), "net/sent");
+  EXPECT_EQ(m.kind(a), telemetry::MetricKind::kCounter);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(MetricsTest, KindMismatchIsRejected) {
+  MetricsRegistry m;
+  const auto a = m.counter("x");
+  EXPECT_NE(a, kInvalidMetricId);
+  EXPECT_EQ(m.gauge("x"), kInvalidMetricId);
+  EXPECT_EQ(m.histogram("x", HistogramSpec{}), kInvalidMetricId);
+}
+
+TEST(MetricsTest, CounterAndGaugeUpdates) {
+  MetricsRegistry m;
+  const auto c = m.counter("c");
+  const auto g = m.gauge("g");
+  m.add(c);
+  m.add(c, 41);
+  m.set(g, 2.5);
+  m.set(g, 7.25);  // gauges keep the last value
+  EXPECT_EQ(m.counter_value(c), 42);
+  EXPECT_DOUBLE_EQ(m.gauge_value(g), 7.25);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  MetricsRegistry m;
+  const auto h = m.histogram("lat", HistogramSpec{0.0, 100.0, 10});
+  m.observe(h, 0.0);     // first bucket, inclusive lower edge
+  m.observe(h, 9.999);   // still the first bucket
+  m.observe(h, 10.0);    // second bucket (bucket edges are half-open)
+  m.observe(h, 99.999);  // last bucket
+  m.observe(h, 100.0);   // hi is exclusive -> overflow
+  m.observe(h, -0.001);  // below lo -> underflow
+  EXPECT_EQ(m.histogram_bucket(h, 0), 2);
+  EXPECT_EQ(m.histogram_bucket(h, 1), 1);
+  EXPECT_EQ(m.histogram_bucket(h, 9), 1);
+  const auto s = m.summary(h);
+  EXPECT_EQ(s.count, 6);
+  EXPECT_EQ(s.underflow, 1);
+  EXPECT_EQ(s.overflow, 1);
+  EXPECT_DOUBLE_EQ(s.min, -0.001);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(MetricsTest, HistogramPercentiles) {
+  MetricsRegistry m;
+  const auto h = m.histogram("lat", HistogramSpec{0.0, 100.0, 100});
+  for (int k = 0; k < 100; ++k) {
+    m.observe(h, static_cast<double>(k) + 0.5);  // uniform, one per bucket
+  }
+  const auto s = m.summary(h);
+  EXPECT_NEAR(s.p50, 50.0, 1.0);
+  EXPECT_NEAR(s.p95, 95.0, 1.0);
+  EXPECT_NEAR(s.p99, 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 99.5);
+  EXPECT_EQ(s.count, 100);
+}
+
+TEST(MetricsTest, PercentilesOfAllUnderflowReturnMinAndMax) {
+  MetricsRegistry m;
+  const auto h = m.histogram("lat", HistogramSpec{10.0, 20.0, 4});
+  m.observe(h, 1.0);
+  m.observe(h, 2.0);
+  const auto s = m.summary(h);
+  EXPECT_DOUBLE_EQ(s.p50, 1.0);  // rank falls inside the underflow mass
+  EXPECT_EQ(s.underflow, 2);
+}
+
+TEST(MetricsTest, CsvSortedByNameWithKindColumns) {
+  MetricsRegistry m;
+  m.set(m.gauge("b/gauge"), 1.5);
+  m.add(m.counter("a/counter"), 3);
+  const auto h = m.histogram("c/hist", HistogramSpec{0.0, 10.0, 10});
+  m.observe(h, 5.0);
+  EXPECT_EQ(m.to_csv(),
+            "metric,kind,value,count,p50,p95,p99\n"
+            "a/counter,counter,3,,,,\n"
+            "b/gauge,gauge,1.5,,,,\n"
+            "c/hist,histogram,,1,5.5,5.95,5.99\n");
+}
+
+TEST(MetricsTest, ResetClearsValuesButKeepsIds) {
+  MetricsRegistry m;
+  const auto c = m.counter("c");
+  const auto h = m.histogram("h", HistogramSpec{0.0, 10.0, 10});
+  m.add(c, 5);
+  m.observe(h, 3.0);
+  m.reset();
+  EXPECT_EQ(m.counter_value(c), 0);
+  EXPECT_EQ(m.summary(h).count, 0);
+  EXPECT_EQ(m.counter("c"), c);  // interning survives reset
+}
+
+// --- SpanTracer ---------------------------------------------------------------
+
+TEST(TracerTest, TrackAndNameInterningRoundTrips) {
+  SpanTracer tr;
+  const auto t1 = tr.track("link/a->b");
+  const auto t2 = tr.track("client/playout/V");
+  EXPECT_NE(t1, t2);
+  EXPECT_EQ(tr.track("link/a->b"), t1);
+  EXPECT_EQ(tr.track_name(t1), "link/a->b");
+  EXPECT_EQ(tr.track_count(), 2u);
+  const auto n = tr.name("gap-skip");
+  EXPECT_EQ(tr.name("gap-skip"), n);
+}
+
+TEST(TracerTest, SpanNestingAcrossTracks) {
+  SpanTracer tr;
+  const auto ta = tr.track("a");
+  const auto tb = tr.track("b");
+  tr.begin(ta, tr.name("outer"), Time::msec(1));
+  tr.begin(ta, tr.name("inner"), Time::msec(2));
+  tr.begin(tb, tr.name("other"), Time::msec(3));
+  tr.end(ta, Time::msec(4));  // closes "inner"
+  tr.end(ta, Time::msec(5));  // closes "outer"
+  tr.end(tb, Time::msec(6));
+  const auto& recs = tr.records();
+  ASSERT_EQ(recs.size(), 6u);
+  EXPECT_EQ(recs[0].phase, Phase::kBegin);
+  EXPECT_EQ(recs[3].phase, Phase::kEnd);
+  EXPECT_EQ(recs[3].track, ta);
+  EXPECT_EQ(recs[5].track, tb);
+  EXPECT_EQ(recs[3].ts_us, 4000);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  SpanTracer tr;
+  const auto t = tr.track("a");
+  const auto n = tr.name("ev");
+  tr.set_enabled(false);
+  tr.instant(t, n, Time::msec(1));
+  tr.counter(t, n, Time::msec(2), 3.0);
+  EXPECT_EQ(tr.record_count(), 0u);
+  tr.set_enabled(true);
+  tr.instant(t, n, Time::msec(3));
+  EXPECT_EQ(tr.record_count(), 1u);
+}
+
+TEST(TracerTest, RecordCapCountsDrops) {
+  SpanTracer tr;
+  tr.set_max_records(2);
+  const auto t = tr.track("a");
+  const auto n = tr.name("ev");
+  for (int i = 0; i < 5; ++i) tr.instant(t, n, Time::usec(i));
+  EXPECT_EQ(tr.record_count(), 2u);
+  EXPECT_EQ(tr.dropped(), 3);
+}
+
+TEST(TracerTest, GoldenChromeJson) {
+  SpanTracer tr;
+  const auto t = tr.track("client/playout/V");
+  tr.begin(t, tr.name("send_window"), Time::msec(1));
+  tr.instant(t, tr.name("gap-skip"), Time::msec(2), 4.0);
+  tr.counter(t, tr.name("queue_bytes"), Time::msec(3), 1500.0);
+  tr.end(t, Time::msec(4));
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"client/playout/V\"}},"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_sort_index\","
+      "\"args\":{\"sort_index\":1}},"
+      "{\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":1000,\"name\":\"send_window\"},"
+      "{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":2000,\"name\":\"gap-skip\","
+      "\"s\":\"t\",\"args\":{\"value\":4}},"
+      "{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":3000,"
+      "\"name\":\"queue_bytes\",\"args\":{\"value\":1500}},"
+      "{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":4000}"
+      "]}";
+  const std::string json = tr.to_chrome_json();
+  EXPECT_EQ(json, expected);
+  EXPECT_TRUE(JsonChecker(json).valid());
+}
+
+TEST(TracerTest, JsonEscapesHostileNames) {
+  SpanTracer tr;
+  const auto t = tr.track("evil\"track\\with\nnewline");
+  tr.instant(t, tr.name("tab\there"), Time::msec(1));
+  const std::string json = tr.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("evil\\\"track\\\\with\\nnewline"), std::string::npos);
+}
+
+TEST(TracerTest, CsvExport) {
+  SpanTracer tr;
+  const auto t = tr.track("a");
+  tr.begin(t, tr.name("span"), Time::msec(1));
+  tr.counter(t, tr.name("depth"), Time::msec(2), 7.5);
+  tr.end(t, Time::msec(3));
+  EXPECT_EQ(tr.to_csv(),
+            "ts_us,track,phase,name,value\n"
+            "1000,a,B,span,0\n"
+            "2000,a,C,depth,7.5\n"
+            "3000,a,E,,0\n");
+}
+
+// --- end-to-end: an instrumented session --------------------------------------
+
+TEST(TelemetryIntegrationTest, SessionTraceCoversTheStack) {
+  // One short simulated session with tracing on: the exported trace must be
+  // valid JSON and carry tracks from the server, network, and client layers.
+  bench::SessionParams params;
+  params.markup = bench::lecture_markup(4);
+  params.run_for = Time::sec(10);
+  params.trace_file = ::testing::TempDir() + "hyms_trace.json";
+  params.metrics_file = ::testing::TempDir() + "hyms_metrics.csv";
+  const auto metrics = bench::run_session(params);
+  ASSERT_FALSE(metrics.failed) << metrics.error;
+
+  std::FILE* f = std::fopen(params.trace_file.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string json;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;) {
+    json.append(buf, n);
+  }
+  std::fclose(f);
+
+  EXPECT_TRUE(JsonChecker(json).valid());
+  // Spans/events from at least five subsystems.
+  for (const char* track :
+       {"server/admission", "server/flow_scheduler", "link/",
+        "server/stream/", "client/playout/", "client/sync/"}) {
+    EXPECT_NE(json.find(track), std::string::npos) << track;
+  }
+
+  std::FILE* mf = std::fopen(params.metrics_file.c_str(), "rb");
+  ASSERT_NE(mf, nullptr);
+  std::string csv;
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), mf)) > 0;) {
+    csv.append(buf, n);
+  }
+  std::fclose(mf);
+  EXPECT_EQ(csv.rfind("metric,kind,value,count,p50,p95,p99\n", 0), 0u);
+  EXPECT_NE(csv.find("sim/events_executed"), std::string::npos);
+  EXPECT_NE(csv.find("server/admission/admitted"), std::string::npos);
+  std::remove(params.trace_file.c_str());
+  std::remove(params.metrics_file.c_str());
+}
+
+TEST(TelemetryIntegrationTest, TracingIsPassive) {
+  // Recording must never perturb the simulation: the same seed with and
+  // without telemetry produces identical session fingerprints.
+  bench::SessionParams params;
+  params.markup = bench::lecture_markup(4);
+  params.run_for = Time::sec(10);
+  params.bernoulli_loss = 0.02;  // exercise loss/QoS paths too
+  const auto bare = bench::run_session(params);
+
+  bench::SessionParams traced = params;
+  traced.trace_file = ::testing::TempDir() + "hyms_passivity.json";
+  const auto instrumented = bench::run_session(traced);
+  EXPECT_EQ(bench::session_fingerprint(bare),
+            bench::session_fingerprint(instrumented));
+  std::remove(traced.trace_file.c_str());
+}
+
+}  // namespace
+}  // namespace hyms

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
+#include "util/log.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -324,6 +327,89 @@ TEST(StatusTest, OkAndError) {
   util::Status bad(util::validation_error("invalid"));
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.error().code, util::Error::Code::kValidation);
+}
+
+// --- Log ------------------------------------------------------------------------
+
+// Each test restores the logger's process-wide state on the way out.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Log::set_level(util::LogLevel::kInfo);
+    util::Log::clear_recent();
+  }
+  void TearDown() override {
+    util::Log::set_sink({});
+    util::Log::set_time_source({});
+    util::Log::set_capture_capacity(64);
+    util::Log::set_level(util::LogLevel::kWarn);
+    util::Log::clear_recent();
+  }
+};
+
+TEST_F(LogTest, SinkReceivesMessagesAboveLevel) {
+  std::vector<std::string> got;
+  util::Log::set_sink([&got](util::LogLevel, const std::string& msg) {
+    got.push_back(msg);
+  });
+  LOG_DEBUG << "filtered out";
+  LOG_INFO << "kept " << 42;
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "kept 42");
+}
+
+TEST_F(LogTest, SimTimeStampsRecentLines) {
+  util::Log::set_sink([](util::LogLevel, const std::string&) {});
+  Time now = Time::msec(1250);
+  util::Log::set_time_source([&now] { return now; });
+  LOG_INFO << "stamped";
+  now = Time::msec(2000);
+  LOG_WARN << "later";
+  const auto lines = util::Log::recent_lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "[1.250s] [INFO] stamped");
+  EXPECT_EQ(lines[1], "[2.000s] [WARN] later");
+}
+
+TEST_F(LogTest, CaptureRingKeepsLastNLinesOldestFirst) {
+  util::Log::set_sink([](util::LogLevel, const std::string&) {});
+  util::Log::set_capture_capacity(3);
+  for (int i = 0; i < 7; ++i) LOG_INFO << "line " << i;
+  const auto lines = util::Log::recent_lines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "[INFO] line 4");
+  EXPECT_EQ(lines[1], "[INFO] line 5");
+  EXPECT_EQ(lines[2], "[INFO] line 6");
+}
+
+TEST_F(LogTest, ZeroCapacityDisablesCapture) {
+  util::Log::set_sink([](util::LogLevel, const std::string&) {});
+  util::Log::set_capture_capacity(0);
+  LOG_INFO << "not retained";
+  EXPECT_TRUE(util::Log::recent_lines().empty());
+}
+
+TEST_F(LogTest, SinkMayReplaceItselfWhileLogging) {
+  // Regression: replacing the sink from inside a sink call used to be a
+  // re-entrancy hazard. The active sink is invoked on a shared_ptr copy
+  // outside the logger's lock, so a handover mid-message must neither
+  // deadlock nor lose the in-flight line.
+  std::vector<std::string> first;
+  std::vector<std::string> second;
+  util::Log::set_sink([&](util::LogLevel, const std::string& msg) {
+    first.push_back(msg);
+    util::Log::set_sink([&second](util::LogLevel, const std::string& m) {
+      second.push_back(m);
+    });
+    LOG_INFO << "from inside the old sink";  // already routed to the new one
+  });
+  LOG_INFO << "trigger";
+  LOG_INFO << "after handover";
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], "trigger");
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0], "from inside the old sink");
+  EXPECT_EQ(second[1], "after handover");
 }
 
 }  // namespace

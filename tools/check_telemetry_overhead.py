@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Guard the telemetry layer's hot-path cost from BENCH_micro.json.
+
+Two checks, both read from a google-benchmark JSON file produced by
+`bench_micro --json`:
+
+1. Telemetry-off overhead: BM_PacketForwardingSteadyState (no hub installed,
+   every instrumentation site is one null-check branch) must stay within
+   --budget (default 3%) of a baseline file's number — but only when the two
+   runs come from the same host (google-benchmark's context.host_name);
+   cross-host comparisons are noise, so they warn instead of fail.
+2. Telemetry-on delta: within the fresh run, BM_PacketForwardingTelemetryOn
+   vs BM_PacketForwardingSteadyState is reported (informational unless
+   --max-on-overhead is given).
+
+Exit code 0 = within budget (or nothing comparable), 1 = regression.
+
+Usage:
+  tools/check_telemetry_overhead.py BENCH_micro.json [--baseline OLD.json]
+      [--budget 3.0] [--max-on-overhead PCT]
+"""
+
+import argparse
+import json
+import sys
+
+STEADY = "BM_PacketForwardingSteadyState"
+TRACED = "BM_PacketForwardingTelemetryOn"
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def items_per_second(doc, name):
+    for bench in doc.get("benchmarks", []):
+        if bench.get("name") == name and "items_per_second" in bench:
+            return float(bench["items_per_second"])
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("fresh", help="BENCH_micro.json from this run")
+    parser.add_argument("--baseline", help="committed BENCH_micro.json")
+    parser.add_argument("--budget", type=float, default=3.0,
+                        help="max %% slowdown of the no-hub packet path")
+    parser.add_argument("--max-on-overhead", type=float, default=None,
+                        help="optionally also bound the tracing-on delta")
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    if fresh.get("context", {}).get("assertions") == "enabled":
+        print("check_telemetry_overhead: fresh run is a debug/assert build; "
+              "numbers are not comparable -- skipping", file=sys.stderr)
+        return 0
+
+    failed = False
+    off = items_per_second(fresh, STEADY)
+    on = items_per_second(fresh, TRACED)
+
+    if off is not None and on is not None and on > 0:
+        delta = (off / on - 1.0) * 100.0
+        print(f"telemetry-on cost: {STEADY} {off:,.0f} items/s vs "
+              f"{TRACED} {on:,.0f} items/s ({delta:+.1f}%)")
+        if args.max_on_overhead is not None and delta > args.max_on_overhead:
+            print(f"FAIL: tracing-on overhead {delta:.1f}% exceeds "
+                  f"{args.max_on_overhead:.1f}%", file=sys.stderr)
+            failed = True
+
+    if args.baseline:
+        base = load(args.baseline)
+        base_host = base.get("context", {}).get("host_name")
+        fresh_host = fresh.get("context", {}).get("host_name")
+        base_off = items_per_second(base, STEADY)
+        if base_off is None or off is None:
+            print("check_telemetry_overhead: no comparable "
+                  f"{STEADY} in baseline -- skipping off-path check")
+        elif base_host != fresh_host:
+            print(f"check_telemetry_overhead: baseline host {base_host!r} != "
+                  f"{fresh_host!r}; cross-host numbers are noise -- "
+                  "warn only")
+            print(f"  baseline {base_off:,.0f} items/s, fresh {off:,.0f}")
+        else:
+            slowdown = (base_off / off - 1.0) * 100.0 if off > 0 else 0.0
+            print(f"telemetry-off path vs baseline: {off:,.0f} items/s "
+                  f"(baseline {base_off:,.0f}, {slowdown:+.1f}%)")
+            if slowdown > args.budget:
+                print(f"FAIL: telemetry-off packet path regressed "
+                      f"{slowdown:.1f}% > budget {args.budget:.1f}%",
+                      file=sys.stderr)
+                failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
