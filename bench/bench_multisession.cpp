@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
   int sessions = 32;
   std::vector<int> thread_counts = {1, 2, 4};
   bool json = false;
+  bool batching = true;
   double run_for_s = 20.0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -64,6 +65,10 @@ int main(int argc, char** argv) {
       sessions = 4;
       run_for_s = 5.0;
       thread_counts = {1, 2};
+    } else if (arg == "--unbatched") {
+      // Reference per-packet link path; outcomes (and fingerprints) are
+      // identical to the batched default, only the wall-clock differs.
+      batching = false;
     } else if (arg.rfind("--sessions=", 0) == 0) {
       sessions = std::atoi(arg.data() + 11);
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -74,7 +79,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_multisession [--sessions=N] "
                    "[--threads=1,2,4] [--run-for=SECONDS] [--smoke] "
-                   "[--json]\n");
+                   "[--unbatched] [--json]\n");
       return 1;
     }
   }
@@ -89,6 +94,7 @@ int main(int argc, char** argv) {
   base.markup = bench::lecture_markup(static_cast<int>(run_for_s));
   base.seed = 7;
   base.run_for = Time::sec(static_cast<std::int64_t>(run_for_s) + 2);
+  base.link_batching = batching;
 
   // Sequential reference: both the 1-thread timing row and the per-session
   // fingerprints every sharded run must reproduce exactly.
@@ -163,11 +169,12 @@ int main(int argc, char** argv) {
                  "    \"sessions\": %d,\n"
                  "    \"session_sim_seconds\": %.1f,\n"
                  "    \"num_cpus\": %u,\n"
+                 "    \"link_batching\": %s,\n"
                  "    \"assertions\": \"%s\"\n"
                  "  },\n"
                  "  \"deterministic\": %s,\n"
                  "  \"results\": [\n",
-                 sessions, run_for_s, hw,
+                 sessions, run_for_s, hw, batching ? "true" : "false",
                  bench::built_with_assertions() ? "enabled" : "disabled",
                  all_deterministic ? "true" : "false");
     for (std::size_t i = 0; i < results.size(); ++i) {

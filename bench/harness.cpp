@@ -45,6 +45,8 @@ SessionMetrics run_session(const SessionParams& params) {
   hermes::Deployment::Config config;
   config.client_access.bandwidth_bps = params.access_bandwidth_bps;
   config.client_access.queue_capacity_bytes = 48 * 1024;
+  config.backbone.batching = params.link_batching;
+  config.client_access.batching = params.link_batching;
   config.server_template.qos.enabled = params.qos_enabled;
   config.server_template.qos.action_hold = params.qos_action_hold;
   config.server_template.qos.degrade_order =
@@ -97,6 +99,7 @@ SessionMetrics run_session(const SessionParams& params) {
   bc.presentation.sync.allow_pause = params.sync_allow_pause;
   bc.presentation.sync.max_skew = params.sync_max_skew;
   bc.presentation.rtcp_rr_interval = params.rtcp_rr_interval;
+  bc.presentation.record_events = params.capture_playout_events;
   client::BrowserSession session(deployment.network(),
                                  deployment.client_node(0),
                                  deployment.server(0).control_endpoint(), bc);
@@ -163,6 +166,17 @@ SessionMetrics run_session(const SessionParams& params) {
     }
   }
   if (!transit.empty()) metrics.transit_p99_ms = transit.max();
+  if (params.capture_playout_events) metrics.events_csv = trace.events_csv();
+  // RTCP + link-drop counters for differential (batched vs. unbatched) runs.
+  for (const auto& spec : session.presentation()->scenario().streams) {
+    if (const auto* receiver = session.presentation()->receiver(spec.id)) {
+      metrics.rtcp_reports_sent += receiver->stats().reports_sent;
+      metrics.rtcp_packets_lost += receiver->stats().packets_lost_cumulative;
+    }
+  }
+  metrics.link_dropped_loss = deployment.client_downlink(0)->stats().dropped_loss;
+  metrics.link_dropped_queue =
+      deployment.client_downlink(0)->stats().dropped_queue;
   export_telemetry();
   return metrics;
 }

@@ -49,6 +49,14 @@ struct SessionParams {
   Time cross_mean_on = Time::sec(4);
   Time cross_mean_off = Time::sec(4);
 
+  /// Batched link transfer path (LinkParams::batching) on every link in the
+  /// deployment. Off = the per-packet two-events reference path; outcomes
+  /// must be identical either way (the differential test's lever).
+  bool link_batching = true;
+  /// Record the client presentation's per-event playout trace so
+  /// SessionMetrics::events_csv compares byte-for-byte across runs.
+  bool capture_playout_events = false;
+
   // Telemetry export (empty = off). When either is set a telemetry::Hub is
   // installed on the simulator before the deployment is built; at the end of
   // the run the Perfetto trace JSON / metrics CSV are written to these paths.
@@ -74,6 +82,14 @@ struct SessionMetrics {
   double setup_ms = 0.0;
   /// Mean/99p one-way transit of RTP frames (ms), across streams.
   double transit_p99_ms = 0.0;
+  /// Playout trace CSV (only when capture_playout_events was set).
+  std::string events_csv;
+  /// RTCP receiver-side feedback counters, summed across streams.
+  std::int64_t rtcp_reports_sent = 0;
+  std::int64_t rtcp_packets_lost = 0;
+  /// Drop counters of the impaired client downlink.
+  std::int64_t link_dropped_loss = 0;
+  std::int64_t link_dropped_queue = 0;
 };
 
 /// Run one complete session (connect, subscribe, request, play, teardown).

@@ -17,8 +17,11 @@ Link::Link(sim::Simulator& sim, std::string name, LinkParams params,
     n_queue_bytes_ = tr.name("queue_bytes");
     n_drop_queue_ = tr.name("drop/queue");
     n_drop_loss_ = tr.name("drop/loss");
+    n_train_ = tr.name("train");
   }
 }
+
+Link::~Link() { sim_.cancel(chain_event_); }
 
 Time Link::serialization_time(std::size_t bytes) const {
   const double seconds =
@@ -27,6 +30,188 @@ Time Link::serialization_time(std::size_t bytes) const {
 }
 
 void Link::transmit(Packet&& pkt) {
+  if (!params_.batching) {
+    transmit_unbatched(std::move(pkt));
+    return;
+  }
+  offer(std::move(pkt), sim_.now());
+}
+
+void Link::send_train(std::vector<Packet>& train) {
+  if (!params_.batching) {
+    for (auto& pkt : train) transmit_unbatched(std::move(pkt));
+    train.clear();
+    return;
+  }
+  const Time now = sim_.now();
+  calendar_.reserve(calendar_.size() + train.size());
+  for (auto& pkt : train) offer(std::move(pkt), now);
+  train.clear();
+}
+
+void Link::drain_transit(Time t) {
+  auto* hub = sim_.telemetry();
+  while (transit_head_ < transit_.size() &&
+         transit_[transit_head_].finish <= t) {
+    const TransitEntry& entry = transit_[transit_head_];
+    queued_bytes_ -= entry.size;
+    if (hub != nullptr) {
+      // Historical timestamp: the sample carries the serialization-finish
+      // instant the unbatched dequeue event would have fired at.
+      hub->tracer().counter(trace_track_, n_queue_bytes_, entry.finish,
+                            static_cast<double>(queued_bytes_));
+    }
+    ++transit_head_;
+  }
+  if (transit_head_ == transit_.size()) {
+    transit_.clear();
+    transit_head_ = 0;
+  } else if (transit_head_ > transit_.size() / 2) {
+    transit_.erase(transit_.begin(),
+                   transit_.begin() + static_cast<std::ptrdiff_t>(transit_head_));
+    transit_head_ = 0;
+  }
+}
+
+void Link::offer(Packet&& pkt, Time t_offer) {
+  // Retire finished serializations first so the queue-capacity check sees
+  // the same occupancy the unbatched path's dequeue events would have left.
+  drain_transit(t_offer);
+
+  ++stats_.offered;
+  const std::size_t size = pkt.wire_size();
+
+  if (queued_bytes_ + size > params_.queue_capacity_bytes) {
+    ++stats_.dropped_queue;
+    LOG_TRACE << "link " << name_ << " queue drop pkt " << pkt.id;
+    if (auto* hub = sim_.telemetry()) {
+      hub->tracer().instant(trace_track_, n_drop_queue_, t_offer);
+    }
+    if (pool_ != nullptr) pool_->release(std::move(pkt.payload));
+    return;
+  }
+  if (params_.loss && params_.loss->drop(rng_)) {
+    ++stats_.dropped_loss;
+    LOG_TRACE << "link " << name_ << " random loss pkt " << pkt.id;
+    if (auto* hub = sim_.telemetry()) {
+      hub->tracer().instant(trace_track_, n_drop_loss_, t_offer);
+    }
+    if (pool_ != nullptr) pool_->release(std::move(pkt.payload));
+    return;
+  }
+
+  const Time start = std::max(t_offer, busy_until_);
+  stats_.queueing_delay_ms.add((start - t_offer).to_ms());
+  const Time finish = start + serialization_time(size);
+  busy_until_ = finish;
+  queued_bytes_ += size;
+  transit_.push_back(TransitEntry{finish, size});
+
+  if (params_.corruption_prob > 0 && !pkt.payload.empty() &&
+      rng_.bernoulli(params_.corruption_prob)) {
+    // Flip one bit of a random payload byte (classic line-noise model).
+    const auto at = static_cast<std::size_t>(rng_.below(pkt.payload.size()));
+    pkt.payload[at] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+    ++stats_.corrupted;
+  }
+
+  Time extra = Time::zero();
+  if (params_.jitter_stddev > Time::zero() || params_.jitter_mean > Time::zero()) {
+    const double j = rng_.normal(params_.jitter_mean.to_seconds(),
+                                 params_.jitter_stddev.to_seconds());
+    extra = Time::seconds(std::max(0.0, j));
+  }
+  const Time arrival = finish + params_.propagation + extra;
+
+  if (auto* hub = sim_.telemetry()) {
+    hub->tracer().counter(trace_track_, n_queue_bytes_, t_offer,
+                          static_cast<double>(queued_bytes_));
+  }
+
+  // Calendar insertion. Back-to-back bursts arrive monotonically, so the
+  // common case is a push_back; jitter can reorder, handled by a stable
+  // sorted insert (after equal arrivals — FIFO among ties, matching the
+  // schedule-order semantics of per-packet arrival events).
+  if (calendar_.size() == calendar_head_ ||
+      arrival >= calendar_.back().arrival) {
+    calendar_.push_back(PendingArrival{std::move(pkt), arrival});
+    if (calendar_.size() - calendar_head_ == 1) arm_chain();
+    return;
+  }
+  const auto pos = std::upper_bound(
+      calendar_.begin() + static_cast<std::ptrdiff_t>(calendar_head_),
+      calendar_.end(), arrival,
+      [](Time t, const PendingArrival& item) { return t < item.arrival; });
+  const bool new_head =
+      pos == calendar_.begin() + static_cast<std::ptrdiff_t>(calendar_head_);
+  calendar_.insert(pos, PendingArrival{std::move(pkt), arrival});
+  if (new_head) arm_chain();
+}
+
+void Link::arm_chain() {
+  sim_.cancel(chain_event_);
+  chain_event_ = sim::kNoEvent;
+  if (calendar_head_ == calendar_.size()) return;
+  chain_event_ = sim_.schedule_at(calendar_[calendar_head_].arrival, [this] {
+    chain_event_ = sim::kNoEvent;
+    fire_chain();
+  });
+}
+
+void Link::fire_chain() {
+  auto* hub = sim_.telemetry();
+  const Time fired_at = sim_.now();
+  Time last_delivered = fired_at;
+  std::int64_t delivered_here = 0;
+  for (;;) {
+    // A delivery below may have re-entered offer() and armed a fresh chain
+    // event; this loop is still in charge, so retire it.
+    if (chain_event_ != sim::kNoEvent) {
+      sim_.cancel(chain_event_);
+      chain_event_ = sim::kNoEvent;
+    }
+    if (calendar_head_ == calendar_.size()) {
+      calendar_.clear();
+      calendar_head_ = 0;
+      break;
+    }
+    const Time arrival = calendar_[calendar_head_].arrival;
+    if (arrival > sim_.now()) {
+      // Run ahead only while no other simulator event intervenes (strict <:
+      // at a tie the heap's FIFO order decides) and the run's horizon allows
+      // it; otherwise hand control back and resume at the next arrival.
+      if (arrival > sim_.run_horizon() || arrival >= sim_.next_event_time()) {
+        arm_chain();
+        break;
+      }
+      sim_.advance_now(arrival);
+      drain_transit(arrival);
+    }
+    Packet pkt = std::move(calendar_[calendar_head_].pkt);
+    ++calendar_head_;
+    if (calendar_head_ > calendar_.size() / 2) {
+      calendar_.erase(
+          calendar_.begin(),
+          calendar_.begin() + static_cast<std::ptrdiff_t>(calendar_head_));
+      calendar_head_ = 0;
+    }
+    const std::size_t size = pkt.wire_size();
+    ++stats_.delivered;
+    stats_.bytes_delivered += static_cast<std::int64_t>(size);
+    last_delivered = sim_.now();
+    ++delivered_here;
+    deliver_(std::move(pkt));
+  }
+  if (hub != nullptr && delivered_here > 0) {
+    // Passive per-train span: one slice on the link track covering this
+    // chain firing's deliveries (value-free; length = run-ahead window).
+    auto& tr = hub->tracer();
+    tr.begin(trace_track_, n_train_, fired_at);
+    tr.end(trace_track_, last_delivered);
+  }
+}
+
+void Link::transmit_unbatched(Packet&& pkt) {
   ++stats_.offered;
   const std::size_t size = pkt.wire_size();
 
@@ -98,6 +283,7 @@ void Link::transmit(Packet&& pkt) {
 void Link::flush_telemetry() {
   auto* hub = sim_.telemetry();
   if (hub == nullptr) return;
+  drain_transit(sim_.now());
   auto& m = hub->metrics();
   const std::string prefix = "link/" + name_ + "/";
   m.set(m.gauge(prefix + "offered"), static_cast<double>(stats_.offered));

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/loss.hpp"
 #include "net/packet.hpp"
@@ -25,6 +26,13 @@ struct LinkParams {
   /// Bit-error injection: probability that a traversing packet has one
   /// random payload byte flipped (transports must detect or tolerate it).
   double corruption_prob = 0.0;
+  /// Batched transfer path: admitted packets go onto a per-link arrival
+  /// calendar drained by a single chained event instead of two scheduled
+  /// events per packet. Per-packet timestamps, loss outcomes and stats are
+  /// identical to the unbatched path (the event count is not). Kept as a
+  /// flag so differential tests can pin the equivalence down; applies to
+  /// packets offered after a set_params() call.
+  bool batching = true;
 };
 
 /// One unidirectional link: drop-tail queue + serialization at bandwidth_bps
@@ -41,10 +49,22 @@ class Link {
   Link(sim::Simulator& sim, std::string name, LinkParams params,
        NodeId to_node, DeliverFn deliver, util::Rng rng,
        PayloadPool* pool = nullptr);
+  ~Link();
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
 
   /// Offer a packet to the link. May drop (queue full or loss model); on
   /// success schedules delivery at the far end.
   void transmit(Packet&& pkt);
+
+  /// Offer a back-to-back burst. Serialization-finish and arrival instants
+  /// are computed analytically per packet from the queue state, loss/queue
+  /// decisions are applied in offer order, and survivors are delivered from
+  /// ~one chained arrival event carrying per-packet timestamps — collapsing
+  /// 2k events per k-packet burst to ~2. Consumes the vector (packets are
+  /// moved out); with batching disabled this degrades to per-packet
+  /// transmit() calls.
+  void send_train(std::vector<Packet>& train);
 
   [[nodiscard]] NodeId to_node() const { return to_; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -73,7 +93,33 @@ class Link {
   void flush_telemetry();
 
  private:
+  /// One admitted packet awaiting delivery (batched path).
+  struct PendingArrival {
+    Packet pkt;
+    Time arrival;
+  };
+  /// One serialization in progress: queued_bytes_ drops by `size` at
+  /// `finish`. Drained lazily (at offers and chain firings) instead of
+  /// through a dedicated dequeue event per packet.
+  struct TransitEntry {
+    Time finish;
+    std::size_t size;
+  };
+
   [[nodiscard]] Time serialization_time(std::size_t bytes) const;
+  void transmit_unbatched(Packet&& pkt);
+  /// Batched admission: queue/loss decisions + closed-form finish/arrival,
+  /// then calendar insertion. No events scheduled beyond (re)arming the
+  /// chain. `t_offer` is the packet's logical offer instant (== sim_.now()).
+  void offer(Packet&& pkt, Time t_offer);
+  /// Fire of the chained arrival event: deliver every calendar item whose
+  /// time has come, running ahead of the clock (advance_now per item) while
+  /// no other simulator event intervenes, then re-arm at the next arrival.
+  void fire_chain();
+  /// Cancel + re-arm the chain event at the calendar head's arrival.
+  void arm_chain();
+  /// Retire transit entries with finish <= t (queue-depth bookkeeping).
+  void drain_transit(Time t);
 
   sim::Simulator& sim_;
   std::string name_;
@@ -87,12 +133,21 @@ class Link {
   std::size_t queued_bytes_ = 0;
   Stats stats_;
 
+  // Batched-path state: arrival calendar (sorted by arrival, FIFO among
+  // equals; head_ indexes the first undelivered item) and the transit queue.
+  std::vector<PendingArrival> calendar_;
+  std::size_t calendar_head_ = 0;
+  std::vector<TransitEntry> transit_;
+  std::size_t transit_head_ = 0;
+  sim::EventId chain_event_ = sim::kNoEvent;
+
   // Trace ids, interned once at construction when a telemetry hub is
   // installed on the simulator (unused otherwise).
   telemetry::TrackId trace_track_ = telemetry::kInvalidTraceId;
   telemetry::NameId n_queue_bytes_ = telemetry::kInvalidTraceId;
   telemetry::NameId n_drop_queue_ = telemetry::kInvalidTraceId;
   telemetry::NameId n_drop_loss_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_train_ = telemetry::kInvalidTraceId;
 };
 
 }  // namespace hyms::net

@@ -102,6 +102,21 @@ DatagramSocket& Network::bind(NodeId host, Port port,
 void Network::unbind(Endpoint ep) {
   if (ep.node >= nodes_.size()) return;
   nodes_[ep.node]->sockets.erase(ep.port);
+  cached_sock_ = nullptr;
+  cached_sock_node_ = kNoNode;
+}
+
+DatagramSocket* Network::socket_for(Node& node, Port port) {
+  if (cached_sock_ != nullptr && cached_sock_node_ == node.id &&
+      cached_sock_port_ == port) {
+    return cached_sock_;
+  }
+  auto it = node.sockets.find(port);
+  if (it == node.sockets.end()) return nullptr;
+  cached_sock_ = it->second.get();
+  cached_sock_node_ = node.id;
+  cached_sock_port_ = port;
+  return cached_sock_;
 }
 
 void Network::send(Endpoint src, Endpoint dst, Payload payload) {
@@ -116,22 +131,26 @@ void Network::send(Endpoint src, Endpoint dst, Payload payload) {
   deliver_at(src.node, std::move(pkt));
 }
 
+void Network::deliver_local(Node& node, Packet&& pkt) {
+  DatagramSocket* sock = socket_for(node, pkt.dst.port);
+  if (sock == nullptr) {
+    ++stats_.dropped_no_socket;
+    LOG_TRACE << "no socket at " << node.name << ":" << pkt.dst.port;
+    pool_.release(std::move(pkt.payload));
+    return;
+  }
+  ++stats_.delivered;
+  stats_.end_to_end_delay_ms.add((sim_.now() - pkt.injected_at).to_ms());
+  sock->deliver(pkt);
+  // Receivers see a const Packet& and copy what they keep, so the payload
+  // buffer can be recycled as soon as the callback returns.
+  pool_.release(std::move(pkt.payload));
+}
+
 void Network::deliver_at(NodeId node_id, Packet&& pkt) {
   Node& node = *nodes_[node_id];
   if (pkt.dst.node == node_id) {
-    auto it = node.sockets.find(pkt.dst.port);
-    if (it == node.sockets.end()) {
-      ++stats_.dropped_no_socket;
-      LOG_TRACE << "no socket at " << node.name << ":" << pkt.dst.port;
-      pool_.release(std::move(pkt.payload));
-      return;
-    }
-    ++stats_.delivered;
-    stats_.end_to_end_delay_ms.add((sim_.now() - pkt.injected_at).to_ms());
-    it->second->deliver(pkt);
-    // Receivers see a const Packet& and copy what they keep, so the payload
-    // buffer can be recycled as soon as the callback returns.
-    pool_.release(std::move(pkt.payload));
+    deliver_local(node, std::move(pkt));
     return;
   }
   Link* hop = pkt.dst.node < node.next_hop.size() ? node.next_hop[pkt.dst.node]
@@ -143,6 +162,57 @@ void Network::deliver_at(NodeId node_id, Packet&& pkt) {
     return;
   }
   hop->transmit(std::move(pkt));
+}
+
+void Network::send_train(Endpoint src, Endpoint dst,
+                         std::vector<Payload>& payloads) {
+  if (payloads.empty()) return;
+  if (routes_dirty_) compute_routes();
+  train_scratch_.clear();
+  train_scratch_.reserve(payloads.size());
+  for (Payload& payload : payloads) {
+    ++stats_.sent;
+    Packet pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    pkt.payload = std::move(payload);
+    pkt.id = next_packet_id_++;
+    pkt.injected_at = sim_.now();
+    train_scratch_.push_back(std::move(pkt));
+  }
+  payloads.clear();
+  Node& node = *nodes_[src.node];
+  if (dst.node == src.node) {
+    // Node-local burst: no link to cross, hand the train to the socket in
+    // one callback (per-packet delivery stats preserved).
+    DatagramSocket* sock = socket_for(node, dst.port);
+    if (sock == nullptr) {
+      stats_.dropped_no_socket +=
+          static_cast<std::int64_t>(train_scratch_.size());
+      LOG_TRACE << "no socket at " << node.name << ":" << dst.port;
+      for (auto& pkt : train_scratch_) pool_.release(std::move(pkt.payload));
+      train_scratch_.clear();
+      return;
+    }
+    stats_.delivered += static_cast<std::int64_t>(train_scratch_.size());
+    for (auto& pkt : train_scratch_) {
+      stats_.end_to_end_delay_ms.add((sim_.now() - pkt.injected_at).to_ms());
+    }
+    sock->deliver_train(train_scratch_);
+    for (auto& pkt : train_scratch_) pool_.release(std::move(pkt.payload));
+    train_scratch_.clear();
+    return;
+  }
+  Link* hop = dst.node < node.next_hop.size() ? node.next_hop[dst.node]
+                                              : nullptr;
+  if (hop == nullptr) {
+    stats_.dropped_no_route += static_cast<std::int64_t>(train_scratch_.size());
+    LOG_WARN << "no route from " << node.name << " to node " << dst.node;
+    for (auto& pkt : train_scratch_) pool_.release(std::move(pkt.payload));
+    train_scratch_.clear();
+    return;
+  }
+  hop->send_train(train_scratch_);
 }
 
 void Network::flush_telemetry() {

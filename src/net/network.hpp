@@ -21,6 +21,7 @@ class Network;
 class DatagramSocket {
  public:
   using ReceiveFn = std::function<void(const Packet&)>;
+  using TrainFn = std::function<void(const std::vector<Packet>&)>;
 
   DatagramSocket(Network& net, Endpoint local) : net_(net), local_(local) {}
   DatagramSocket(const DatagramSocket&) = delete;
@@ -28,6 +29,10 @@ class DatagramSocket {
 
   void send(Endpoint dst, Payload payload);
   void set_receiver(ReceiveFn fn) { on_receive_ = std::move(fn); }
+  /// Optional batch receiver: a train arriving in one burst is handed over
+  /// whole (one callback, no per-fragment dispatch). Without one installed,
+  /// trains degrade to per-packet receive callbacks.
+  void set_train_receiver(TrainFn fn) { on_train_ = std::move(fn); }
   [[nodiscard]] Endpoint local() const { return local_; }
 
  private:
@@ -35,10 +40,18 @@ class DatagramSocket {
   void deliver(const Packet& pkt) {
     if (on_receive_) on_receive_(pkt);
   }
+  void deliver_train(const std::vector<Packet>& train) {
+    if (on_train_) {
+      on_train_(train);
+      return;
+    }
+    for (const Packet& pkt : train) deliver(pkt);
+  }
 
   Network& net_;
   Endpoint local_;
   ReceiveFn on_receive_;
+  TrainFn on_train_;
 };
 
 /// The emulated internetwork: hosts and routers joined by Links, static
@@ -66,6 +79,13 @@ class Network {
 
   /// Inject a datagram from src (bypasses socket lookup on the sender side).
   void send(Endpoint src, Endpoint dst, Payload payload);
+
+  /// Inject a back-to-back burst from src to one destination: routes once,
+  /// stamps sequential packet ids (identical ids and order to k send()
+  /// calls), and hands the whole train to the first-hop link's batched path
+  /// — or, for node-local traffic, to the socket's train receiver. Consumes
+  /// the payloads; the caller's vector is cleared but keeps its capacity.
+  void send_train(Endpoint src, Endpoint dst, std::vector<Payload>& payloads);
 
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   /// Buffer pool for datagram payloads. High-rate senders (RTP) acquire
@@ -106,6 +126,8 @@ class Network {
   NodeId add_node(std::string name, bool is_host);
   void compute_routes();
   void deliver_at(NodeId node, Packet&& pkt);
+  void deliver_local(Node& node, Packet&& pkt);
+  [[nodiscard]] DatagramSocket* socket_for(Node& node, Port port);
 
   sim::Simulator& sim_;
   util::Rng rng_;
@@ -115,6 +137,13 @@ class Network {
   std::uint64_t next_link_rng_ = 1;
   PayloadPool pool_;
   Stats stats_;
+  std::vector<Packet> train_scratch_;  // reused across send_train calls
+  // Memo of the last destination-socket resolution: media flows hammer one
+  // endpoint, so this short-circuits the per-packet port-map lookup.
+  // Invalidated on bind/unbind.
+  NodeId cached_sock_node_ = kNoNode;
+  Port cached_sock_port_ = 0;
+  DatagramSocket* cached_sock_ = nullptr;
 };
 
 }  // namespace hyms::net

@@ -39,6 +39,12 @@ RtpSender::~RtpSender() {
 
 void RtpSender::send_frame(const std::vector<std::uint8_t>& data,
                            Time media_time) {
+  append_frame(data, media_time);
+  flush();
+}
+
+void RtpSender::append_frame(const std::vector<std::uint8_t>& data,
+                             Time media_time) {
   const std::uint32_t rtp_ts = params_.clock.to_rtp(media_time);
   last_rtp_ts_ = rtp_ts;
   const std::size_t frag_count =
@@ -62,9 +68,14 @@ void RtpSender::send_frame(const std::vector<std::uint8_t>& data,
     auto wire = net_.payload_pool().acquire(kRtpHeaderSize + 4 +
                                             pkt.payload.size());
     serialize_rtp_into(pkt, wire);
-    rtp_socket_->send(remote_rtp_, std::move(wire));
+    train_.push_back(std::move(wire));
   }
   ++stats_.frames_sent;
+}
+
+void RtpSender::flush() {
+  if (train_.empty()) return;
+  net_.send_train(rtp_socket_->local(), remote_rtp_, train_);
 }
 
 void RtpSender::emit_sender_report() {
@@ -170,6 +181,8 @@ RtpReceiver::RtpReceiver(net::Network& net, net::NodeId node,
   }
   rtp_socket_ = &net_.bind(node, rtp_port,
                            [this](const net::Packet& pkt) { on_rtp(pkt); });
+  rtp_socket_->set_train_receiver(
+      [this](const std::vector<net::Packet>& train) { on_rtp_train(train); });
   rtcp_socket_ =
       &net_.bind(node, 0, [this](const net::Packet& pkt) { on_rtcp(pkt); });
   rr_timer_ = std::make_unique<sim::PeriodicTimer>(
@@ -226,6 +239,10 @@ void RtpReceiver::on_rtp(const net::Packet& pkt) {
     if (on_frame_) on_frame_(std::move(frame));
   }
   evict_stale(now);
+}
+
+void RtpReceiver::on_rtp_train(const std::vector<net::Packet>& train) {
+  for (const net::Packet& pkt : train) on_rtp(pkt);
 }
 
 RtpReceiver::Assembly& RtpReceiver::assembly_for(std::uint32_t rtp_ts,

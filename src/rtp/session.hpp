@@ -67,7 +67,16 @@ class RtpSender {
   RtpSender& operator=(const RtpSender&) = delete;
 
   /// Send one media frame stamped at media-relative time `media_time`.
+  /// Equivalent to append_frame() + flush(): the frame's fragments travel as
+  /// one packet train through the network's batched path.
   void send_frame(const std::vector<std::uint8_t>& data, Time media_time);
+  /// Packetize a frame into the pending train without submitting it. Lets a
+  /// pacing loop coalesce several same-tick frames into one train; call
+  /// flush() when the burst is complete. Sequence numbers, timestamps and
+  /// stats are identical to per-frame send_frame() calls.
+  void append_frame(const std::vector<std::uint8_t>& data, Time media_time);
+  /// Submit the pending train (no-op when empty).
+  void flush();
   void set_on_feedback(FeedbackFn fn) { on_feedback_ = std::move(fn); }
   void send_bye(const std::string& reason);
 
@@ -102,6 +111,7 @@ class RtpSender {
   net::DatagramSocket* rtcp_socket_;
   std::uint16_t next_seq_;
   std::uint32_t last_rtp_ts_ = 0;
+  std::vector<net::Payload> train_;  // pending wire buffers awaiting flush()
   FeedbackFn on_feedback_;
   std::unique_ptr<sim::PeriodicTimer> sr_timer_;
   Stats stats_;
@@ -146,6 +156,11 @@ class RtpReceiver {
   RtpReceiver& operator=(const RtpReceiver&) = delete;
 
   void set_on_frame(FrameFn fn) { on_frame_ = std::move(fn); }
+  /// Batch entry point: process every fragment of an arriving packet train
+  /// (one callback from the network instead of one per fragment). Identical
+  /// per-fragment statistics, jitter updates and reassembly behaviour to k
+  /// individual deliveries. Registered as the RTP socket's train receiver.
+  void on_rtp_train(const std::vector<net::Packet>& train);
   void set_extra_metrics(MetricsFn fn) { extra_metrics_ = std::move(fn); }
   /// Install the stream's media clock (learned during stream setup). Must be
   /// called before the first RTP packet arrives — timestamp mapping and the

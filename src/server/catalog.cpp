@@ -11,24 +11,26 @@ namespace hyms::server {
 void MediaCatalog::register_source(const std::string& source,
                                    std::shared_ptr<media::MediaSource> object) {
   objects_[source] = std::move(object);
+  if (on_mutation_) on_mutation_();
 }
 
 util::Result<std::shared_ptr<media::MediaSource>> MediaCatalog::resolve(
-    const std::string& source) {
+    std::string_view source) {
   if (auto it = objects_.find(source); it != objects_.end()) {
     return it->second;
   }
   auto made = synthesize(source);
   if (!made.ok()) return made.error();
-  objects_[source] = made.value();
+  objects_[std::string(source)] = made.value();
   return made;
 }
 
 util::Result<std::shared_ptr<media::MediaSource>> MediaCatalog::synthesize(
-    const std::string& source) const {
+    std::string_view source) const {
+  const std::string name(source);
   const auto parts = util::split(source, ':');
   if (parts.size() < 3) {
-    return util::not_found("unresolvable SOURCE '" + source +
+    return util::not_found("unresolvable SOURCE '" + name +
                            "' (want type:format:name[:dur_s[:kbps]])");
   }
   const std::string& type = parts[0];
@@ -49,7 +51,7 @@ util::Result<std::shared_ptr<media::MediaSource>> MediaCatalog::synthesize(
     }
     if (kbps > 0) profile.base_bitrate_bps = kbps * 1000.0;
     return std::shared_ptr<media::MediaSource>(std::make_shared<media::VideoSource>(
-        source, profile, Time::seconds(duration_s)));
+        name, profile, Time::seconds(duration_s)));
   }
   if (util::iequals(type, "audio")) {
     media::AudioProfile profile;
@@ -63,7 +65,7 @@ util::Result<std::shared_ptr<media::MediaSource>> MediaCatalog::synthesize(
       return util::not_found("unknown audio format '" + format + "'");
     }
     return std::shared_ptr<media::MediaSource>(std::make_shared<media::AudioSource>(
-        source, profile, Time::seconds(duration_s)));
+        name, profile, Time::seconds(duration_s)));
   }
   if (util::iequals(type, "image")) {
     media::ImageProfile profile;
@@ -79,17 +81,17 @@ util::Result<std::shared_ptr<media::MediaSource>> MediaCatalog::synthesize(
       return util::not_found("unknown image format '" + format + "'");
     }
     return std::shared_ptr<media::MediaSource>(
-        std::make_shared<media::ImageSource>(source, profile));
+        std::make_shared<media::ImageSource>(name, profile));
   }
   if (util::iequals(type, "text")) {
     // Deterministic body derived from the name; real deployments register
     // TextSources with actual content.
-    std::string body = "Synthetic text body for " + source + ".\n";
+    std::string body = "Synthetic text body for " + name + ".\n";
     for (int i = 0; i < 20; ++i) {
       body += "Line " + std::to_string(i) + " of " + parts[2] + ".\n";
     }
     return std::shared_ptr<media::MediaSource>(
-        std::make_shared<media::TextSource>(source, std::move(body)));
+        std::make_shared<media::TextSource>(name, std::move(body)));
   }
   return util::not_found("unknown media type '" + type + "'");
 }
@@ -107,10 +109,11 @@ util::Status DocumentStore::add(const std::string& name,
   doc.ast = std::move(parsed.value());
   doc.scenario = std::move(scenario.value());
   documents_[name] = std::move(doc);
+  if (on_mutation_) on_mutation_(name);
   return {};
 }
 
-const StoredDocument* DocumentStore::find(const std::string& name) const {
+const StoredDocument* DocumentStore::find(std::string_view name) const {
   auto it = documents_.find(name);
   return it == documents_.end() ? nullptr : &it->second;
 }
@@ -119,6 +122,7 @@ std::vector<std::string> DocumentStore::list() const {
   std::vector<std::string> names;
   names.reserve(documents_.size());
   for (const auto& [name, doc] : documents_) names.push_back(name);
+  std::sort(names.begin(), names.end());
   return names;
 }
 
@@ -131,6 +135,7 @@ std::vector<std::string> DocumentStore::search(const std::string& token) const {
       hits.push_back(name);
     }
   }
+  std::sort(hits.begin(), hits.end());
   return hits;
 }
 

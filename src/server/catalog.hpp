@@ -1,14 +1,18 @@
 #pragma once
 
-#include <map>
+#include <algorithm>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/scenario.hpp"
 #include "markup/ast.hpp"
 #include "media/source.hpp"
 #include "util/result.hpp"
+#include "util/strings.hpp"
 
 namespace hyms::server {
 
@@ -24,17 +28,26 @@ class MediaCatalog {
   void register_source(const std::string& source,
                        std::shared_ptr<media::MediaSource> object);
 
-  /// Resolve (and cache) the media object for a source string.
+  /// Resolve (and cache) the media object for a source string. Heterogeneous
+  /// lookup: callers holding only a string_view pay no temporary-key
+  /// allocation on the hit path.
   util::Result<std::shared_ptr<media::MediaSource>> resolve(
-      const std::string& source);
+      std::string_view source);
+
+  /// Notify on catalog mutation (register_source). Lets dependents — e.g.
+  /// the server's flow-plan cache — invalidate derived state.
+  void set_on_mutation(std::function<void()> fn) { on_mutation_ = std::move(fn); }
 
   [[nodiscard]] std::size_t size() const { return objects_.size(); }
 
  private:
   util::Result<std::shared_ptr<media::MediaSource>> synthesize(
-      const std::string& source) const;
+      std::string_view source) const;
 
-  std::map<std::string, std::shared_ptr<media::MediaSource>> objects_;
+  std::unordered_map<std::string, std::shared_ptr<media::MediaSource>,
+                     util::StringHash, std::equal_to<>>
+      objects_;
+  std::function<void()> on_mutation_;
 };
 
 /// A stored hypermedia document: markup text plus its parsed scenario,
@@ -53,14 +66,26 @@ class DocumentStore {
   /// Parse, validate and store. Fails on markup or validation errors.
   util::Status add(const std::string& name, const std::string& markup_text);
 
-  [[nodiscard]] const StoredDocument* find(const std::string& name) const;
+  [[nodiscard]] const StoredDocument* find(std::string_view name) const;
+  /// Document names, sorted (the store itself is hashed; the listing stays
+  /// deterministic for directory replies and tests).
   [[nodiscard]] std::vector<std::string> list() const;
-  /// Case-insensitive containment over title + text content + name.
+  /// Case-insensitive containment over title + text content + name; hits
+  /// sorted by name.
   [[nodiscard]] std::vector<std::string> search(const std::string& token) const;
   [[nodiscard]] std::size_t size() const { return documents_.size(); }
 
+  /// Notify on add(); receives the (re)stored document's name so dependents
+  /// — e.g. the server's flow-plan cache — can invalidate that entry.
+  void set_on_mutation(std::function<void(const std::string&)> fn) {
+    on_mutation_ = std::move(fn);
+  }
+
  private:
-  std::map<std::string, StoredDocument> documents_;
+  std::unordered_map<std::string, StoredDocument, util::StringHash,
+                     std::equal_to<>>
+      documents_;
+  std::function<void(const std::string&)> on_mutation_;
 };
 
 }  // namespace hyms::server

@@ -158,18 +158,17 @@ class MultimediaServer::ClientSession {
     }
     const UserRecord* record = server_.users_.find(user_);
     const PricingTier& tier = server_.pricing_.tier(record->contract);
-    // The flow scheduler computes the document's flow scenario; admission
-    // reserves its minimum feasible rate (every stream at the user's floor).
-    const auto plan = FlowScheduler::plan(doc->scenario, server_.catalog_,
-                                          record->video_floor_level,
-                                          record->audio_floor_level,
-                                          &server_.sim_);
+    // The flow scheduler computes the document's flow scenario (cached per
+    // document + quality floors); admission reserves its minimum feasible
+    // rate (every stream at the user's floor).
+    const auto plan = server_.plan_for(*doc, record->video_floor_level,
+                                       record->audio_floor_level);
     if (!plan.ok()) {
       send(proto::DocumentReply{false, plan.error().message, ""});
       return;
     }
     const auto decision = server_.admission_.evaluate_and_reserve(
-        session_key_, plan.value().floor_total_bps(),
+        session_key_, plan.value()->floor_total_bps(),
         tier.admission_utilization);
     if (!decision.admitted) {
       ++server_.stats_.admission_rejections;
@@ -192,9 +191,25 @@ class MultimediaServer::ClientSession {
     qos_ = std::make_unique<ServerQosManager>(sim_, server_.config_.qos);
 
     const UserRecord* record = server_.users_.find(user_);
+    // The flow scenario was computed (and cached) at DocumentRequest; this
+    // fetch is the cache's raison d'être — setup re-consults it for free.
+    const auto plan = server_.plan_for(*pending_document_,
+                                       record->video_floor_level,
+                                       record->audio_floor_level);
     proto::StreamSetupReply reply;
     reply.ok = true;
+    if (!plan.ok()) {
+      reply.ok = false;
+      reply.reason = plan.error().message;
+      send(reply);
+      return;
+    }
     for (const auto& spec : pending_document_->scenario.streams) {
+      if (plan.value()->find(spec.id) == nullptr) {
+        reply.ok = false;
+        reply.reason = "no flow-plan entry for stream '" + spec.id + "'";
+        break;
+      }
       auto source = server_.catalog_.resolve(spec.source);
       if (!source.ok()) {
         reply.ok = false;
@@ -535,6 +550,30 @@ MultimediaServer::MultimediaServer(net::Network& net, net::NodeId node,
         accept(std::move(conn));
       },
       config_.tcp);
+  // Plan-cache invalidation: re-adding a document drops its cached plans
+  // (any floors); a catalog mutation can change every plan's rates, so it
+  // clears the cache wholesale.
+  documents_.set_on_mutation([this](const std::string& name) {
+    std::erase_if(plan_cache_,
+                  [&](const auto& kv) { return kv.first.document == name; });
+  });
+  catalog_.set_on_mutation([this] { plan_cache_.clear(); });
+}
+
+util::Result<const FlowPlan*> MultimediaServer::plan_for(
+    const StoredDocument& doc, int video_floor, int audio_floor) {
+  PlanKey key{doc.name, video_floor, audio_floor};
+  if (auto it = plan_cache_.find(key); it != plan_cache_.end()) {
+    ++stats_.plan_cache_hits;
+    return &it->second;
+  }
+  ++stats_.plan_cache_misses;
+  auto plan = FlowScheduler::plan(doc.scenario, catalog_, video_floor,
+                                  audio_floor, &sim_);
+  if (!plan.ok()) return plan.error();
+  auto [it, inserted] =
+      plan_cache_.emplace(std::move(key), std::move(plan.value()));
+  return &it->second;
 }
 
 MultimediaServer::~MultimediaServer() = default;
@@ -622,6 +661,14 @@ ServerQosManager::Stats MultimediaServer::qos_totals() const {
 
 void MultimediaServer::flush_telemetry() {
   admission_.flush_telemetry();
+  if (auto* hub = sim_.telemetry()) {
+    auto& m = hub->metrics();
+    const std::string prefix = "server/" + config_.name + "/";
+    m.set(m.gauge(prefix + "plan_cache_hits"),
+          static_cast<double>(stats_.plan_cache_hits));
+    m.set(m.gauge(prefix + "plan_cache_misses"),
+          static_cast<double>(stats_.plan_cache_misses));
+  }
   for (auto& session : sessions_) session->flush_telemetry();
 }
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/network.hpp"
@@ -11,6 +12,7 @@
 #include "proto/messages.hpp"
 #include "server/admission.hpp"
 #include "server/catalog.hpp"
+#include "server/flow_scheduler.hpp"
 #include "server/qos_manager.hpp"
 #include "server/stream_session.hpp"
 #include "server/users.hpp"
@@ -95,6 +97,14 @@ class MultimediaServer {
   void attach_media_host(media::MediaType type, net::NodeId node);
   [[nodiscard]] net::NodeId media_host(media::MediaType type) const;
 
+  /// Flow plan for a document at the given quality floors, served from the
+  /// plan cache (keyed by document name + floors) or computed and cached on
+  /// miss. The pointer stays valid until the cache is invalidated — a
+  /// DocumentStore::add of that document or any catalog mutation. Consulted
+  /// at DocumentRequest (admission) and again at StreamSetup.
+  util::Result<const FlowPlan*> plan_for(const StoredDocument& doc,
+                                         int video_floor, int audio_floor);
+
   /// Deliver mail directly (used by Hermes tooling/tests).
   void deliver_mail(MailMessage message);
   [[nodiscard]] const std::vector<MailMessage>& mailbox(
@@ -117,6 +127,8 @@ class MultimediaServer {
     std::int64_t suspends = 0;
     std::int64_t suspend_expiries = 0;
     std::int64_t protocol_errors = 0;
+    std::int64_t plan_cache_hits = 0;
+    std::int64_t plan_cache_misses = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t live_session_count() const;
@@ -133,6 +145,25 @@ class MultimediaServer {
  private:
   class ClientSession;
   friend class ClientSession;
+
+  /// Plan-cache key: same document name + same quality floors -> same plan
+  /// (FlowScheduler is deterministic given the catalog).
+  struct PlanKey {
+    std::string document;
+    int video_floor = 0;
+    int audio_floor = 0;
+    bool operator==(const PlanKey&) const = default;
+  };
+  struct PlanKeyHash {
+    [[nodiscard]] std::size_t operator()(const PlanKey& k) const noexcept {
+      std::size_t h = std::hash<std::string>{}(k.document);
+      h ^= static_cast<std::size_t>(k.video_floor) + 0x9e3779b9 + (h << 6) +
+           (h >> 2);
+      h ^= static_cast<std::size_t>(k.audio_floor) + 0x9e3779b9 + (h << 6) +
+           (h >> 2);
+      return h;
+    }
+  };
 
   void accept(std::unique_ptr<net::StreamConnection> conn);
   void schedule_reap();
@@ -166,6 +197,7 @@ class MultimediaServer {
   /// (user, document) -> remarks.
   std::map<std::pair<std::string, std::string>, std::vector<std::string>>
       annotations_;
+  std::unordered_map<PlanKey, FlowPlan, PlanKeyHash> plan_cache_;
   bool reap_scheduled_ = false;
   Stats stats_;
   ServerQosManager::Stats retired_qos_;  // from torn-down sessions

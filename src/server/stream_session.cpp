@@ -129,22 +129,29 @@ void MediaStreamSession::pace_frame() {
       note_rate();
     }
   }
-  // Loop through the source when the scenario runs past its end; the RTP
-  // timestamp keeps advancing with the scenario position, not the source's.
-  const media::MediaFrame frame = source_->frame(
-      next_frame_ % source_->frame_count(), converter_.current_level());
-  sender_->send_frame(frame.payload,
-                      source_->frame_interval() * next_frame_);
-  LOG_TRACE << "pace " << spec_.id << " frame " << next_frame_ << " level "
-            << converter_.current_level();
-  ++stats_.frames_sent;
-  ++next_frame_;
+  // Coalesce every frame due at this instant into one packet train: with a
+  // zero frame interval the whole backlog ships as a single burst, otherwise
+  // the train is just this frame's fragments. Per-frame stats and RTP
+  // timestamps are those of individual send_frame() calls.
+  const Time interval = source_->frame_interval();
+  do {
+    // Loop through the source when the scenario runs past its end; the RTP
+    // timestamp keeps advancing with the scenario position, not the source's.
+    const media::MediaFrame frame = source_->frame(
+        next_frame_ % source_->frame_count(), converter_.current_level());
+    sender_->append_frame(frame.payload, interval * next_frame_);
+    LOG_TRACE << "pace " << spec_.id << " frame " << next_frame_ << " level "
+              << converter_.current_level();
+    ++stats_.frames_sent;
+    ++next_frame_;
+  } while (interval == Time::zero() && next_frame_ < frame_limit_);
+  sender_->flush();
   if (next_frame_ >= frame_limit_) {
     complete_ = true;
     end_send_window();
     return;
   }
-  schedule_next(source_->frame_interval());
+  schedule_next(interval);
 }
 
 bool MediaStreamSession::degrade() {

@@ -91,8 +91,7 @@ bool Simulator::prune_to_live_top() {
   return false;
 }
 
-bool Simulator::step() {
-  if (!prune_to_live_top()) return false;
+bool Simulator::fire_top() {
   const HeapEntry top = heap_.front();
   heap_pop();
   const std::uint32_t index = static_cast<std::uint32_t>(top.key) & kSlotMask;
@@ -109,9 +108,21 @@ bool Simulator::step() {
   return true;
 }
 
+bool Simulator::step() {
+  if (!prune_to_live_top()) return false;
+  // A caller-driven step() must look like exactly one event: batched
+  // components may only process work up to this event's own timestamp.
+  horizon_ = heap_.front().when;
+  return fire_top();
+}
+
+Time Simulator::next_event_time() {
+  return prune_to_live_top() ? heap_.front().when : Time::max();
+}
+
 void Simulator::run() {
-  while (step()) {
-  }
+  horizon_ = Time::max();
+  while (prune_to_live_top()) fire_top();
 }
 
 void Simulator::flush_telemetry() {
@@ -125,7 +136,11 @@ void Simulator::flush_telemetry() {
 }
 
 void Simulator::run_until(Time deadline) {
-  while (prune_to_live_top() && heap_.front().when <= deadline) step();
+  // The horizon caps batched run-ahead: a component must not deliver work
+  // past the deadline (user code between run_until calls would observe
+  // different state than under per-item events).
+  horizon_ = deadline;
+  while (prune_to_live_top() && heap_.front().when <= deadline) fire_top();
   if (now_ < deadline) now_ = deadline;
 }
 

@@ -59,6 +59,23 @@ class Simulator {
   /// Run events with timestamp <= deadline, then set the clock to deadline.
   void run_until(Time deadline);
 
+  /// Timestamp of the earliest pending event (Time::max() when the queue is
+  /// empty). Prunes stale heap tops, so the answer reflects live events only.
+  [[nodiscard]] Time next_event_time();
+  /// Latest time the current run is allowed to reach: the run_until deadline,
+  /// Time::max() under run(), or the firing event's own timestamp under a
+  /// caller-driven step() loop. Batched components consult this plus
+  /// next_event_time() before processing work ahead of the clock.
+  [[nodiscard]] Time run_horizon() const { return horizon_; }
+  /// Advance the clock without executing an event. For components that
+  /// process several timestamped items inside one event (e.g. a link
+  /// delivering a packet train): each item must be handled at its exact
+  /// logical time. The caller guarantees t <= next_event_time() and
+  /// t <= run_horizon(); times before now() are ignored (clock is monotone).
+  void advance_now(Time t) {
+    if (t > now_) now_ = t;
+  }
+
   [[nodiscard]] std::size_t executed() const { return executed_; }
   [[nodiscard]] std::size_t queued() const { return live_count_; }
 
@@ -139,6 +156,9 @@ class Simulator {
 
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t slot);
+  /// Pop and fire the (live) heap top. Shared body of step()/run()/
+  /// run_until(), which differ only in how they set horizon_.
+  bool fire_top();
   /// Pop stale heap tops (cancelled or superseded slots); true if a live
   /// event remains on top.
   bool prune_to_live_top();
@@ -146,6 +166,7 @@ class Simulator {
   void heap_pop();
 
   Time now_ = Time::zero();
+  Time horizon_ = Time::max();
   std::uint64_t next_seq_ = 1;
   std::size_t executed_ = 0;
   std::size_t live_count_ = 0;

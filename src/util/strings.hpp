@@ -1,10 +1,27 @@
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace hyms::util {
+
+/// Transparent hasher for string-keyed unordered_maps: lets find() take a
+/// string_view (or char*) without materializing a temporary std::string.
+/// Pair with std::equal_to<> as the key-equality functor.
+struct StringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  [[nodiscard]] std::size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  [[nodiscard]] std::size_t operator()(const char* s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 [[nodiscard]] std::string to_lower(std::string_view s);
 [[nodiscard]] std::string to_upper(std::string_view s);

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Fail CI when the packet-forwarding benchmark family regresses.
+
+Reads two google-benchmark JSON files produced by `bench_micro --json` and
+compares items_per_second for every benchmark whose name starts with
+BM_PacketForwarding (the steady-state batched path, the unbatched reference
+path, the train path, and the telemetry-on variant) that is present in both
+files.
+
+Guards, mirroring check_telemetry_overhead.py:
+- Debug/assert builds (context.assertions == "enabled") in either file are
+  not comparable to Release numbers -- skip with exit 0.
+- Cross-host comparisons (context.host_name differs) are noise -- warn and
+  exit 0 instead of failing.
+
+Exit code 0 = within budget (or nothing comparable), 1 = regression.
+
+Usage:
+  tools/check_bench_regression.py BENCH_micro.json --baseline OLD.json
+      [--budget 10.0]
+"""
+
+import argparse
+import json
+import sys
+
+FAMILY_PREFIX = "BM_PacketForwarding"
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def family_items_per_second(doc):
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        if name.startswith(FAMILY_PREFIX) and "items_per_second" in bench:
+            out[name] = float(bench["items_per_second"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("fresh", help="BENCH_micro.json from this run")
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_micro.json to compare against")
+    parser.add_argument("--budget", type=float, default=10.0,
+                        help="max %% slowdown per benchmark before failing")
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+
+    for label, doc in (("fresh", fresh), ("baseline", base)):
+        if doc.get("context", {}).get("assertions") == "enabled":
+            print(f"check_bench_regression: {label} run is a debug/assert "
+                  "build; numbers are not comparable -- skipping",
+                  file=sys.stderr)
+            return 0
+
+    fresh_host = fresh.get("context", {}).get("host_name")
+    base_host = base.get("context", {}).get("host_name")
+    fresh_items = family_items_per_second(fresh)
+    base_items = family_items_per_second(base)
+    common = sorted(set(fresh_items) & set(base_items))
+    if not common:
+        print(f"check_bench_regression: no common {FAMILY_PREFIX}* "
+              "benchmarks between the two files -- nothing to compare")
+        return 0
+
+    if base_host != fresh_host:
+        print(f"check_bench_regression: baseline host {base_host!r} != "
+              f"{fresh_host!r}; cross-host numbers are noise -- warn only")
+        for name in common:
+            print(f"  {name}: baseline {base_items[name]:,.0f} items/s, "
+                  f"fresh {fresh_items[name]:,.0f}")
+        return 0
+
+    failed = False
+    for name in common:
+        cur = fresh_items[name]
+        ref = base_items[name]
+        slowdown = (ref / cur - 1.0) * 100.0 if cur > 0 else float("inf")
+        print(f"{name}: {cur:,.0f} items/s "
+              f"(baseline {ref:,.0f}, {slowdown:+.1f}%)")
+        if slowdown > args.budget:
+            print(f"FAIL: {name} regressed {slowdown:.1f}% > "
+                  f"budget {args.budget:.1f}%", file=sys.stderr)
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
