@@ -1,0 +1,192 @@
+// E-robustness: outage-tolerant playout under randomized fault plans. Runs N
+// seeded chaos sessions (one Simulator each): a client streams an 8s lecture
+// while make_random_plan() throws link flaps, bandwidth collapses, burst
+// loss, partitions and server crashes at the deployment. Reports the terminal
+// outcome distribution (completed / degraded / aborted), recovery activity,
+// and chaos throughput in sessions/sec — the cost of running with the fault
+// injector armed.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "client/browser_session.hpp"
+#include "harness.hpp"
+#include "hermes/deployment.hpp"
+#include "hermes/sample_content.hpp"
+#include "net/fault.hpp"
+#include "telemetry/telemetry.hpp"
+
+using namespace hyms;
+
+namespace {
+
+struct Totals {
+  int completed = 0;
+  int degraded = 0;
+  int aborted = 0;
+  int pending = 0;
+  long long recoveries = 0;
+  long long degradations = 0;
+  long long faults = 0;
+  long long crashes = 0;
+};
+
+client::BrowserSession::Config session_config() {
+  client::BrowserSession::Config c;
+  c.tcp.max_syn_retries = 4;
+  c.tcp.max_rto = Time::sec(4);
+  c.tcp.max_retransmits = 8;
+  c.presentation.tcp = c.tcp;
+  c.recovery.enabled = true;
+  c.recovery.request_timeout = Time::sec(2);
+  c.recovery.liveness_timeout = Time::sec(2);
+  c.recovery.liveness_poll = Time::msec(500);
+  c.recovery.backoff_initial = Time::msec(300);
+  c.recovery.backoff_cap = Time::sec(2);
+  c.recovery.max_attempts = 10;
+  return c;
+}
+
+void run_one(std::uint64_t seed, Totals& totals,
+             const char* trace_file = nullptr) {
+  sim::Simulator sim(seed);
+  telemetry::Hub hub;
+  if (trace_file != nullptr) {
+    hub.set_tracing(true);
+    sim.set_telemetry(&hub);  // before the deployment interns its tracks
+  }
+  hermes::Deployment::Config dc;
+  dc.server_template.dead_peer_timeout = Time::sec(6);
+  dc.server_template.tcp.max_syn_retries = 4;
+  dc.server_template.tcp.max_rto = Time::sec(4);
+  dc.server_template.tcp.max_retransmits = 8;
+  hermes::Deployment deployment(sim, dc);
+  deployment.server(0).documents().add("lesson", bench::lecture_markup(8));
+
+  client::BrowserSession session(
+      deployment.network(), deployment.client_node(0),
+      deployment.server(0).control_endpoint(), session_config());
+  session.set_subscription_form(hermes::student_form("chaos", "standard"));
+  session.connect("chaos", "secret-chaos");
+  session.queue_document("lesson");
+
+  net::FaultInjector injector(deployment.network());
+  auto& server = deployment.server(0);
+  injector.register_server(
+      "hermes-1", [&server] { server.crash(); },
+      [&server] { server.restart(); });
+
+  net::ChaosProfile profile;
+  profile.horizon = Time::sec(15);
+  profile.start = Time::sec(2);
+  profile.max_faults = 3;
+  profile.max_outage = Time::sec(4);
+  injector.arm(net::make_random_plan(
+      seed, profile,
+      {{deployment.router(), deployment.client_node(0)},
+       {deployment.router(), deployment.server_node(0)}},
+      {deployment.client_node(0)}, 1));
+
+  const Time horizon = Time::sec(180);
+  while (sim.now() < horizon &&
+         session.outcome() == client::SessionOutcome::kPending) {
+    sim.run_until(sim.now() + Time::sec(1));
+  }
+
+  switch (session.outcome()) {
+    case client::SessionOutcome::kCompleted: ++totals.completed; break;
+    case client::SessionOutcome::kDegraded: ++totals.degraded; break;
+    case client::SessionOutcome::kAborted: ++totals.aborted; break;
+    case client::SessionOutcome::kPending: ++totals.pending; break;
+  }
+  totals.recoveries += session.recovery_count();
+  totals.degradations += session.floor_degradations();
+  totals.faults += injector.stats().injected;
+  totals.crashes += server.stats().crashes;
+
+  if (trace_file != nullptr) {
+    sim.flush_telemetry();
+    deployment.network().flush_telemetry();
+    injector.flush_telemetry();
+    if (session.presentation() != nullptr) {
+      session.presentation()->flush_telemetry();
+    }
+    hub.write_trace_json(trace_file);
+    std::printf("  wrote %s (seed %llu: outcome=%s recoveries=%d)\n",
+                trace_file, static_cast<unsigned long long>(seed),
+                to_string(session.outcome()).c_str(),
+                session.recovery_count());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int sessions = 200;
+  std::uint64_t base_seed = 10'000;
+  bool json = false;
+  const char* trace_file = nullptr;  // Perfetto trace of the FIRST session
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      sessions = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      base_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: %s [--sessions N] [--seed S] [--trace FILE] [--json]\n",
+          argv[0]);
+      return 2;
+    }
+  }
+
+  Totals totals;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < sessions; ++i) {
+    run_one(base_seed + static_cast<std::uint64_t>(i), totals,
+            i == 0 ? trace_file : nullptr);
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double rate = wall_s > 0 ? sessions / wall_s : 0.0;
+
+  std::printf("bench_chaos: %d sessions in %.2fs (%.1f sessions/s)\n",
+              sessions, wall_s, rate);
+  std::printf("  outcomes: completed=%d degraded=%d aborted=%d pending=%d\n",
+              totals.completed, totals.degraded, totals.aborted,
+              totals.pending);
+  std::printf("  recoveries=%lld floor_degradations=%lld faults=%lld "
+              "crashes=%lld\n",
+              totals.recoveries, totals.degradations, totals.faults,
+              totals.crashes);
+  if (totals.pending > 0) {
+    std::printf("  INVARIANT VIOLATION: %d sessions never reached a terminal "
+                "outcome\n", totals.pending);
+  }
+
+  if (json) {
+    FILE* f = std::fopen("BENCH_chaos.json", "w");
+    if (f != nullptr) {
+      std::fprintf(
+          f,
+          "{\"sessions\": %d, \"wall_s\": %.3f, \"sessions_per_sec\": %.2f,\n"
+          " \"completed\": %d, \"degraded\": %d, \"aborted\": %d,"
+          " \"pending\": %d,\n"
+          " \"recoveries\": %lld, \"floor_degradations\": %lld,"
+          " \"faults\": %lld, \"crashes\": %lld}\n",
+          sessions, wall_s, rate, totals.completed, totals.degraded,
+          totals.aborted, totals.pending, totals.recoveries,
+          totals.degradations, totals.faults, totals.crashes);
+      std::fclose(f);
+      std::printf("  wrote BENCH_chaos.json\n");
+    }
+  }
+  return totals.pending > 0 ? 1 : 0;
+}

@@ -1,5 +1,7 @@
 #include "client/browser_session.hpp"
 
+#include <algorithm>
+
 #include "markup/parser.hpp"
 #include "util/log.hpp"
 
@@ -16,7 +18,18 @@ std::string to_string(ClientState state) {
     case ClientState::kViewing: return "viewing";
     case ClientState::kPaused: return "paused";
     case ClientState::kSuspended: return "suspended";
+    case ClientState::kRecovering: return "recovering";
     case ClientState::kClosed: return "closed";
+  }
+  return "?";
+}
+
+std::string to_string(SessionOutcome outcome) {
+  switch (outcome) {
+    case SessionOutcome::kPending: return "pending";
+    case SessionOutcome::kCompleted: return "completed";
+    case SessionOutcome::kDegraded: return "degraded";
+    case SessionOutcome::kAborted: return "aborted";
   }
   return "?";
 }
@@ -24,9 +37,14 @@ std::string to_string(ClientState state) {
 BrowserSession::BrowserSession(net::Network& net, net::NodeId node,
                                net::Endpoint server, Config config)
     : net_(net), sim_(net.sim()), node_(node), server_(server),
-      config_(std::move(config)) {}
+      config_(std::move(config)),
+      jitter_rng_(net.sim().rng().fork(0xBAC0FFull ^ node)) {}
 
-BrowserSession::~BrowserSession() = default;
+BrowserSession::~BrowserSession() {
+  sim_.cancel(request_timer_);
+  sim_.cancel(liveness_timer_);
+  sim_.cancel(reconnect_timer_);
+}
 
 void BrowserSession::log_event(const std::string& what) {
   events_.push_back(sim_.now().str() + " " + what);
@@ -39,6 +57,24 @@ void BrowserSession::transition(ClientState next) {
 
 void BrowserSession::enter_browsing() {
   transition(ClientState::kBrowsing);
+  if (recovering_) {
+    // If the outage hit before the first DocumentReply, current_document_ is
+    // still empty but pending_document_ carries the interrupted request.
+    const std::string doc =
+        !current_document_.empty() ? current_document_ : pending_document_;
+    if (!doc.empty()) {
+      // Re-run admission for the interrupted document and resume playout.
+      log_event("recovery: re-requesting " + doc + " at " +
+                resume_position_.str());
+      request_document(doc);
+      return;
+    }
+    // Nothing was playing; the re-established session IS the recovery.
+    recovering_ = false;
+    recovery_attempts_ = 0;
+    ++recoveries_;
+    log_event("recovery: session re-established");
+  }
   if (on_browsing_) on_browsing_();
   if (!queued_document_.empty() && state_ == ClientState::kBrowsing) {
     const std::string doc = std::move(queued_document_);
@@ -47,15 +83,16 @@ void BrowserSession::enter_browsing() {
   }
 }
 
-void BrowserSession::fail(const std::string& what) {
-  last_error_ = what;
-  log_event("error: " + what);
-  if (on_error_) on_error_(what);
+void BrowserSession::fail(util::Error error) {
+  last_error_ = error.message;
+  log_event("error: " + error.message);
+  last_status_ = util::Status(std::move(error));
+  if (on_error_) on_error_(last_error_);
 }
 
 void BrowserSession::send(const proto::Message& msg) {
   if (!channel_) {
-    fail("send with no connection");
+    fail(util::Error{util::Error::Code::kNetwork, "send with no connection"});
     return;
   }
   channel_->send_message(proto::encode(msg));
@@ -64,24 +101,175 @@ void BrowserSession::send(const proto::Message& msg) {
 void BrowserSession::connect(const std::string& user,
                              const std::string& credential) {
   if (state_ != ClientState::kDisconnected && state_ != ClientState::kClosed) {
-    fail("connect in state " + to_string(state_));
+    fail(util::Error{util::Error::Code::kInvalidArgument,
+                     "connect in state " + to_string(state_)});
     return;
   }
   user_ = user;
   credential_ = credential;
+  user_closing_ = false;
+  open_connection();
+}
+
+void BrowserSession::open_connection() {
   conn_ = net::StreamConnection::connect(net_, node_, server_, config_.tcp);
   channel_ = std::make_unique<net::MessageChannel>(*conn_);
   channel_->set_on_message(
       [this](std::vector<std::uint8_t> frame) { on_frame(std::move(frame)); });
   conn_->set_on_close([this] {
-    if (state_ != ClientState::kClosed) {
-      transition(ClientState::kClosed);
-      presentation_.reset();
-      if (on_closed_) on_closed_();
+    if (state_ == ClientState::kClosed) return;
+    if (recovering_) return;  // we tore it down ourselves
+    if (config_.recovery.enabled && !user_closing_ &&
+        outcome_ == SessionOutcome::kPending &&
+        state_ != ClientState::kSuspended) {
+      // An unsolicited transport death (server crash, outage longer than the
+      // retransmit budget) is an outage, not the end of the session.
+      begin_recovery(std::string("transport closed: ") +
+                     net::to_string(conn_->close_reason()));
+      return;
     }
+    transition(ClientState::kClosed);
+    presentation_.reset();
+    if (on_closed_) on_closed_();
   });
   transition(ClientState::kConnecting);
-  send(proto::ConnectRequest{user, credential});
+  send(proto::ConnectRequest{user_, credential_});
+  arm_request_timer();
+}
+
+// --- outage tolerance ----------------------------------------------------------
+
+void BrowserSession::arm_request_timer() {
+  if (!config_.recovery.enabled) return;
+  sim_.cancel(request_timer_);
+  request_timer_ =
+      sim_.schedule_after(config_.recovery.request_timeout, [this] {
+        request_timer_ = sim::kNoEvent;
+        begin_recovery("control request timed out after " +
+                       config_.recovery.request_timeout.str());
+      });
+}
+
+void BrowserSession::disarm_request_timer() {
+  sim_.cancel(request_timer_);
+  request_timer_ = sim::kNoEvent;
+}
+
+void BrowserSession::cancel_recovery_timers() {
+  disarm_request_timer();
+  sim_.cancel(liveness_timer_);
+  liveness_timer_ = sim::kNoEvent;
+  sim_.cancel(reconnect_timer_);
+  reconnect_timer_ = sim::kNoEvent;
+}
+
+void BrowserSession::arm_liveness_monitor() {
+  if (!config_.recovery.enabled) return;
+  sim_.cancel(liveness_timer_);
+  liveness_timer_ =
+      sim_.schedule_after(config_.recovery.liveness_poll, [this] {
+        liveness_timer_ = sim::kNoEvent;
+        check_liveness();
+      });
+}
+
+void BrowserSession::check_liveness() {
+  if (!presentation_ ||
+      (state_ != ClientState::kViewing && state_ != ClientState::kPaused)) {
+    return;  // the monitor ends with the presentation
+  }
+  if (presentation_->scheduler().finished()) return;
+  const auto& st = presentation_->stats();
+  const std::int64_t marker = st.frames_received + st.objects_fetched;
+  // A paused presentation legitimately receives nothing.
+  if (marker != progress_marker_ || state_ == ClientState::kPaused) {
+    progress_marker_ = marker;
+    progress_stamp_ = sim_.now();
+  }
+  if (presentation_->objects_stalled()) {
+    begin_recovery("object fetch transport died mid-payload");
+    return;
+  }
+  if (sim_.now() - progress_stamp_ >= config_.recovery.liveness_timeout) {
+    begin_recovery("media starvation: no data for " +
+                   (sim_.now() - progress_stamp_).str());
+    return;
+  }
+  arm_liveness_monitor();
+}
+
+Time BrowserSession::backoff_delay() {
+  const auto& rc = config_.recovery;
+  const int exponent = std::min(recovery_attempts_, 16);
+  double us = static_cast<double>(rc.backoff_initial.us());
+  for (int i = 0; i < exponent; ++i) us *= 2.0;
+  us = std::min(us, static_cast<double>(rc.backoff_cap.us()));
+  // Jitter decorrelates reconnect storms across clients hit by one outage.
+  us *= 1.0 + rc.backoff_jitter * (2.0 * jitter_rng_.uniform() - 1.0);
+  return std::max(Time::msec(1), Time::usec(static_cast<std::int64_t>(us)));
+}
+
+void BrowserSession::begin_recovery(const std::string& why) {
+  if (!config_.recovery.enabled || state_ == ClientState::kClosed) return;
+  if (recovering_ && reconnect_timer_ != sim::kNoEvent) return;  // backing off
+  cancel_recovery_timers();
+  log_event("recovery: " + why);
+  recovering_ = true;
+  if (presentation_ != nullptr &&
+      (state_ == ClientState::kViewing || state_ == ClientState::kPaused)) {
+    // Resume no earlier than where playout stopped; across repeated outages
+    // the position only moves forward.
+    const Time position = presentation_->playout_position();
+    if (position > resume_position_) resume_position_ = position;
+  }
+  presentation_.reset();
+  if (conn_) conn_->abort();  // re-entry into on_close is guarded by recovering_
+  channel_.reset();
+  conn_.reset();
+  schedule_reconnect(why);
+}
+
+void BrowserSession::schedule_reconnect(const std::string& why) {
+  if (recovery_attempts_ >= config_.recovery.max_attempts) {
+    abort_recovery(why);
+    return;
+  }
+  ++recovery_attempts_;
+  const Time delay = backoff_delay();
+  if (state_ != ClientState::kRecovering) transition(ClientState::kRecovering);
+  log_event("recovery: attempt " + std::to_string(recovery_attempts_) + "/" +
+            std::to_string(config_.recovery.max_attempts) + " in " +
+            delay.str());
+  reconnect_timer_ = sim_.schedule_after(delay, [this] {
+    reconnect_timer_ = sim::kNoEvent;
+    reconnect();
+  });
+}
+
+void BrowserSession::reconnect() {
+  if (state_ == ClientState::kClosed) return;
+  open_connection();
+}
+
+void BrowserSession::abort_recovery(const std::string& why) {
+  recovering_ = false;
+  cancel_recovery_timers();
+  outcome_ = SessionOutcome::kAborted;
+  presentation_.reset();
+  transition(ClientState::kClosed);  // before abort(): on_close sees kClosed
+  if (conn_) conn_->abort();
+  channel_.reset();
+  conn_.reset();
+  fail(util::Error{util::Error::Code::kNetwork,
+                   "session aborted: recovery budget exhausted (" + why + ")"});
+  if (on_closed_) on_closed_();
+}
+
+void BrowserSession::finish_presentation() {
+  log_event("presentation finished");
+  outcome_ = floor_degradations_ > 0 ? SessionOutcome::kDegraded
+                                     : SessionOutcome::kCompleted;
+  if (on_presentation_finished_) on_presentation_finished_();
 }
 
 void BrowserSession::request_topics() { send(proto::TopicListRequest{}); }
@@ -98,18 +286,29 @@ void BrowserSession::queue_document(const std::string& name) {
 void BrowserSession::request_document(const std::string& name) {
   if (state_ != ClientState::kBrowsing && state_ != ClientState::kViewing &&
       state_ != ClientState::kPaused) {
-    fail("request_document in state " + to_string(state_));
+    fail(util::Error{util::Error::Code::kInvalidArgument,
+                     "request_document in state " + to_string(state_)});
     return;
   }
   presentation_.reset();  // navigating away tears the old playout down
   pending_document_ = name;
+  if (!recovering_) outcome_ = SessionOutcome::kPending;  // a fresh fate
   transition(ClientState::kRequestingDocument);
-  send(proto::DocumentRequest{name});
+  proto::DocumentRequest request{name};
+  if (recovering_ && floor_degradations_ > 0) {
+    // Re-admission already refused us at the granted floors: concede quality
+    // notches (the server only ever degrades — max(subscribed, override)).
+    request.video_floor_override = static_cast<std::int8_t>(floor_degradations_);
+    request.audio_floor_override = static_cast<std::int8_t>(floor_degradations_);
+  }
+  send(request);
+  arm_request_timer();
 }
 
 void BrowserSession::pause() {
   if (state_ != ClientState::kViewing) {
-    fail("pause while not viewing");
+    fail(util::Error{util::Error::Code::kInvalidArgument,
+                     "pause while not viewing"});
     return;
   }
   send(proto::Pause{});
@@ -119,7 +318,8 @@ void BrowserSession::pause() {
 
 void BrowserSession::resume_presentation() {
   if (state_ != ClientState::kPaused) {
-    fail("resume while not paused");
+    fail(util::Error{util::Error::Code::kInvalidArgument,
+                     "resume while not paused"});
     return;
   }
   send(proto::Resume{});
@@ -144,19 +344,24 @@ void BrowserSession::suspend() {
     presentation_.reset();
     send(proto::Suspend{});
   } else {
-    fail("suspend in state " + to_string(state_));
+    fail(util::Error{util::Error::Code::kInvalidArgument,
+                     "suspend in state " + to_string(state_)});
   }
 }
 
 void BrowserSession::resume_session() {
   if (state_ != ClientState::kSuspended) {
-    fail("resume_session while not suspended");
+    fail(util::Error{util::Error::Code::kInvalidArgument,
+                     "resume_session while not suspended"});
     return;
   }
   send(proto::ResumeSession{user_});
+  arm_request_timer();
 }
 
 void BrowserSession::disconnect() {
+  user_closing_ = true;
+  cancel_recovery_timers();
   if (!channel_) return;
   send(proto::Disconnect{});
   presentation_.reset();
@@ -178,7 +383,8 @@ void BrowserSession::fetch_mail(std::int64_t index) {
 
 void BrowserSession::annotate(const std::string& remark) {
   if (current_document_.empty()) {
-    fail("annotate with no document viewed");
+    fail(util::Error{util::Error::Code::kInvalidArgument,
+                     "annotate with no document viewed"});
     return;
   }
   send(proto::Annotate{current_document_, remark});
@@ -190,16 +396,18 @@ void BrowserSession::request_annotations(const std::string& document) {
 
 void BrowserSession::reload_document() {
   if (current_document_.empty()) {
-    fail("reload with no document viewed");
+    fail(util::Error{util::Error::Code::kInvalidArgument,
+                     "reload with no document viewed"});
     return;
   }
   request_document(current_document_);
 }
 
 void BrowserSession::on_frame(std::vector<std::uint8_t> frame) {
+  disarm_request_timer();  // any inbound frame proves the server alive
   auto decoded = proto::decode(frame);
   if (!decoded.ok()) {
-    fail("undecodable server message");
+    fail(util::Error{util::Error::Code::kParse, "undecodable server message"});
     return;
   }
   std::visit([this](const auto& m) { handle(m); }, decoded.value());
@@ -217,15 +425,18 @@ void BrowserSession::handle(const proto::ConnectReply& m) {
     if (subscription_form_) {
       log_event("submitting subscription form");
       send(*subscription_form_);
+      arm_request_timer();
     }
     return;
   }
-  fail("connect refused: " + m.reason);
+  fail(util::Error{util::Error::Code::kAuthentication,
+                   "connect refused: " + m.reason});
 }
 
 void BrowserSession::handle(const proto::SubscribeReply& m) {
   if (!m.ok) {
-    fail("subscription refused: " + m.reason);
+    fail(util::Error{util::Error::Code::kValidation,
+                     "subscription refused: " + m.reason});
     return;
   }
   enter_browsing();
@@ -244,28 +455,55 @@ void BrowserSession::handle(const proto::DocumentReply& m) {
   }
   if (!m.ok) {
     transition(ClientState::kBrowsing);
-    fail("document refused: " + m.reason);
+    if (recovering_ && m.retryable_admission) {
+      // The re-established session lost its old reservation's place in line.
+      // Concede a quality notch (bounded) and retry after backoff.
+      if (floor_degradations_ < config_.recovery.max_floor_degradations) {
+        ++floor_degradations_;
+        log_event("recovery: conceding quality floor notch " +
+                  std::to_string(floor_degradations_));
+      }
+      if (recovery_attempts_ >= config_.recovery.max_attempts) {
+        abort_recovery("re-admission kept refusing: " + m.reason);
+        return;
+      }
+      ++recovery_attempts_;
+      const Time delay = backoff_delay();
+      log_event("recovery: re-admission refused, retrying in " + delay.str());
+      reconnect_timer_ = sim_.schedule_after(delay, [this] {
+        reconnect_timer_ = sim::kNoEvent;
+        if (state_ == ClientState::kBrowsing && !current_document_.empty()) {
+          request_document(current_document_);
+        }
+      });
+      return;
+    }
+    fail(util::Error{m.retryable_admission
+                         ? util::Error::Code::kAdmissionRejected
+                         : util::Error::Code::kNotFound,
+                     "document refused: " + m.reason});
     return;
   }
   auto parsed = markup::parse(m.markup);
   if (!parsed.ok()) {
     transition(ClientState::kBrowsing);
-    fail("scenario parse failed: " + parsed.error().message);
+    fail(util::Error{util::Error::Code::kParse,
+                     "scenario parse failed: " + parsed.error().message});
     return;
   }
   auto scenario = core::extract_scenario(parsed.value());
   if (!scenario.ok()) {
     transition(ClientState::kBrowsing);
-    fail("scenario invalid: " + scenario.error().message);
+    fail(util::Error{util::Error::Code::kValidation,
+                     "scenario invalid: " + scenario.error().message});
     return;
   }
   current_document_ = pending_document_;
+  auto presentation_config = config_.presentation;
+  if (recovering_) presentation_config.start_offset = resume_position_;
   presentation_ = std::make_unique<PresentationRuntime>(
-      net_, node_, std::move(scenario.value()), config_.presentation);
-  presentation_->scheduler().set_on_finished([this] {
-    log_event("presentation finished");
-    if (on_presentation_finished_) on_presentation_finished_();
-  });
+      net_, node_, std::move(scenario.value()), presentation_config);
+  presentation_->scheduler().set_on_finished([this] { finish_presentation(); });
   presentation_->scheduler().set_on_timed_link(
       [this](const core::LinkSpec& link) {
         log_event("timed link fired -> " + link.target_document);
@@ -279,6 +517,7 @@ void BrowserSession::handle(const proto::DocumentReply& m) {
   if (config_.auto_setup) {
     transition(ClientState::kSettingUp);
     send(presentation_->prepare_setup(current_document_));
+    arm_request_timer();
   }
 }
 
@@ -290,11 +529,22 @@ void BrowserSession::handle(const proto::StreamSetupReply& m) {
   if (!m.ok) {
     presentation_.reset();
     transition(ClientState::kBrowsing);
-    fail("stream setup refused: " + m.reason);
+    fail(util::Error{util::Error::Code::kProtocol,
+                     "stream setup refused: " + m.reason});
     return;
   }
   presentation_->activate(m, server_.node);
   transition(ClientState::kViewing);
+  if (recovering_) {
+    recovering_ = false;
+    recovery_attempts_ = 0;  // a successful recovery refills the budget
+    ++recoveries_;
+    log_event("recovery: resumed " + current_document_ + " at " +
+              resume_position_.str());
+  }
+  progress_marker_ = -1;
+  progress_stamp_ = sim_.now();
+  arm_liveness_monitor();
   if (on_viewing_) on_viewing_();
 }
 
@@ -319,7 +569,8 @@ void BrowserSession::handle(const proto::ResumeSessionReply& m) {
   if (m.ok) {
     enter_browsing();
   } else {
-    fail("session resume refused: " + m.reason);
+    fail(util::Error{util::Error::Code::kAuthentication,
+                     "session resume refused: " + m.reason});
   }
 }
 

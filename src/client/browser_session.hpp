@@ -9,6 +9,8 @@
 #include "client/presentation.hpp"
 #include "net/tcp.hpp"
 #include "proto/messages.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
 
 namespace hyms::client {
 
@@ -23,10 +25,44 @@ enum class ClientState : std::uint8_t {
   kViewing,
   kPaused,
   kSuspended,       // this server is parked while we visit another
+  kRecovering,      // outage detected; backing off before reconnecting
   kClosed,
 };
 
 [[nodiscard]] std::string to_string(ClientState state);
+
+/// Typed terminal fate of a recovery-enabled session — the answer to "did
+/// the user get their presentation?", instead of a hung session.
+enum class SessionOutcome : std::uint8_t {
+  kPending = 0,  // still in flight (or never viewed a document)
+  kCompleted,    // presentation finished at the originally granted quality
+  kDegraded,     // finished, but re-admission forced lower quality floors
+  kAborted,      // recovery budget exhausted; the session gave up
+};
+
+[[nodiscard]] std::string to_string(SessionOutcome outcome);
+
+/// Outage tolerance knobs (off by default: a session without recovery
+/// behaves exactly as before — no timers, no reconnects).
+struct RecoveryConfig {
+  bool enabled = false;
+  /// Control-channel request timeout: a request expecting a reply that sees
+  /// no inbound frame for this long presumes the server gone.
+  Time request_timeout = Time::sec(5);
+  /// Data-starvation bound while viewing: no frame/object progress for this
+  /// long (with the presentation unfinished) presumes the flows dead.
+  Time liveness_timeout = Time::sec(4);
+  Time liveness_poll = Time::sec(1);
+  /// Reconnect backoff: initial * 2^(attempt-1), capped, +-jitter fraction.
+  Time backoff_initial = Time::msec(400);
+  Time backoff_cap = Time::sec(5);
+  double backoff_jitter = 0.3;
+  /// Consecutive failed recoveries before the session aborts. A successful
+  /// re-establishment refills the budget.
+  int max_attempts = 8;
+  /// How many quality-floor notches re-admission may cost before giving up.
+  int max_floor_degradations = 3;
+};
 
 /// The browser's session with ONE multimedia server: drives the §5
 /// application protocol (connect/subscribe/browse/view/suspend/disconnect)
@@ -39,6 +75,7 @@ class BrowserSession {
     net::TcpParams tcp;
     /// Auto-send StreamSetup when a DocumentReply arrives.
     bool auto_setup = true;
+    RecoveryConfig recovery;
   };
 
   using Notify = std::function<void()>;
@@ -103,6 +140,18 @@ class BrowserSession {
     return current_document_;
   }
   [[nodiscard]] const std::string& last_error() const { return last_error_; }
+  /// Typed view of the last failure (util::Error with a category code);
+  /// ok() when no failure has occurred. The string last_error() remains the
+  /// human-readable rendering of the same event.
+  [[nodiscard]] const util::Status& last_status() const { return last_status_; }
+  /// Terminal fate of this session (meaningful once recovery is enabled or
+  /// a presentation has finished).
+  [[nodiscard]] SessionOutcome outcome() const { return outcome_; }
+  [[nodiscard]] bool recovering() const { return recovering_; }
+  [[nodiscard]] int recovery_count() const { return recoveries_; }
+  [[nodiscard]] int floor_degradations() const { return floor_degradations_; }
+  /// Scenario position the last recovery resumed playout from.
+  [[nodiscard]] Time resume_position() const { return resume_position_; }
   /// Chronological log of state transitions and notable protocol events —
   /// the observable Fig. 4 walk, asserted on by tests and E6.
   [[nodiscard]] const std::vector<std::string>& event_log() const {
@@ -131,8 +180,25 @@ class BrowserSession {
   void transition(ClientState next);
   void enter_browsing();
   void log_event(const std::string& what);
-  void fail(const std::string& what);
+  void fail(util::Error error);
+  void fail(const std::string& what) {
+    fail(util::Error{util::Error::Code::kProtocol, what});
+  }
   void on_frame(std::vector<std::uint8_t> frame);
+
+  // --- outage tolerance --------------------------------------------------------
+  void open_connection();
+  void arm_request_timer();
+  void disarm_request_timer();
+  void arm_liveness_monitor();
+  void check_liveness();
+  void begin_recovery(const std::string& why);
+  void schedule_reconnect(const std::string& why);
+  void reconnect();
+  void abort_recovery(const std::string& why);
+  void finish_presentation();
+  [[nodiscard]] Time backoff_delay();
+  void cancel_recovery_timers();
 
   void handle(const proto::ConnectReply& m);
   void handle(const proto::SubscribeReply& m);
@@ -176,7 +242,23 @@ class BrowserSession {
   std::string queued_document_;  // deferred until kBrowsing
   std::unique_ptr<PresentationRuntime> presentation_;
   std::string last_error_;
+  util::Status last_status_;
   std::vector<std::string> events_;
+
+  // Outage-tolerance state (inert while !config_.recovery.enabled).
+  util::Rng jitter_rng_;        // forked from the sim rng: deterministic
+  bool recovering_ = false;     // between outage detection and re-viewing
+  bool user_closing_ = false;   // disconnect() was asked for; don't recover
+  int recovery_attempts_ = 0;   // consecutive failures this outage
+  int recoveries_ = 0;          // successful re-establishments, lifetime
+  int floor_degradations_ = 0;  // quality notches conceded to re-admission
+  Time resume_position_;        // scenario position to resume playout from
+  SessionOutcome outcome_ = SessionOutcome::kPending;
+  std::int64_t progress_marker_ = -1;  // liveness: last observed progress
+  Time progress_stamp_;                // when the marker last advanced
+  sim::EventId request_timer_ = sim::kNoEvent;
+  sim::EventId liveness_timer_ = sim::kNoEvent;
+  sim::EventId reconnect_timer_ = sim::kNoEvent;
 
   Notify on_browsing_;
   Notify on_viewing_;

@@ -17,6 +17,7 @@ PresentationRuntime::PresentationRuntime(net::Network& net, net::NodeId node,
   playout.rebuffer = config_.rebuffer;
   playout.drop_on_overflow = config_.drop_on_overflow;
   playout.record_events = config_.record_events;
+  playout.start_offset = config_.start_offset;
   scheduler_ =
       std::make_unique<core::PlayoutScheduler>(sim_, scenario_, playout);
 }
@@ -28,6 +29,7 @@ proto::StreamSetup PresentationRuntime::prepare_setup(
   proto::StreamSetup setup;
   setup.document = document_name;
   setup.time_window_us = config_.time_window.us();
+  setup.resume_offset_us = config_.start_offset.us();
 
   for (const auto& spec : scenario_.streams) {
     auto rt = std::make_unique<StreamRuntime>();
@@ -211,6 +213,28 @@ bool PresentationRuntime::objects_complete() const {
     }
   }
   return true;
+}
+
+bool PresentationRuntime::objects_stalled() const {
+  for (const auto& rt : streams_) {
+    if (rt != nullptr && rt->object_conn != nullptr && !rt->object_done &&
+        rt->object_conn->closed()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Time PresentationRuntime::playout_position() const {
+  Time least = Time::zero();
+  bool any = false;
+  for (const auto& rt : streams_) {
+    if (rt == nullptr || rt->frame_interval <= Time::zero()) continue;
+    const Time pos = scheduler_->content_position(rt->spec.id);
+    if (!any || pos < least) least = pos;
+    any = true;
+  }
+  return least;
 }
 
 }  // namespace hyms::client

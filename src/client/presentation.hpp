@@ -36,6 +36,10 @@ class PresentationRuntime {
     bool record_events = false;
     Time rtcp_rr_interval = Time::sec(1);
     net::TcpParams tcp;
+    /// Scenario position to resume from (session recovery). Rides the
+    /// StreamSetup as resume_offset_us so the server paces flows from here,
+    /// and seeds the playout scheduler's clock to match.
+    Time start_offset = Time::zero();
   };
 
   PresentationRuntime(net::Network& net, net::NodeId node,
@@ -81,6 +85,16 @@ class PresentationRuntime {
   }
   [[nodiscard]] ClientQosManager& qos_manager() { return qos_; }
   [[nodiscard]] bool objects_complete() const;
+  /// An object fetch whose transport died before the payload completed: the
+  /// one-shot poll would otherwise wait forever. Liveness detection treats
+  /// this as a dead presentation (the stream cannot finish without help).
+  [[nodiscard]] bool objects_stalled() const;
+  /// Scenario position to resume from after an outage: the least content
+  /// position among continuous streams (resuming at the laggard replays a
+  /// sliver on the leaders rather than losing content on the laggard).
+  /// Positions are absolute scenario time, so they compose across repeated
+  /// recoveries of resumed presentations.
+  [[nodiscard]] Time playout_position() const;
 
   struct Stats {
     std::int64_t frames_received = 0;

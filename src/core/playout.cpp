@@ -95,14 +95,38 @@ void PlayoutScheduler::start() {
   if (started_) return;
   started_ = true;
   running_ = true;
-  epoch_ = sim_.now() + config_.initial_delay;
+  // Resuming at start_offset places the scenario clock's zero in the past:
+  // slot k of a stream still ticks at epoch_ + start + k*interval, and the
+  // first unplayed slot (k covering the offset) lands at now + initial_delay
+  // or later — the same prefill window a fresh start gets.
+  epoch_ = sim_.now() + config_.initial_delay - config_.start_offset;
   for (auto& process : processes_) start_process(*process);
   schedule_timed_links();
+  check_all_finished();  // every stream may predate the resume offset
 }
 
 void PlayoutScheduler::start_process(Process& p) {
   p.active = true;
-  const Time first_tick = epoch_ + p.spec.start;
+  if (config_.start_offset > Time::zero() && p.mode != ConsumeMode::kOneShot &&
+      p.interval > Time::zero()) {
+    const Time already_played = config_.start_offset - p.spec.start;
+    if (already_played > Time::zero()) {
+      p.next_index = (already_played.us() + p.interval.us() - 1) /
+                     p.interval.us();
+    }
+    if (p.next_index >= p.frame_count) {
+      // The whole stream played before the outage; born finished.
+      p.done = true;
+      p.active = false;
+      return;
+    }
+  }
+  Time first_tick = epoch_ + p.spec.start + p.interval * p.next_index;
+  if (first_tick < sim_.now()) {
+    // One-shot objects scheduled before the resume offset replay (the image
+    // stays visible); play as soon as the refetched payload can be here.
+    first_tick = sim_.now() + config_.initial_delay;
+  }
   p.tick_event = sim_.schedule_at(first_tick, [this, proc = &p] {
     proc->tick_event = sim::kNoEvent;
     tick(*proc);
@@ -112,6 +136,7 @@ void PlayoutScheduler::start_process(Process& p) {
 void PlayoutScheduler::schedule_timed_links() {
   for (const auto& link : scenario_.links) {
     if (!link.at) continue;
+    if (epoch_ + *link.at <= sim_.now()) continue;  // fired before the outage
     link_events_.push_back(
         sim_.schedule_at(epoch_ + *link.at, [this, link] {
           // Paused presentations hold their links; a *finished* one still

@@ -44,6 +44,12 @@ struct PlayoutConfig {
   /// The deliberate presentation start delay that prefills each media buffer
   /// to its media time window (§4).
   Time initial_delay = Time::msec(500);
+  /// Scenario position to resume from (session recovery): the scenario clock
+  /// starts here instead of zero. Continuous streams skip the slots already
+  /// played before the outage (a stream wholly before the offset is born
+  /// finished); one-shot objects replay (they stay visible); timed links
+  /// earlier than the offset are considered fired.
+  Time start_offset = Time::zero();
   SyncPolicy sync;
   RebufferPolicy rebuffer;
   /// Drain buffers above their high watermark by dropping oldest frames.

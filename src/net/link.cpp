@@ -17,6 +17,7 @@ Link::Link(sim::Simulator& sim, std::string name, LinkParams params,
     n_queue_bytes_ = tr.name("queue_bytes");
     n_drop_queue_ = tr.name("drop/queue");
     n_drop_loss_ = tr.name("drop/loss");
+    n_drop_down_ = tr.name("drop/down");
     n_train_ = tr.name("train");
   }
 }
@@ -29,7 +30,38 @@ Time Link::serialization_time(std::size_t bytes) const {
   return Time::seconds(seconds);
 }
 
+void Link::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  LOG_DEBUG << "link " << name_ << (up ? " up" : " down");
+}
+
+void Link::push_override(LinkParams params) {
+  override_stack_.push_back(params_);
+  set_params(std::move(params));
+}
+
+void Link::pop_override() {
+  if (override_stack_.empty()) return;
+  set_params(std::move(override_stack_.back()));
+  override_stack_.pop_back();
+}
+
+void Link::drop_down(Packet&& pkt) {
+  ++stats_.offered;
+  ++stats_.dropped_down;
+  LOG_TRACE << "link " << name_ << " down, dropping pkt " << pkt.id;
+  if (auto* hub = sim_.telemetry()) {
+    hub->tracer().instant(trace_track_, n_drop_down_, sim_.now());
+  }
+  if (pool_ != nullptr) pool_->release(std::move(pkt.payload));
+}
+
 void Link::transmit(Packet&& pkt) {
+  if (!up_) {
+    drop_down(std::move(pkt));
+    return;
+  }
   if (!params_.batching) {
     transmit_unbatched(std::move(pkt));
     return;
@@ -38,6 +70,11 @@ void Link::transmit(Packet&& pkt) {
 }
 
 void Link::send_train(std::vector<Packet>& train) {
+  if (!up_) {
+    for (auto& pkt : train) drop_down(std::move(pkt));
+    train.clear();
+    return;
+  }
   if (!params_.batching) {
     for (auto& pkt : train) transmit_unbatched(std::move(pkt));
     train.clear();
@@ -292,6 +329,8 @@ void Link::flush_telemetry() {
         static_cast<double>(stats_.dropped_queue));
   m.set(m.gauge(prefix + "dropped_loss"),
         static_cast<double>(stats_.dropped_loss));
+  m.set(m.gauge(prefix + "dropped_down"),
+        static_cast<double>(stats_.dropped_down));
   m.set(m.gauge(prefix + "bytes_delivered"),
         static_cast<double>(stats_.bytes_delivered));
   const double elapsed_s = sim_.now().to_seconds();

@@ -76,11 +76,32 @@ class Link {
   /// busy-until horizon is not recomputed).
   void set_params(LinkParams params) { params_ = std::move(params); }
 
+  /// Administrative up/down state (fault injection). While down the link
+  /// drops every packet offered to it (counted in Stats::dropped_down);
+  /// packets already admitted to the arrival calendar — or queued for
+  /// serialization — were "on the wire" and still deliver, so the batched
+  /// train calendar needs no flushing and batched/unbatched paths stay
+  /// behaviourally identical under faults.
+  void set_up(bool up);
+  [[nodiscard]] bool up() const { return up_; }
+
+  /// Scoped parameter overrides for fault episodes (bandwidth collapse,
+  /// burst-loss). push_override() installs `params` and saves the current
+  /// ones; pop_override() restores the params saved by the matching push.
+  /// Strictly LIFO: overlapping, non-nested episodes on the same link must
+  /// be serialized by the caller (FaultPlan generators do).
+  void push_override(LinkParams params);
+  void pop_override();
+  [[nodiscard]] std::size_t override_depth() const {
+    return override_stack_.size();
+  }
+
   struct Stats {
     std::int64_t offered = 0;
     std::int64_t delivered = 0;
     std::int64_t dropped_queue = 0;
     std::int64_t dropped_loss = 0;
+    std::int64_t dropped_down = 0;  // offered while administratively down
     std::int64_t corrupted = 0;
     std::int64_t bytes_delivered = 0;
     util::Sampler queueing_delay_ms;  // time spent waiting for serialization
@@ -107,6 +128,8 @@ class Link {
   };
 
   [[nodiscard]] Time serialization_time(std::size_t bytes) const;
+  /// Count + discard one packet offered while the link is down.
+  void drop_down(Packet&& pkt);
   void transmit_unbatched(Packet&& pkt);
   /// Batched admission: queue/loss decisions + closed-form finish/arrival,
   /// then calendar insertion. No events scheduled beyond (re)arming the
@@ -131,6 +154,8 @@ class Link {
 
   Time busy_until_ = Time::zero();
   std::size_t queued_bytes_ = 0;
+  bool up_ = true;
+  std::vector<LinkParams> override_stack_;  // saved params, LIFO
   Stats stats_;
 
   // Batched-path state: arrival calendar (sorted by arrival, FIFO among
@@ -147,6 +172,7 @@ class Link {
   telemetry::NameId n_queue_bytes_ = telemetry::kInvalidTraceId;
   telemetry::NameId n_drop_queue_ = telemetry::kInvalidTraceId;
   telemetry::NameId n_drop_loss_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_drop_down_ = telemetry::kInvalidTraceId;
   telemetry::NameId n_train_ = telemetry::kInvalidTraceId;
 };
 

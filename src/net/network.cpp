@@ -245,4 +245,40 @@ Link* Network::find_link(NodeId from, NodeId to) {
   return nullptr;
 }
 
+void Network::partition(NodeId a, NodeId b) {
+  for (auto& link : nodes_.at(a)->out_links) {
+    if (link->to_node() == b) link->set_up(false);
+  }
+  for (auto& link : nodes_.at(b)->out_links) {
+    if (link->to_node() == a) link->set_up(false);
+  }
+}
+
+void Network::heal(NodeId a, NodeId b) {
+  for (auto& link : nodes_.at(a)->out_links) {
+    if (link->to_node() == b) link->set_up(true);
+  }
+  for (auto& link : nodes_.at(b)->out_links) {
+    if (link->to_node() == a) link->set_up(true);
+  }
+}
+
+void Network::isolate(NodeId node) {
+  for (auto& link : nodes_.at(node)->out_links) link->set_up(false);
+  for (auto& other : nodes_) {
+    for (auto& link : other->out_links) {
+      if (link->to_node() == node) link->set_up(false);
+    }
+  }
+}
+
+void Network::rejoin(NodeId node) {
+  for (auto& link : nodes_.at(node)->out_links) link->set_up(true);
+  for (auto& other : nodes_) {
+    for (auto& link : other->out_links) {
+      if (link->to_node() == node) link->set_up(true);
+    }
+  }
+}
+
 }  // namespace hyms::net

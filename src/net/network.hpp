@@ -87,6 +87,17 @@ class Network {
   /// the payloads; the caller's vector is cleared but keeps its capacity.
   void send_train(Endpoint src, Endpoint dst, std::vector<Payload>& payloads);
 
+  /// Fault injection: take every direct link between `a` and `b` down
+  /// (both directions). Routing tables are untouched — packets keep being
+  /// forwarded into the downed link and are dropped there, exactly like a
+  /// severed cable. heal() brings the links back up.
+  void partition(NodeId a, NodeId b);
+  void heal(NodeId a, NodeId b);
+  /// Take every link touching `node` (both directions) down / back up —
+  /// a whole-node partition.
+  void isolate(NodeId node);
+  void rejoin(NodeId node);
+
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   /// Buffer pool for datagram payloads. High-rate senders (RTP) acquire
   /// their wire buffers here; the network returns every payload it finishes

@@ -127,10 +127,22 @@ void StreamConnection::close() {
   if (state_ == State::kEstablished) try_send();
 }
 
-void StreamConnection::abort() { teardown(); }
+const char* to_string(CloseReason reason) {
+  switch (reason) {
+    case CloseReason::kNone: return "none";
+    case CloseReason::kGraceful: return "graceful";
+    case CloseReason::kConnectTimeout: return "connect_timeout";
+    case CloseReason::kRetransmitTimeout: return "retransmit_timeout";
+    case CloseReason::kAborted: return "aborted";
+  }
+  return "?";
+}
 
-void StreamConnection::teardown() {
+void StreamConnection::abort() { teardown(CloseReason::kAborted); }
+
+void StreamConnection::teardown(CloseReason reason) {
   if (state_ == State::kClosed) return;
+  close_reason_ = reason;
   state_ = State::kClosed;
   sim_.cancel(rto_event_);
   rto_event_ = sim::kNoEvent;
@@ -199,6 +211,7 @@ void StreamConnection::handle_ack(std::uint32_t ack) {
     const std::uint32_t newly = ack - snd_una_;
     snd_una_ = ack;
     dup_acks_ = 0;
+    consecutive_rtos_ = 0;  // forward progress: reset the retry budget
 
     // Release acked bytes from the send buffer (SYN/FIN occupy sequence
     // numbers outside the buffer).
@@ -386,7 +399,7 @@ void StreamConnection::on_rto() {
 
   if (state_ == State::kSynSent) {
     if (++syn_retries_ > params_.max_syn_retries) {
-      teardown();
+      teardown(CloseReason::kConnectTimeout);
       return;
     }
     emit_segment(iss_, kSyn, {}, /*is_retransmit=*/true);
@@ -398,9 +411,21 @@ void StreamConnection::on_rto() {
   if (unacked_bytes() == 0) return;  // spurious
 
   if (state_ == State::kSynReceived) {
+    if (++syn_retries_ > params_.max_syn_retries) {
+      teardown(CloseReason::kConnectTimeout);
+      return;
+    }
     emit_segment(iss_, kSyn | kAck, {}, /*is_retransmit=*/true);
     rto_ = std::min(rto_ * 2, params_.max_rto);
     arm_rto();
+    return;
+  }
+
+  // Retry budget: a path that stays dead across max_retransmits consecutive
+  // backed-off timeouts gets a typed failure instead of an eternal hang.
+  if (params_.max_retransmits > 0 &&
+      ++consecutive_rtos_ > params_.max_retransmits) {
+    teardown(CloseReason::kRetransmitTimeout);
     return;
   }
 

@@ -25,7 +25,24 @@ struct TcpParams {
   std::size_t initial_cwnd_segments = 2;
   std::size_t receive_window_bytes = 256 * 1024;
   int max_syn_retries = 6;
+  /// Consecutive data-path RTO expiries tolerated before the connection
+  /// gives up and closes with CloseReason::kRetransmitTimeout (the "R2"
+  /// retry budget). 0 = retry forever (pre-fault-injection behaviour).
+  /// Any ACK of new data resets the count.
+  int max_retransmits = 12;
 };
+
+/// Why a StreamConnection reached kClosed — lets callers distinguish an
+/// orderly FIN exchange from a path/peer failure without string matching.
+enum class CloseReason : std::uint8_t {
+  kNone,               // not closed yet
+  kGraceful,           // FIN handshake completed (either side initiated)
+  kConnectTimeout,     // active/passive open exhausted max_syn_retries
+  kRetransmitTimeout,  // data retransmission exhausted max_retransmits
+  kAborted,            // local abort()
+};
+
+[[nodiscard]] const char* to_string(CloseReason reason);
 
 /// Reliable, in-order byte stream over the emulated datagram service:
 /// cumulative ACKs, Jacobson/Karels RTO, slow start + AIMD congestion
@@ -63,6 +80,10 @@ class StreamConnection {
 
   [[nodiscard]] bool established() const { return state_ == State::kEstablished; }
   [[nodiscard]] bool closed() const { return state_ == State::kClosed; }
+  /// Typed cause of the close (kNone while the connection is alive).
+  [[nodiscard]] CloseReason close_reason() const { return close_reason_; }
+  /// Current (possibly backed-off) retransmission timeout.
+  [[nodiscard]] Time current_rto() const { return rto_; }
   [[nodiscard]] Endpoint local() const { return local_; }
   [[nodiscard]] Endpoint remote() const { return remote_; }
 
@@ -111,7 +132,7 @@ class StreamConnection {
   void on_rto();
   void update_rtt(Time sample);
   void enter_established();
-  void teardown();
+  void teardown(CloseReason reason = CloseReason::kGraceful);
 
   Network& net_;
   sim::Simulator& sim_;
@@ -148,6 +169,8 @@ class StreamConnection {
   Time rto_;
   sim::EventId rto_event_ = sim::kNoEvent;
   int syn_retries_ = 0;
+  int consecutive_rtos_ = 0;  // data-path RTOs since the last new-data ACK
+  CloseReason close_reason_ = CloseReason::kNone;
 
   // Receive side.
   std::uint32_t irs_ = 0;      // initial receive sequence

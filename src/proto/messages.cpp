@@ -89,12 +89,15 @@ struct Encoder {
   void operator()(const DocumentRequest& m) const {
     w.u8(static_cast<std::uint8_t>(MsgType::kDocumentRequest));
     w.str(m.document);
+    w.u8(static_cast<std::uint8_t>(m.video_floor_override));
+    w.u8(static_cast<std::uint8_t>(m.audio_floor_override));
   }
   void operator()(const DocumentReply& m) const {
     w.u8(static_cast<std::uint8_t>(MsgType::kDocumentReply));
     w.u8(m.ok ? 1 : 0);
     w.str(m.reason);
     w.str(m.markup);
+    w.u8(m.retryable_admission ? 1 : 0);
   }
   void operator()(const StreamSetup& m) const {
     w.u8(static_cast<std::uint8_t>(MsgType::kStreamSetup));
@@ -105,6 +108,7 @@ struct Encoder {
       w.u16(s.rtp_port);
     }
     w.i64(m.time_window_us);
+    w.i64(m.resume_offset_us);
   }
   void operator()(const StreamSetupReply& m) const {
     w.u8(static_cast<std::uint8_t>(MsgType::kStreamSetupReply));
@@ -282,6 +286,8 @@ util::Result<Message> decode(const net::Payload& frame) {
       case MsgType::kDocumentRequest: {
         DocumentRequest m;
         m.document = r.str();
+        m.video_floor_override = static_cast<std::int8_t>(r.u8());
+        m.audio_floor_override = static_cast<std::int8_t>(r.u8());
         return Message{m};
       }
       case MsgType::kDocumentReply: {
@@ -289,6 +295,7 @@ util::Result<Message> decode(const net::Payload& frame) {
         m.ok = r.u8() != 0;
         m.reason = r.str();
         m.markup = r.str();
+        m.retryable_admission = r.u8() != 0;
         return Message{m};
       }
       case MsgType::kStreamSetup: {
@@ -300,6 +307,7 @@ util::Result<Message> decode(const net::Payload& frame) {
           s.rtp_port = r.u16();
         }
         m.time_window_us = r.i64();
+        m.resume_offset_us = r.i64();
         return Message{m};
       }
       case MsgType::kStreamSetupReply: {

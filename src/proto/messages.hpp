@@ -87,12 +87,20 @@ struct TopicListReply {
 
 struct DocumentRequest {
   std::string document;
+  /// Quality-floor overrides for admission (-1 = use the subscription
+  /// floors). A recovering client degrades these per the paper's long-term
+  /// recovery when re-admission at the original floors is refused.
+  std::int8_t video_floor_override = -1;
+  std::int8_t audio_floor_override = -1;
 };
 
 struct DocumentReply {
   bool ok = false;
   std::string reason;       // admission/lookup failure
   std::string markup;       // the presentation scenario text
+  /// True when the refusal was an admission-capacity decision the client
+  /// may retry with degraded quality floors (vs. lookup/auth failures).
+  bool retryable_admission = false;
 };
 
 /// Client -> server: per-stream receive endpoints for the parallel media
@@ -105,6 +113,10 @@ struct StreamSetup {
   std::string document;
   std::vector<StreamPort> streams;
   std::int64_t time_window_us = 500'000;
+  /// Scenario position to resume playout from (0 = play from the top). A
+  /// recovering session sets this to its last playout position; the server
+  /// starts every stream at the corresponding frame.
+  std::int64_t resume_offset_us = 0;
 };
 
 /// Server -> client: how each stream will arrive.

@@ -75,4 +75,9 @@ void AdmissionControl::release(const std::string& key) {
   reservations_.erase(it);
 }
 
+void AdmissionControl::reset() {
+  reservations_.clear();
+  reserved_ = 0.0;
+}
+
 }  // namespace hyms::server

@@ -35,6 +35,9 @@ class AdmissionControl {
   Decision evaluate_and_reserve(const std::string& key, double demand_bps,
                                 double tier_utilization);
   void release(const std::string& key);
+  /// Drop every reservation (server crash: reservations live in RAM and die
+  /// with the process; admit/reject counters survive as telemetry).
+  void reset();
 
   [[nodiscard]] double reserved_bps() const { return reserved_; }
   [[nodiscard]] std::int64_t admitted_count() const { return admitted_; }

@@ -28,7 +28,8 @@ class MultimediaServer::ClientSession {
                 std::uint64_t seq)
       : server_(server), sim_(server.sim_), conn_(std::move(conn)),
         channel_(*conn_), session_key_(server.config_.name + "/session-" +
-                                       std::to_string(seq)) {
+                                       std::to_string(seq)),
+        last_peer_activity_(server.sim_.now()) {
     channel_.set_on_message(
         [this](std::vector<std::uint8_t> frame) { on_frame(std::move(frame)); });
     conn_->set_on_close([this] {
@@ -39,7 +40,28 @@ class MultimediaServer::ClientSession {
 
   ~ClientSession() {
     sim_.cancel(suspend_event_);
+    sim_.cancel(liveness_event_);
     if (search_) sim_.cancel(search_->timeout);
+  }
+
+  /// Server crash: journal resume facts if mid-presentation, then vanish
+  /// without a FIN (the caller destroys us; the client discovers the outage
+  /// through its own timeouts).
+  void journal_crash(std::vector<JournalEntry>& journal) const {
+    if (state_ != SessionState::kViewing && state_ != SessionState::kPaused) {
+      return;
+    }
+    if (pending_document_ == nullptr) return;
+    JournalEntry entry;
+    entry.user = user_;
+    entry.document = pending_document_->name;
+    entry.video_floor = granted_video_floor_;
+    entry.audio_floor = granted_audio_floor_;
+    for (const auto& [id, stream] : streams_) {
+      entry.position_us =
+          std::max(entry.position_us, stream->media_position().us());
+    }
+    journal.push_back(std::move(entry));
   }
 
   [[nodiscard]] SessionState state() const { return state_; }
@@ -68,6 +90,7 @@ class MultimediaServer::ClientSession {
   }
 
   void on_frame(std::vector<std::uint8_t> frame) {
+    last_peer_activity_ = sim_.now();
     auto decoded = proto::decode(frame);
     if (!decoded.ok()) {
       protocol_error("undecodable message: " + decoded.error().message);
@@ -158,11 +181,21 @@ class MultimediaServer::ClientSession {
     }
     const UserRecord* record = server_.users_.find(user_);
     const PricingTier& tier = server_.pricing_.tier(record->contract);
+    // Effective floors: the subscription's, optionally degraded (never
+    // improved) by the request — the paper's long-term recovery lets a
+    // re-admitted session accept worse minimum quality to fit.
+    int video_floor = record->video_floor_level;
+    int audio_floor = record->audio_floor_level;
+    if (m.video_floor_override >= 0) {
+      video_floor = std::max(video_floor, int{m.video_floor_override});
+    }
+    if (m.audio_floor_override >= 0) {
+      audio_floor = std::max(audio_floor, int{m.audio_floor_override});
+    }
     // The flow scheduler computes the document's flow scenario (cached per
     // document + quality floors); admission reserves its minimum feasible
     // rate (every stream at the user's floor).
-    const auto plan = server_.plan_for(*doc, record->video_floor_level,
-                                       record->audio_floor_level);
+    const auto plan = server_.plan_for(*doc, video_floor, audio_floor);
     if (!plan.ok()) {
       send(proto::DocumentReply{false, plan.error().message, ""});
       return;
@@ -172,9 +205,12 @@ class MultimediaServer::ClientSession {
         tier.admission_utilization);
     if (!decision.admitted) {
       ++server_.stats_.admission_rejections;
-      send(proto::DocumentReply{false, decision.reason, ""});
+      send(proto::DocumentReply{false, decision.reason, "",
+                                /*retryable_admission=*/true});
       return;
     }
+    granted_video_floor_ = video_floor;
+    granted_audio_floor_ = audio_floor;
     pending_document_ = doc;
     server_.users_.log_lesson(user_, m.document);
     ++server_.stats_.documents_served;
@@ -190,12 +226,12 @@ class MultimediaServer::ClientSession {
     stop_all_streams();
     qos_ = std::make_unique<ServerQosManager>(sim_, server_.config_.qos);
 
-    const UserRecord* record = server_.users_.find(user_);
-    // The flow scenario was computed (and cached) at DocumentRequest; this
-    // fetch is the cache's raison d'être — setup re-consults it for free.
+    // The flow scenario was computed (and cached) at DocumentRequest, under
+    // the floors granted there; this fetch is the cache's raison d'être —
+    // setup re-consults it for free.
     const auto plan = server_.plan_for(*pending_document_,
-                                       record->video_floor_level,
-                                       record->audio_floor_level);
+                                       granted_video_floor_,
+                                       granted_audio_floor_);
     proto::StreamSetupReply reply;
     reply.ok = true;
     if (!plan.ok()) {
@@ -221,8 +257,10 @@ class MultimediaServer::ClientSession {
       params.max_payload = server_.config_.rtp_max_payload;
       params.initial_level = 0;
       params.floor_level = spec.type == media::MediaType::kVideo
-                               ? record->video_floor_level
-                               : record->audio_floor_level;
+                               ? granted_video_floor_
+                               : granted_audio_floor_;
+      params.start_offset = Time::usec(std::max<std::int64_t>(
+          0, m.resume_offset_us));
 
       std::unique_ptr<MediaStreamSession> session;
       if (spec.type == media::MediaType::kAudio ||
@@ -242,6 +280,7 @@ class MultimediaServer::ClientSession {
             net::Endpoint{conn_->remote().node, port_it->rtp_port}, params);
         session->set_on_feedback(
             [this](core::StreamId id, const rtp::ReceiverFeedback& fb) {
+              last_peer_activity_ = sim_.now();  // RTCP proves client life
               if (qos_) qos_->on_feedback(id, fb);
             });
         qos_->attach(session.get());
@@ -262,6 +301,7 @@ class MultimediaServer::ClientSession {
     for (auto& [id, session] : streams_) session->start_flow();
     state_ = SessionState::kViewing;
     viewing_began_ = sim_.now();
+    arm_peer_monitor();
     send(reply);
   }
 
@@ -465,10 +505,53 @@ class MultimediaServer::ClientSession {
     if (state_ == SessionState::kClosed) return;
     stop_all_streams();
     server_.admission_.release(session_key_);
+    // Every teardown path runs through here: a pending keepalive expiry (or
+    // liveness probe) must never fire into a closed/replaced session.
     sim_.cancel(suspend_event_);
     suspend_event_ = sim::kNoEvent;
+    sim_.cancel(liveness_event_);
+    liveness_event_ = sim::kNoEvent;
     state_ = SessionState::kClosed;
     server_.schedule_reap();
+  }
+
+  /// Dead-peer detection (server side of outage tolerance): while flows are
+  /// active, a client that has been silent — no control frames, no RTCP
+  /// feedback — past dead_peer_timeout is presumed gone; tear down and
+  /// release its admission reservation so re-admission of the recovered
+  /// session isn't double-counted against capacity.
+  void arm_peer_monitor() {
+    if (!server_.config_.detect_dead_peers) return;
+    sim_.cancel(liveness_event_);
+    liveness_event_ =
+        sim_.schedule_after(server_.config_.dead_peer_timeout / 2, [this] {
+          liveness_event_ = sim::kNoEvent;
+          check_peer_liveness();
+        });
+  }
+
+  void check_peer_liveness() {
+    if (state_ != SessionState::kViewing && state_ != SessionState::kPaused) {
+      return;  // monitor ends with the presentation
+    }
+    bool flows_active = false;
+    for (const auto& [id, stream] : streams_) {
+      if (stream->is_rtp() && !stream->flow_complete() && !stream->stopped()) {
+        flows_active = true;
+        break;
+      }
+    }
+    if (!flows_active) return;  // drained flows legitimately go quiet
+    if (sim_.now() - last_peer_activity_ > server_.config_.dead_peer_timeout) {
+      ++server_.stats_.dead_peer_teardowns;
+      LOG_INFO << server_.config_.name << ": session " << session_key_
+               << " peer silent past "
+               << server_.config_.dead_peer_timeout.str() << ", reaping";
+      teardown();
+      conn_->abort();
+      return;
+    }
+    arm_peer_monitor();
   }
 
   void start_search(const std::string& token) {
@@ -533,6 +616,10 @@ class MultimediaServer::ClientSession {
   std::map<std::string, std::unique_ptr<MediaStreamSession>> streams_;
   std::unique_ptr<ServerQosManager> qos_;
   Time viewing_began_;
+  int granted_video_floor_ = 0;
+  int granted_audio_floor_ = 0;
+  Time last_peer_activity_;
+  sim::EventId liveness_event_ = sim::kNoEvent;
   sim::EventId suspend_event_ = sim::kNoEvent;
   std::unique_ptr<PendingSearch> search_;
   std::uint32_t next_search_id_ = 1;
@@ -544,12 +631,7 @@ MultimediaServer::MultimediaServer(net::Network& net, net::NodeId node,
                                    Config config)
     : net_(net), sim_(net.sim()), node_(node), config_(std::move(config)),
       admission_(config_.admission, &sim_) {
-  listener_ = std::make_unique<net::StreamListener>(
-      net_, node_, config_.control_port,
-      [this](std::unique_ptr<net::StreamConnection> conn) {
-        accept(std::move(conn));
-      },
-      config_.tcp);
+  open_listener();
   // Plan-cache invalidation: re-adding a document drops its cached plans
   // (any floors); a catalog mutation can change every plan's rates, so it
   // clears the cache wholesale.
@@ -582,6 +664,47 @@ void MultimediaServer::accept(std::unique_ptr<net::StreamConnection> conn) {
   ++stats_.sessions_accepted;
   sessions_.push_back(std::make_unique<ClientSession>(
       *this, std::move(conn), static_cast<std::uint64_t>(stats_.sessions_accepted)));
+}
+
+void MultimediaServer::open_listener() {
+  listener_ = std::make_unique<net::StreamListener>(
+      net_, node_, config_.control_port,
+      [this](std::unique_ptr<net::StreamConnection> conn) {
+        accept(std::move(conn));
+      },
+      config_.tcp);
+}
+
+void MultimediaServer::crash() {
+  if (crashed_) return;
+  ++stats_.crashes;
+  crashed_ = true;
+  LOG_INFO << config_.name << ": CRASH (" << sessions_.size()
+           << " sessions lost)";
+  journal_.clear();
+  for (const auto& session : sessions_) session->journal_crash(journal_);
+  // Destruction order mirrors a process death: sessions (flows, sockets,
+  // timers — all RAII) and the listener vanish without any farewell
+  // traffic; peers discover the outage through their own timeouts.
+  for (const auto& session : sessions_) {
+    if (const auto* manager = session->qos_manager()) {
+      retire_qos_stats(manager->stats());
+    }
+  }
+  sessions_.clear();
+  listener_.reset();
+  // RAM state dies with the process; durable stores (documents_, catalog_,
+  // users_, ledger_, mailboxes_) survive, like disk.
+  admission_.reset();
+  plan_cache_.clear();
+}
+
+void MultimediaServer::restart() {
+  if (!crashed_) return;
+  ++stats_.restarts;
+  crashed_ = false;
+  LOG_INFO << config_.name << ": restart";
+  open_listener();
 }
 
 void MultimediaServer::schedule_reap() {

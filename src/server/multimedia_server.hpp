@@ -59,6 +59,12 @@ class MultimediaServer {
     Time suspend_keepalive = Time::sec(30);
     /// How long a distributed search waits for peer replies.
     Time search_timeout = Time::msec(800);
+    /// Dead-peer detection: a viewing/paused session whose client has been
+    /// silent (no control frames, no RTCP feedback) this long while flows
+    /// are still active is torn down, releasing its admission reservation —
+    /// the server-side mirror of the client's liveness detection.
+    bool detect_dead_peers = true;
+    Time dead_peer_timeout = Time::sec(10);
     AdmissionControl::Config admission;
     ServerQosManager::Config qos;
     Time rtcp_sr_interval = Time::sec(1);
@@ -88,6 +94,33 @@ class MultimediaServer {
 
   /// Register a peer server for search fan-out (§6.2.2).
   void add_peer(const std::string& name, net::Endpoint control);
+
+  /// Fault injection: hard-crash the server process. Every session (and its
+  /// media flows, sockets, listener) is destroyed without so much as a FIN —
+  /// clients discover the outage through timeouts — and in-RAM state
+  /// (admission reservations, plan cache) is lost. Durable state (documents,
+  /// catalog, user DB, ledger, mailboxes) survives, and per-session resume
+  /// facts (user, document, granted floors, flow position) are journaled.
+  void crash();
+  /// Bring a crashed server back: re-opens the control listener and serves
+  /// from the durable stores. Sessions are NOT revived — recovering clients
+  /// re-authenticate, re-run admission, and resume via StreamSetup's
+  /// resume_offset_us.
+  void restart();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  /// One crashed session's resume facts (what a production server would
+  /// write to its session journal before the power went out).
+  struct JournalEntry {
+    std::string user;
+    std::string document;
+    int video_floor = 0;
+    int audio_floor = 0;
+    std::int64_t position_us = 0;  // furthest flow position at crash time
+  };
+  [[nodiscard]] const std::vector<JournalEntry>& journal() const {
+    return journal_;
+  }
 
   /// Attach a dedicated media server host for one media type (Fig. 3 /
   /// §6.1: "for every media object ... a media server is associated with
@@ -127,6 +160,9 @@ class MultimediaServer {
     std::int64_t suspends = 0;
     std::int64_t suspend_expiries = 0;
     std::int64_t protocol_errors = 0;
+    std::int64_t crashes = 0;
+    std::int64_t restarts = 0;
+    std::int64_t dead_peer_teardowns = 0;
     std::int64_t plan_cache_hits = 0;
     std::int64_t plan_cache_misses = 0;
   };
@@ -166,6 +202,7 @@ class MultimediaServer {
   };
 
   void accept(std::unique_ptr<net::StreamConnection> conn);
+  void open_listener();
   void schedule_reap();
   void retire_qos_stats(const ServerQosManager::Stats& s) {
     retired_qos_.reports += s.reports;
@@ -199,6 +236,8 @@ class MultimediaServer {
       annotations_;
   std::unordered_map<PlanKey, FlowPlan, PlanKeyHash> plan_cache_;
   bool reap_scheduled_ = false;
+  bool crashed_ = false;
+  std::vector<JournalEntry> journal_;
   Stats stats_;
   ServerQosManager::Stats retired_qos_;  // from torn-down sessions
 };

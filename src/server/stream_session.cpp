@@ -34,6 +34,14 @@ MediaStreamSession::MediaStreamSession(
   if (spec_.duration && source_->frame_interval() > Time::zero()) {
     frame_limit_ = spec_.duration->us() / source_->frame_interval().us();
   }
+  // Session recovery: resume pacing at the frame covering start_offset.
+  // Object flows (zero interval) always re-serve whole.
+  if (params_.start_offset > spec_.start &&
+      source_->frame_interval() > Time::zero()) {
+    next_frame_ = std::min<std::int64_t>(
+        frame_limit_, (params_.start_offset - spec_.start).us() /
+                          source_->frame_interval().us());
+  }
   if (auto* hub = sim_.telemetry()) {
     auto& tr = hub->tracer();
     trace_track_ = tr.track("server/stream/" + spec_.id);
@@ -105,7 +113,20 @@ MediaStreamSession::~MediaStreamSession() { sim_.cancel(pace_event_); }
 
 void MediaStreamSession::start_flow() {
   if (stopped_ || !is_rtp()) return;  // object flows wait for the client pull
-  schedule_next(spec_.start);
+  if (next_frame_ >= frame_limit_) {  // resumed past the end of this stream
+    complete_ = true;
+    return;
+  }
+  // A resumed session shifts every stream's start: streams the resume
+  // offset has passed begin immediately (at their resumed frame), later
+  // ones keep their remaining lead-in.
+  Time delay = spec_.start;
+  if (params_.start_offset > Time::zero()) {
+    delay = spec_.start > params_.start_offset
+                ? spec_.start - params_.start_offset
+                : Time::zero();
+  }
+  schedule_next(delay);
 }
 
 void MediaStreamSession::schedule_next(Time delay) {
@@ -122,7 +143,8 @@ void MediaStreamSession::pace_frame() {
     end_send_window();
     return;
   }
-  if (next_frame_ == 0) {
+  if (!began_) {
+    began_ = true;
     if (auto* hub = sim_.telemetry()) {
       hub->tracer().begin(trace_track_, n_send_window_, sim_.now());
       window_open_ = true;
@@ -152,6 +174,10 @@ void MediaStreamSession::pace_frame() {
     return;
   }
   schedule_next(interval);
+}
+
+Time MediaStreamSession::media_position() const {
+  return spec_.start + source_->frame_interval() * next_frame_;
 }
 
 bool MediaStreamSession::degrade() {

@@ -31,6 +31,10 @@ class MediaStreamSession {
     int floor_level = 0;
     Time sr_interval = Time::sec(1);
     std::size_t max_payload = 1400;
+    /// Scenario position to resume the flow from (session recovery): pacing
+    /// starts at the frame covering this offset, with its original RTP
+    /// timestamp, so a re-established client resumes where playout stopped.
+    Time start_offset = Time::zero();
   };
 
   /// RTP flow toward the client's per-stream receive port.
@@ -56,6 +60,9 @@ class MediaStreamSession {
   void stop();
 
   [[nodiscard]] bool flow_complete() const { return complete_; }
+  /// Scenario position of the flow: the next unsent frame's media time
+  /// (journaled on server crash so a resumed session can pick up here).
+  [[nodiscard]] Time media_position() const;
   [[nodiscard]] bool paused() const { return paused_; }
   [[nodiscard]] bool stopped() const { return stopped_; }
   [[nodiscard]] const core::StreamSpec& spec() const { return spec_; }
@@ -124,6 +131,7 @@ class MediaStreamSession {
   std::vector<std::unique_ptr<net::StreamConnection>> object_conns_;
 
   core::StreamId stream_id_ = core::kInvalidStreamId;
+  bool began_ = false;  // first pace_frame() happened (telemetry window)
   bool paused_ = false;
   bool stopped_ = false;
   bool complete_ = false;

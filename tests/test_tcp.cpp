@@ -341,5 +341,107 @@ TEST_F(TcpFixture, MessageChannelUnderLoss) {
   EXPECT_EQ(got, 50);
 }
 
+// --- outage behaviour (fault-injection satellite) --------------------------------
+
+TEST_F(TcpFixture, ConnectTimeoutHasTypedCloseReason) {
+  link();
+  net::TcpParams params;
+  params.max_syn_retries = 2;
+  params.initial_rto = Time::msec(100);
+  auto client = net::StreamConnection::connect(net_, a_,
+                                               net::Endpoint{b_, 4242}, params);
+  sim_.run_until(Time::sec(10));
+  ASSERT_TRUE(client->closed());
+  EXPECT_EQ(client->close_reason(), net::CloseReason::kConnectTimeout);
+  EXPECT_STREQ(net::to_string(client->close_reason()), "connect_timeout");
+}
+
+TEST_F(TcpFixture, RtoBackoffClampsAtMax) {
+  link();
+  auto server = serve(100);
+  net::TcpParams params;
+  params.initial_rto = Time::msec(500);
+  params.max_rto = Time::sec(2);
+  params.max_retransmits = 20;
+  auto client = net::StreamConnection::connect(net_, a_,
+                                               net::Endpoint{b_, 100}, params);
+  sim_.run_until(Time::sec(1));
+  ASSERT_TRUE(client->established());
+
+  // Sever the path and keep sending: every retransmission doubles the RTO,
+  // but never past max_rto.
+  net_.find_link(a_, b_)->set_up(false);
+  net_.find_link(b_, a_)->set_up(false);
+  client->send(pattern(5000));
+  Time max_seen = Time::zero();
+  for (int i = 0; i < 30; ++i) {
+    sim_.run_until(sim_.now() + Time::sec(1));
+    if (client->closed()) break;
+    max_seen = std::max(max_seen, client->current_rto());
+  }
+  EXPECT_EQ(max_seen, Time::sec(2));
+}
+
+TEST_F(TcpFixture, SurvivesOutageShorterThanRetryBudget) {
+  link();
+  auto server = serve(100);
+  auto client = net::StreamConnection::connect(net_, a_, net::Endpoint{b_, 100});
+  sim_.run_until(Time::sec(1));
+  ASSERT_TRUE(client->established());
+  client->send(pattern(50'000));
+  sim_.run_until(Time::msec(1050));
+
+  // A flap mid-transfer: retransmission timers keep probing and the transfer
+  // completes exactly once the path heals.
+  net_.find_link(a_, b_)->set_up(false);
+  net_.find_link(b_, a_)->set_up(false);
+  sim_.run_until(Time::sec(4));
+  EXPECT_FALSE(client->closed());
+  net_.find_link(a_, b_)->set_up(true);
+  net_.find_link(b_, a_)->set_up(true);
+  sim_.run_until(Time::sec(60));
+  EXPECT_FALSE(client->closed());
+  EXPECT_EQ(server.received.size(), 50'000u);
+  EXPECT_EQ(server.received, pattern(50'000));
+  EXPECT_GT(client->stats().timeouts, 0);
+}
+
+TEST_F(TcpFixture, OutagePastRetryBudgetClosesWithRetransmitTimeout) {
+  link();
+  auto server = serve(100);
+  net::TcpParams params;
+  params.initial_rto = Time::msec(200);
+  params.max_rto = Time::sec(1);
+  params.max_retransmits = 4;
+  auto client = net::StreamConnection::connect(net_, a_,
+                                               net::Endpoint{b_, 100}, params);
+  sim_.run_until(Time::sec(1));
+  ASSERT_TRUE(client->established());
+
+  net_.find_link(a_, b_)->set_up(false);
+  net_.find_link(b_, a_)->set_up(false);
+  client->send(pattern(5000));
+  bool closed_cb = false;
+  client->set_on_close([&] { closed_cb = true; });
+  sim_.run_until(Time::sec(60));
+  EXPECT_TRUE(closed_cb);
+  ASSERT_TRUE(client->closed());
+  EXPECT_EQ(client->close_reason(), net::CloseReason::kRetransmitTimeout);
+  EXPECT_STREQ(net::to_string(client->close_reason()), "retransmit_timeout");
+}
+
+TEST_F(TcpFixture, GracefulCloseReasonIsTyped) {
+  link();
+  auto server = serve(100);
+  auto client = net::StreamConnection::connect(net_, a_, net::Endpoint{b_, 100});
+  sim_.run_until(Time::sec(1));
+  client->close();
+  sim_.run_until(Time::sec(5));
+  ASSERT_TRUE(client->closed());
+  EXPECT_EQ(client->close_reason(), net::CloseReason::kGraceful);
+  client->abort();  // abort after close does not overwrite the reason
+  EXPECT_EQ(client->close_reason(), net::CloseReason::kGraceful);
+}
+
 }  // namespace
 }  // namespace hyms
