@@ -14,6 +14,7 @@
 
 #include "buffer/media_buffer.hpp"
 #include "harness.hpp"
+#include "media/frame_cache.hpp"
 #include "media/source.hpp"
 #include "net/network.hpp"
 #include "rtp/packets.hpp"
@@ -160,6 +161,46 @@ void BM_VideoFrameGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VideoFrameGeneration);
+
+void BM_FrameSynthesis(benchmark::State& state) {
+  // The cost a cache miss pays (and every frame paid before the shared
+  // cache): synthesize the payload bytes from scratch. Pairs with
+  // BM_FrameCacheHit — their ratio is what a hit saves per frame.
+  media::VideoProfile profile;
+  media::VideoSource source("video:mpeg:bench", profile, Time::sec(60));
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    auto payload = source.synthesize_payload(k % source.frame_count(), 0);
+    benchmark::DoNotOptimize(payload.data());
+    ++k;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(source.frame_bytes(0, 0)));
+}
+BENCHMARK(BM_FrameSynthesis);
+
+void BM_FrameCacheHit(benchmark::State& state) {
+  // Steady-state shared-cache hit: one mutex-guarded map lookup + LRU splice
+  // + shared_ptr copy, zero synthesis, zero payload copies.
+  media::VideoProfile profile;
+  media::VideoSource source("video:mpeg:bench", profile, Time::sec(60));
+  media::FrameCache cache;
+  const std::int64_t frames = 64;  // warm working set, well under budget
+  for (std::int64_t i = 0; i < frames; ++i) {
+    auto warm = cache.get(source, i, 0);
+    benchmark::DoNotOptimize(warm.get());
+  }
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    auto payload = cache.get(source, k % frames, 0);
+    benchmark::DoNotOptimize(payload.get());
+    ++k;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameCacheHit);
 
 void BM_FrameVerify(benchmark::State& state) {
   const auto payload = media::encode_frame_payload(1, 2, 0, 6000);

@@ -14,16 +14,20 @@
 
 namespace hyms::bench {
 
-std::string lecture_markup(int seconds, int video_kbps) {
+std::string lecture_markup(int seconds, int video_kbps,
+                           const std::string& doc_tag) {
+  const std::string tag = doc_tag.empty() ? "" : "-" + doc_tag;
   hermes::LessonBuilder lesson("Bench lecture " + std::to_string(seconds) +
-                               "s");
+                               "s" + tag);
   lesson.heading(1, "Benchmark lecture")
       .text("Synthetic lecture used by the experiment harness.")
-      .image("SLIDE", "image:jpeg:bench-slide", Time::zero(),
+      .image("SLIDE", "image:jpeg:bench-slide" + tag, Time::zero(),
              Time::sec(seconds))
-      .av_pair("AU", "audio:pcm:bench-voice:" + std::to_string(seconds), "VI",
-               "video:mpeg:bench-clip:" + std::to_string(seconds) + ":" +
-                   std::to_string(video_kbps),
+      .av_pair("AU",
+               "audio:pcm:bench-voice" + tag + ":" + std::to_string(seconds),
+               "VI",
+               "video:mpeg:bench-clip" + tag + ":" + std::to_string(seconds) +
+                   ":" + std::to_string(video_kbps),
                Time::sec(1), Time::sec(seconds - 1));
   return lesson.markup_text();
 }
@@ -53,6 +57,8 @@ SessionMetrics run_session(const SessionParams& params) {
       params.qos_audio_first
           ? server::ServerQosManager::DegradeOrder::kAudioFirst
           : server::ServerQosManager::DegradeOrder::kVideoFirst;
+  config.server_template.frame_cache = params.frame_cache;
+  config.server_template.frame_cache_bytes = params.frame_cache_bytes;
   hermes::Deployment deployment(sim, config);
   if (!deployment.server(0).documents().add("doc", params.markup).ok()) {
     metrics.failed = true;
@@ -183,6 +189,12 @@ SessionMetrics run_session(const SessionParams& params) {
 
 std::vector<SessionMetrics> run_sessions_sharded(const SessionParams& base,
                                                  int count, int threads) {
+  return run_sessions_sharded(base, count, threads, nullptr);
+}
+
+std::vector<SessionMetrics> run_sessions_sharded(
+    const SessionParams& base, int count, int threads,
+    const std::function<void(int, SessionParams&)>& customize) {
   std::vector<SessionMetrics> results(static_cast<std::size_t>(count));
   if (count <= 0) return results;
   threads = std::max(1, std::min(threads, count));
@@ -196,6 +208,7 @@ std::vector<SessionMetrics> run_sessions_sharded(const SessionParams& base,
       if (i >= count) return;
       SessionParams params = base;
       params.seed = base.seed + static_cast<std::uint64_t>(i);
+      if (customize) customize(i, params);
       results[static_cast<std::size_t>(i)] = run_session(params);
     }
   };

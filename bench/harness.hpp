@@ -6,11 +6,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/trace.hpp"
+#include "media/frame_cache.hpp"
 #include "net/loss.hpp"
 #include "server/qos_manager.hpp"
 #include "util/time.hpp"
@@ -53,6 +56,14 @@ struct SessionParams {
   /// deployment. Off = the per-packet two-events reference path; outcomes
   /// must be identical either way (the differential test's lever).
   bool link_batching = true;
+  /// Shared frame-synthesis cache installed on every server of the
+  /// deployment. Null -> each server owns a private cache of
+  /// frame_cache_bytes (0 disables caching: the per-frame synthesis
+  /// reference path). Sharing one cache across sessions/shards is how
+  /// bench_multisession amortizes Zipf-popular content. Outcomes are
+  /// byte-identical cached or not (the differential test's lever).
+  std::shared_ptr<media::FrameCache> frame_cache;
+  std::size_t frame_cache_bytes = 64ull << 20;
   /// Record the client presentation's per-event playout trace so
   /// SessionMetrics::events_csv compares byte-for-byte across runs.
   bool capture_playout_events = false;
@@ -97,10 +108,20 @@ SessionMetrics run_session(const SessionParams& params);
 
 /// Run `count` independent sessions (seeds base.seed, base.seed+1, ...)
 /// sharded across `threads` worker threads. Each session owns its Simulator
-/// and deployment, so the shards share no mutable state and results are
-/// byte-for-byte the ones a sequential loop would produce, in seed order.
+/// and deployment, so the shards share no mutable state — except an
+/// explicitly installed SessionParams::frame_cache, which is thread-safe and
+/// invisible to outcomes — and results are byte-for-byte the ones a
+/// sequential loop would produce, in seed order.
 std::vector<SessionMetrics> run_sessions_sharded(const SessionParams& base,
                                                  int count, int threads);
+
+/// As above, with a per-session parameter hook: `customize(i, params)` runs
+/// after the seed is assigned, letting callers vary e.g. the document per
+/// session (Zipf popularity in bench_multisession) deterministically by
+/// index.
+std::vector<SessionMetrics> run_sessions_sharded(
+    const SessionParams& base, int count, int threads,
+    const std::function<void(int, SessionParams&)>& customize);
 
 /// Order-sensitive digest of the observable outcome of one session; two runs
 /// of the same seed must produce equal fingerprints (determinism check).
@@ -114,7 +135,10 @@ std::uint64_t session_fingerprint(const SessionMetrics& metrics);
 void warn_if_debug_build(const char* bench_name);
 
 /// A ~`seconds`-long lecture document with one synced AV pair and a slide.
-std::string lecture_markup(int seconds, int video_kbps = 1200);
+/// `doc_tag`, when non-empty, is woven into every SOURCE name so distinct
+/// documents carry distinct media content (their frame-cache keys differ).
+std::string lecture_markup(int seconds, int video_kbps = 1200,
+                           const std::string& doc_tag = "");
 
 // --- table output ------------------------------------------------------------
 

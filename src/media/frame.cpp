@@ -6,7 +6,7 @@ namespace hyms::media {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x48594D46;  // "HYMF"
-constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 1 + 4;
+constexpr std::size_t kHeaderBytes = kFrameHeaderBytes;
 
 std::uint64_t body_stream_seed(std::uint32_t source_hash, std::int64_t index,
                                int level) {

@@ -33,7 +33,19 @@ struct FrameBody {
 
 [[nodiscard]] std::uint32_t hash_source_name(const std::string& name);
 
-/// Build a payload of exactly `total_bytes` (minimum 21 header bytes).
+/// Wire size of the frame-payload header: magic + source_hash + index +
+/// level + body_len. encode_frame_payload() never emits less than this.
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8 + 1 + 4;
+
+/// Actual payload size encode_frame_payload() produces for a requested
+/// `total_bytes` (the header is a floor). Size queries (MediaSource::
+/// frame_bytes) must agree with this, byte for byte.
+[[nodiscard]] constexpr std::size_t encoded_frame_size(
+    std::size_t total_bytes) {
+  return total_bytes < kFrameHeaderBytes ? kFrameHeaderBytes : total_bytes;
+}
+
+/// Build a payload of exactly encoded_frame_size(total_bytes) bytes.
 [[nodiscard]] std::vector<std::uint8_t> encode_frame_payload(
     std::uint32_t source_hash, std::int64_t index, int quality_level,
     std::size_t total_bytes);

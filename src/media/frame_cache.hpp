@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hyms::telemetry {
+class MetricsRegistry;
+}
+
+namespace hyms::media {
+
+class MediaSource;
+
+/// Immutable, refcounted frame body. Sessions, the RTP packetizer and the
+/// cache all share one synthesized byte vector; the last holder frees it, so
+/// an evicted-but-in-flight payload stays valid until its packets are gone.
+using FramePayload = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/// Process-wide store of synthesized frame payloads keyed by
+/// (content, frame index, quality level): N sessions streaming the same
+/// Zipf-popular document synthesize each of its frames exactly once and
+/// share the bytes zero-copy. Payload contents are a pure function of the
+/// key (DESIGN.md substitution), so a hit is bit-identical to a fresh
+/// synthesis — cached and uncached runs produce the same wire bytes.
+///
+/// Thread safety: every public method is safe to call from concurrent
+/// bench shards (one mutex; synthesis itself runs outside the lock, so a
+/// racing miss costs a duplicate synthesis, never a wrong payload).
+/// Eviction is LRU under a configurable byte budget.
+class FrameCache {
+ public:
+  struct Config {
+    /// Total payload bytes retained (0 = bypass: never cache). The budget
+    /// bounds retained bytes, not in-flight ones — evicted payloads live on
+    /// in whoever still holds their handle.
+    std::size_t byte_budget = 64ull << 20;
+  };
+
+  FrameCache();
+  explicit FrameCache(Config config);
+  FrameCache(const FrameCache&) = delete;
+  FrameCache& operator=(const FrameCache&) = delete;
+
+  /// The shared payload of `source`'s frame (index, level): a handle to the
+  /// cached bytes on a hit, a freshly synthesized (and cached) body on a
+  /// miss. Never returns null. Range errors propagate from the source.
+  [[nodiscard]] FramePayload get(const MediaSource& source, std::int64_t index,
+                                 int level);
+
+  /// Drop every entry (in-flight handles stay valid). Stats are kept.
+  void clear();
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::size_t bytes = 0;    // retained payload bytes
+    std::size_t entries = 0;  // retained payload count
+
+    [[nodiscard]] double hit_rate() const {
+      const std::int64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t byte_budget() const { return budget_; }
+
+  /// Snapshot hit/miss/eviction/bytes/entries gauges into a metrics
+  /// registry under `prefix` (e.g. "media/frame_cache/").
+  void flush_telemetry(telemetry::MetricsRegistry& metrics,
+                       std::string_view prefix) const;
+
+ private:
+  struct Key {
+    std::uint64_t content = 0;  // MediaSource::content_key()
+    std::int64_t index = 0;
+    int quality_level = 0;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = k.content * 0x9E3779B97F4A7C15ULL;
+      h ^= static_cast<std::uint64_t>(k.index) + 0x9E3779B97F4A7C15ULL +
+           (h << 6) + (h >> 2);
+      h ^= static_cast<std::uint64_t>(k.quality_level) + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Entry {
+    Key key;
+    FramePayload payload;
+  };
+
+  /// Evict LRU tail entries until retained bytes fit the budget. Caller
+  /// holds the lock.
+  void evict_to_budget();
+
+  const std::size_t budget_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::size_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hyms::media

@@ -34,6 +34,13 @@ struct RtpPacket {
 /// Append the wire form to `out` — lets senders serialize into a recycled
 /// buffer (net::PayloadPool) instead of allocating per packet.
 void serialize_rtp_into(const RtpPacket& pkt, net::Payload& out);
+/// Serialize header + a borrowed payload slice straight into `out`: the
+/// zero-copy packetization path. The fragment bytes are read in place (e.g.
+/// from a FrameCache-shared frame body) — no intermediate RtpPacket::payload
+/// vector is built. Wire bytes are identical to the RtpPacket overload.
+void serialize_rtp_into(const RtpHeader& header, std::uint16_t frag_index,
+                        std::uint16_t frag_count, const std::uint8_t* payload,
+                        std::size_t payload_len, net::Payload& out);
 [[nodiscard]] std::optional<RtpPacket> parse_rtp(const net::Payload& wire);
 
 // --- RTCP (RFC 1889 §6) -----------------------------------------------------

@@ -45,29 +45,30 @@ void RtpSender::send_frame(const std::vector<std::uint8_t>& data,
 
 void RtpSender::append_frame(const std::vector<std::uint8_t>& data,
                              Time media_time) {
+  append_frame(data.data(), data.size(), media_time);
+}
+
+void RtpSender::append_frame(const std::uint8_t* data, std::size_t size,
+                             Time media_time) {
   const std::uint32_t rtp_ts = params_.clock.to_rtp(media_time);
   last_rtp_ts_ = rtp_ts;
-  const std::size_t frag_count =
-      std::max<std::size_t>(1, (data.size() + params_.max_payload - 1) /
-                                   params_.max_payload);
+  const std::size_t frag_count = std::max<std::size_t>(
+      1, (size + params_.max_payload - 1) / params_.max_payload);
+  RtpHeader header;
+  header.payload_type = params_.payload_type;
+  header.timestamp = rtp_ts;
+  header.ssrc = params_.ssrc;
   for (std::size_t i = 0; i < frag_count; ++i) {
-    RtpPacket pkt;
-    pkt.header.payload_type = params_.payload_type;
-    pkt.header.marker = (i + 1 == frag_count);
-    pkt.header.sequence = next_seq_++;
-    pkt.header.timestamp = rtp_ts;
-    pkt.header.ssrc = params_.ssrc;
-    pkt.frag_index = static_cast<std::uint16_t>(i);
-    pkt.frag_count = static_cast<std::uint16_t>(frag_count);
+    header.marker = (i + 1 == frag_count);
+    header.sequence = next_seq_++;
     const std::size_t begin = i * params_.max_payload;
-    const std::size_t end = std::min(data.size(), begin + params_.max_payload);
-    pkt.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(begin),
-                       data.begin() + static_cast<std::ptrdiff_t>(end));
-    stats_.octets_sent += static_cast<std::int64_t>(pkt.payload.size());
+    const std::size_t len = std::min(size - begin, params_.max_payload);
+    stats_.octets_sent += static_cast<std::int64_t>(len);
     ++stats_.packets_sent;
-    auto wire = net_.payload_pool().acquire(kRtpHeaderSize + 4 +
-                                            pkt.payload.size());
-    serialize_rtp_into(pkt, wire);
+    auto wire = net_.payload_pool().acquire(kRtpHeaderSize + 4 + len);
+    serialize_rtp_into(header, static_cast<std::uint16_t>(i),
+                       static_cast<std::uint16_t>(frag_count), data + begin,
+                       len, wire);
     train_.push_back(std::move(wire));
   }
   ++stats_.frames_sent;

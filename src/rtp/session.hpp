@@ -75,6 +75,12 @@ class RtpSender {
   /// flush() when the burst is complete. Sequence numbers, timestamps and
   /// stats are identical to per-frame send_frame() calls.
   void append_frame(const std::vector<std::uint8_t>& data, Time media_time);
+  /// Span form of append_frame — the zero-copy hot path: each fragment is
+  /// serialized from `data` in place (typically a FrameCache-shared frame
+  /// body) straight into a recycled wire buffer. No intermediate per-
+  /// fragment payload vector is built; the pool keeps owning the headers.
+  void append_frame(const std::uint8_t* data, std::size_t size,
+                    Time media_time);
   /// Submit the pending train (no-op when empty).
   void flush();
   void set_on_feedback(FeedbackFn fn) { on_feedback_ = std::move(fn); }

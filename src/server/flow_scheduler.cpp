@@ -56,7 +56,7 @@ util::Result<FlowPlan> FlowScheduler::plan(
       entry.floor_rate_bps = object.bitrate_bps(floor);
     } else {
       entry.frames = 1;
-      entry.object_bytes = object.frame(0, 0).payload.size();
+      entry.object_bytes = object.frame_bytes(0, 0);
     }
     plan.entries.push_back(std::move(entry));
   }

@@ -255,6 +255,7 @@ class MultimediaServer::ClientSession {
       MediaStreamSession::Params params;
       params.sr_interval = server_.config_.rtcp_sr_interval;
       params.max_payload = server_.config_.rtp_max_payload;
+      params.frame_cache = server_.config_.frame_cache.get();
       params.initial_level = 0;
       params.floor_level = spec.type == media::MediaType::kVideo
                                ? granted_video_floor_
@@ -631,6 +632,10 @@ MultimediaServer::MultimediaServer(net::Network& net, net::NodeId node,
                                    Config config)
     : net_(net), sim_(net.sim()), node_(node), config_(std::move(config)),
       admission_(config_.admission, &sim_) {
+  if (config_.frame_cache == nullptr && config_.frame_cache_bytes > 0) {
+    config_.frame_cache = std::make_shared<media::FrameCache>(
+        media::FrameCache::Config{config_.frame_cache_bytes});
+  }
   open_listener();
   // Plan-cache invalidation: re-adding a document drops its cached plans
   // (any floors); a catalog mutation can change every plan's rates, so it
@@ -791,6 +796,9 @@ void MultimediaServer::flush_telemetry() {
           static_cast<double>(stats_.plan_cache_hits));
     m.set(m.gauge(prefix + "plan_cache_misses"),
           static_cast<double>(stats_.plan_cache_misses));
+    if (config_.frame_cache) {
+      config_.frame_cache->flush_telemetry(m, prefix + "frame_cache/");
+    }
   }
   for (auto& session : sessions_) session->flush_telemetry();
 }

@@ -70,6 +70,15 @@ class MultimediaServer {
     Time rtcp_sr_interval = Time::sec(1);
     std::size_t rtp_max_payload = 1400;
     net::TcpParams tcp;
+    /// Shared frame-synthesis cache for every media flow this server paces:
+    /// frames are synthesized once per (content, quality, index) and shared
+    /// zero-copy across sessions. Leave null to let the server own a private
+    /// cache of `frame_cache_bytes`; install one explicitly to share it
+    /// across servers (or across bench shards). Set frame_cache_bytes = 0
+    /// (with a null pointer) to disable caching entirely — the per-frame
+    /// synthesis reference path, byte-identical on the wire.
+    std::shared_ptr<media::FrameCache> frame_cache;
+    std::size_t frame_cache_bytes = 64ull << 20;
   };
 
   MultimediaServer(net::Network& net, net::NodeId node, Config config);

@@ -88,20 +88,22 @@ std::unique_ptr<MediaStreamSession> MediaStreamSession::make_object(
   session->listener_ = std::make_unique<net::StreamListener>(
       net, server_node, 0,
       [raw](std::unique_ptr<net::StreamConnection> conn) {
-        // Serve the object: 8-byte length prefix + payload, then close.
-        const media::MediaFrame frame =
-            raw->source_->frame(0, raw->converter_.current_level());
+        // Serve the object: 8-byte length prefix + payload, then close. The
+        // body comes from the shared cache — every client pulling the same
+        // object reuses one synthesized copy.
+        const media::SharedFrame frame = raw->source_->shared_frame(
+            0, raw->converter_.current_level(), raw->params_.frame_cache);
         net::Payload header;
         net::WireWriter w(header);
-        w.u64(frame.payload.size());
+        w.u64(frame.payload->size());
         conn->send(header);
-        conn->send(frame.payload);
+        conn->send(*frame.payload);
         conn->close();
         ++raw->stats_.objects_served;
         if (auto* hub = raw->sim_.telemetry()) {
           hub->tracer().instant(raw->trace_track_, raw->n_object_,
                                 raw->sim_.now(),
-                                static_cast<double>(frame.payload.size()));
+                                static_cast<double>(frame.payload->size()));
         }
         raw->complete_ = true;
         raw->object_conns_.push_back(std::move(conn));
@@ -159,9 +161,14 @@ void MediaStreamSession::pace_frame() {
   do {
     // Loop through the source when the scenario runs past its end; the RTP
     // timestamp keeps advancing with the scenario position, not the source's.
-    const media::MediaFrame frame = source_->frame(
-        next_frame_ % source_->frame_count(), converter_.current_level());
-    sender_->append_frame(frame.payload, interval * next_frame_);
+    // A frame-cache hit makes this a pure lookup: zero synthesis, and the
+    // packetizer reads the shared body in place (zero payload copies).
+    const media::SharedFrame frame =
+        source_->shared_frame(next_frame_ % source_->frame_count(),
+                              converter_.current_level(),
+                              params_.frame_cache);
+    sender_->append_frame(frame.payload->data(), frame.payload->size(),
+                          interval * next_frame_);
     LOG_TRACE << "pace " << spec_.id << " frame " << next_frame_ << " level "
               << converter_.current_level();
     ++stats_.frames_sent;
@@ -257,8 +264,8 @@ proto::StreamSetupReply::StreamInfo MediaStreamSession::info() const {
   } else {
     info.tcp_node = listener_->local().node;
     info.tcp_port = listener_->local().port;
-    info.total_bytes =
-        source_->frame(0, converter_.current_level()).payload.size();
+    // Size query only — no reason to synthesize (and discard) a whole frame.
+    info.total_bytes = source_->frame_bytes(0, converter_.current_level());
   }
   return info;
 }

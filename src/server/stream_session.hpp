@@ -35,6 +35,10 @@ class MediaStreamSession {
     /// starts at the frame covering this offset, with its original RTP
     /// timestamp, so a re-established client resumes where playout stopped.
     Time start_offset = Time::zero();
+    /// Shared frame-synthesis cache (non-owning; the server outlives its
+    /// sessions). Null = synthesize per frame, the uncached reference path.
+    /// Payload bytes are identical either way.
+    media::FrameCache* frame_cache = nullptr;
   };
 
   /// RTP flow toward the client's per-stream receive port.

@@ -2,10 +2,11 @@
 """Fail CI when the packet-forwarding benchmark family regresses.
 
 Reads two google-benchmark JSON files produced by `bench_micro --json` and
-compares items_per_second for every benchmark whose name starts with
-BM_PacketForwarding (the steady-state batched path, the unbatched reference
-path, the train path, and the telemetry-on variant) that is present in both
-files.
+compares items_per_second for every benchmark in the guarded families that
+is present in both files: BM_PacketForwarding* (the steady-state batched
+path, the unbatched reference path, the train path, and the telemetry-on
+variant) plus the frame-cache pair BM_FrameSynthesis / BM_FrameCacheHit
+(the per-frame miss cost and the shared-cache hit path).
 
 Guards, mirroring check_telemetry_overhead.py:
 - Debug/assert builds (context.assertions == "enabled") in either file are
@@ -24,7 +25,8 @@ import argparse
 import json
 import sys
 
-FAMILY_PREFIX = "BM_PacketForwarding"
+FAMILY_PREFIXES = ("BM_PacketForwarding", "BM_FrameSynthesis",
+                   "BM_FrameCacheHit")
 
 
 def load(path):
@@ -36,7 +38,7 @@ def family_items_per_second(doc):
     out = {}
     for bench in doc.get("benchmarks", []):
         name = bench.get("name", "")
-        if name.startswith(FAMILY_PREFIX) and "items_per_second" in bench:
+        if name.startswith(FAMILY_PREFIXES) and "items_per_second" in bench:
             out[name] = float(bench["items_per_second"])
     return out
 
@@ -66,8 +68,8 @@ def main():
     base_items = family_items_per_second(base)
     common = sorted(set(fresh_items) & set(base_items))
     if not common:
-        print(f"check_bench_regression: no common {FAMILY_PREFIX}* "
-              "benchmarks between the two files -- nothing to compare")
+        print("check_bench_regression: no common guarded benchmarks "
+              "between the two files -- nothing to compare")
         return 0
 
     if base_host != fresh_host:
