@@ -176,11 +176,16 @@ int main(int argc, char** argv) {
     if (f != nullptr) {
       std::fprintf(
           f,
-          "{\"sessions\": %d, \"wall_s\": %.3f, \"sessions_per_sec\": %.2f,\n"
+          "{\"context\": {\"benchmark\": \"bench_chaos\","
+          " \"host_name\": \"%s\", \"hardware_concurrency\": %u,"
+          " \"threads\": 1, \"assertions\": \"%s\"},\n"
+          " \"sessions\": %d, \"wall_s\": %.3f, \"sessions_per_sec\": %.2f,\n"
           " \"completed\": %d, \"degraded\": %d, \"aborted\": %d,"
           " \"pending\": %d,\n"
           " \"recoveries\": %lld, \"floor_degradations\": %lld,"
           " \"faults\": %lld, \"crashes\": %lld}\n",
+          bench::host_name().c_str(), bench::hardware_threads(),
+          bench::built_with_assertions() ? "enabled" : "disabled",
           sessions, wall_s, rate, totals.completed, totals.degraded,
           totals.aborted, totals.pending, totals.recoveries,
           totals.degradations, totals.faults, totals.crashes);

@@ -442,6 +442,12 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext(
       "assertions",
       hyms::bench::built_with_assertions() ? "enabled" : "disabled");
+  // google-benchmark emits host_name/num_cpus on its own; record the exact
+  // hardware_concurrency alongside so every BENCH_*.json carries the same
+  // parallel-capability fields.
+  benchmark::AddCustomContext(
+      "hardware_concurrency",
+      std::to_string(hyms::bench::hardware_threads()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

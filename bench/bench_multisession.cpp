@@ -278,11 +278,13 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"context\": {\n"
                  "    \"benchmark\": \"bench_multisession\",\n"
+                 "    \"host_name\": \"%s\",\n"
                  "    \"sessions\": %d,\n"
                  "    \"documents\": %d,\n"
                  "    \"zipf_s\": %.2f,\n"
                  "    \"session_sim_seconds\": %.1f,\n"
                  "    \"num_cpus\": %u,\n"
+                 "    \"hardware_concurrency\": %u,\n"
                  "    \"link_batching\": %s,\n"
                  "    \"frame_cache\": %s,\n"
                  "    \"frame_cache_mb\": %.1f,\n"
@@ -290,7 +292,8 @@ int main(int argc, char** argv) {
                  "  },\n"
                  "  \"deterministic\": %s,\n"
                  "  \"results\": [\n",
-                 sessions, documents, zipf_s, run_for_s, hw,
+                 bench::host_name().c_str(), sessions, documents, zipf_s,
+                 run_for_s, hw, bench::hardware_threads(),
                  batching ? "true" : "false",
                  cache_enabled ? "true" : "false",
                  cache_enabled ? cache_mb : 0.0,

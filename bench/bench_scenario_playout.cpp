@@ -109,11 +109,15 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"context\": {\n"
                  "    \"benchmark\": \"bench_scenario_playout\",\n"
+                 "    \"host_name\": \"%s\",\n"
+                 "    \"hardware_concurrency\": %u,\n"
+                 "    \"threads\": 1,\n"
                  "    \"assertions\": \"%s\"\n"
                  "  },\n"
                  "  \"max_skew_ms\": %.3f,\n"
                  "  \"finished\": %s,\n"
                  "  \"streams\": [\n",
+                 bench::host_name().c_str(), bench::hardware_threads(),
                  bench::built_with_assertions() ? "enabled" : "disabled",
                  trace.max_abs_skew_ms(),
                  runtime.scheduler().finished() ? "true" : "false");

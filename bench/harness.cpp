@@ -1,5 +1,7 @@
 #include "harness.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <thread>
 
@@ -267,6 +269,19 @@ bool built_with_assertions() {
 #else
   return true;
 #endif
+}
+
+std::string host_name() {
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof(buf) - 1) != 0 || buf[0] == '\0') {
+    return "unknown";
+  }
+  return buf;
+}
+
+unsigned hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
 }
 
 void warn_if_debug_build(const char* bench_name) {

@@ -130,6 +130,16 @@ std::uint64_t session_fingerprint(const SessionMetrics& metrics);
 /// True when the binary was compiled with assertions on (no NDEBUG).
 [[nodiscard]] bool built_with_assertions();
 
+/// OS host name ("unknown" when unavailable). Emitted into every BENCH_*.json
+/// context so tools/check_bench_regression.py can detect cross-host
+/// comparisons and downgrade them to warnings.
+[[nodiscard]] std::string host_name();
+
+/// std::thread::hardware_concurrency() with a floor of 1 (the standard allows
+/// 0 for "unknown"). Emitted into every BENCH_*.json context: speedup numbers
+/// from a 1-CPU container are not comparable to a many-core host's.
+[[nodiscard]] unsigned hardware_threads();
+
 /// Print a loud stderr warning when the benchmark binary is a debug build —
 /// numbers from it are not comparable to the committed Release baselines.
 void warn_if_debug_build(const char* bench_name);

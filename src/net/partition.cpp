@@ -1,0 +1,42 @@
+#include "net/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hyms::net {
+
+void PartitionMap::assign(NodeId node, std::uint32_t partition) {
+  if (partition >= partitions_) {
+    throw std::invalid_argument("PartitionMap::assign: partition out of range");
+  }
+  if (node >= assignment_.size()) {
+    assignment_.resize(node + 1, 0);
+  }
+  assignment_[node] = partition;
+}
+
+void PartitionMap::add_link(NodeId from, NodeId to, Time propagation) {
+  if (propagation < Time::zero()) {
+    throw std::invalid_argument("PartitionMap::add_link: negative propagation");
+  }
+  edges_.push_back(Edge{from, to, propagation});
+}
+
+Time PartitionMap::cross_lookahead() const {
+  Time lookahead = Time::max();
+  for (const Edge& edge : edges_) {
+    if (partition_of(edge.from) == partition_of(edge.to)) continue;
+    lookahead = std::min(lookahead, edge.propagation);
+  }
+  return lookahead;
+}
+
+std::size_t PartitionMap::cross_link_count() const {
+  std::size_t count = 0;
+  for (const Edge& edge : edges_) {
+    if (partition_of(edge.from) != partition_of(edge.to)) ++count;
+  }
+  return count;
+}
+
+}  // namespace hyms::net

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/time.hpp"
+
+namespace hyms::net {
+
+/// Static node -> partition assignment for parallel conservative simulation,
+/// plus the lookahead math: the conservative window width is the minimum
+/// propagation delay over every link whose endpoints live in *different*
+/// partitions (intra-partition links impose no constraint — their traffic
+/// never crosses a thread boundary). A good partitioning therefore keeps
+/// low-latency links inside partitions and cuts only high-latency ones.
+class PartitionMap {
+ public:
+  explicit PartitionMap(std::size_t partitions) : partitions_(partitions) {}
+
+  /// Assign `node` to `partition` (grows the table as needed).
+  void assign(NodeId node, std::uint32_t partition);
+  [[nodiscard]] std::uint32_t partition_of(NodeId node) const {
+    return assignment_.at(node);
+  }
+  [[nodiscard]] std::size_t partition_count() const { return partitions_; }
+  [[nodiscard]] std::size_t node_count() const { return assignment_.size(); }
+
+  /// Record one directed link for the lookahead computation. Links between
+  /// co-partitioned nodes are remembered but do not constrain the window.
+  void add_link(NodeId from, NodeId to, Time propagation);
+
+  /// Minimum propagation delay across partition boundaries — the safe
+  /// conservative lookahead. Time::max() when no link crosses a boundary
+  /// (fully independent partitions can run straight to any deadline);
+  /// Time::zero() when a zero-latency link crosses one (degenerate windows).
+  [[nodiscard]] Time cross_lookahead() const;
+  [[nodiscard]] std::size_t cross_link_count() const;
+  [[nodiscard]] bool has_zero_latency_cross_link() const {
+    return cross_link_count() > 0 && cross_lookahead() == Time::zero();
+  }
+
+ private:
+  struct Edge {
+    NodeId from;
+    NodeId to;
+    Time propagation;
+  };
+
+  std::size_t partitions_;
+  std::vector<std::uint32_t> assignment_;  // indexed by NodeId
+  std::vector<Edge> edges_;
+};
+
+}  // namespace hyms::net

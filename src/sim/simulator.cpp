@@ -136,6 +136,12 @@ void Simulator::flush_telemetry() {
 }
 
 void Simulator::run_until(Time deadline) {
+  // A deadline in the past clamps to now(): the clock is monotone, and the
+  // horizon must never sit behind it (batched components compare arrival
+  // times against run_horizon(), and a stale past horizon would wedge their
+  // run-ahead). Partitioned execution hits this when a partition with no
+  // work is repeatedly advanced to window ends it already reached.
+  if (deadline < now_) deadline = now_;
   // The horizon caps batched run-ahead: a component must not deliver work
   // past the deadline (user code between run_until calls would observe
   // different state than under per-item events).

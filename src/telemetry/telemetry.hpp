@@ -39,6 +39,17 @@ class Hub {
   /// Write the metric table as CSV to `path`.
   bool write_metrics_csv(const std::string& path) const;
 
+  /// Fold another hub into this one: counters add, gauges take the other's
+  /// value, histograms merge bucket-wise, trace records append with names
+  /// re-interned. Used at flush time to collapse the parallel executor's
+  /// per-partition hubs into one exportable root; call
+  /// tracer().stable_sort_by_time() after the last merge for a canonical
+  /// timeline.
+  void merge_from(const Hub& other) {
+    metrics_.merge_from(other.metrics());
+    tracer_.merge_from(other.tracer());
+  }
+
   void reset() {
     metrics_.reset();
     tracer_.reset();

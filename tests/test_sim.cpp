@@ -282,5 +282,78 @@ TEST_P(SimCancelProperty, EveryEventFiresOrWasCancelled) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SimCancelProperty,
                          ::testing::Range<std::uint64_t>(1, 11));
 
+// --- edge cases the parallel executor leans on -------------------------------
+// ParallelExec computes windows from next_event_time() and repeatedly calls
+// run_until() on partitions that may have nothing to do; these pin down the
+// sentinel, the inclusive deadline, and the monotone-clock contracts.
+
+TEST(SimEdgeTest, NextEventTimeEmptyCalendarIsMaxSentinel) {
+  sim::Simulator sim;
+  EXPECT_EQ(sim.next_event_time(), Time::max());
+  // A cancelled sole event must restore the sentinel (stale heap tops prune).
+  const auto id = sim.schedule_at(Time::msec(5), [] {});
+  EXPECT_EQ(sim.next_event_time(), Time::msec(5));
+  sim.cancel(id);
+  EXPECT_EQ(sim.next_event_time(), Time::max());
+}
+
+TEST(SimEdgeTest, EventExactlyAtDeadlineFiresWithinRunUntil) {
+  sim::Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time::msec(10), [&] { ++fired; });
+  sim.run_until(Time::msec(10));  // inclusive deadline
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Time::msec(10));
+}
+
+TEST(SimEdgeTest, EventScheduledAtDeadlineFromInsideTheRunStillFires) {
+  // A window boundary is inclusive: an event at the deadline that schedules
+  // another event at the same timestamp must see it execute in the same
+  // run_until call (FIFO among equals), not leak into the next window.
+  sim::Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(Time::msec(10), [&] {
+    order.push_back(1);
+    sim.schedule_at(Time::msec(10), [&] { order.push_back(2); });
+  });
+  sim.run_until(Time::msec(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimEdgeTest, AdvanceNowIgnoresTimesBeforeNow) {
+  sim::Simulator sim;
+  sim.run_until(Time::msec(5));
+  sim.advance_now(Time::msec(1));
+  EXPECT_EQ(sim.now(), Time::msec(5));  // the clock is monotone
+  sim.advance_now(Time::msec(7));
+  EXPECT_EQ(sim.now(), Time::msec(7));
+}
+
+TEST(SimEdgeTest, RunUntilPastDeadlineClampsAndKeepsHorizonAtNow) {
+  sim::Simulator sim;
+  sim.run_until(Time::msec(10));
+  int fired = 0;
+  sim.schedule_at(Time::msec(12), [&] { ++fired; });
+  // A deadline behind the clock must not regress now() nor leave the horizon
+  // behind it (batched components compare arrivals against run_horizon()).
+  sim.run_until(Time::msec(5));
+  EXPECT_EQ(sim.now(), Time::msec(10));
+  EXPECT_EQ(sim.run_horizon(), Time::msec(10));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.next_event_time(), Time::msec(12));
+  sim.run_until(Time::msec(15));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimEdgeTest, RepeatedRunUntilSameDeadlineIsIdempotent) {
+  sim::Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time::msec(10), [&] { ++fired; });
+  for (int i = 0; i < 3; ++i) sim.run_until(Time::msec(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.executed(), 1u);
+  EXPECT_EQ(sim.now(), Time::msec(10));
+}
+
 }  // namespace
 }  // namespace hyms

@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""Fail CI when the packet-forwarding benchmark family regresses.
+"""Fail CI when a guarded benchmark family regresses.
 
-Reads two google-benchmark JSON files produced by `bench_micro --json` and
-compares items_per_second for every benchmark in the guarded families that
-is present in both files: BM_PacketForwarding* (the steady-state batched
-path, the unbatched reference path, the train path, and the telemetry-on
-variant) plus the frame-cache pair BM_FrameSynthesis / BM_FrameCacheHit
-(the per-frame miss cost and the shared-cache hit path).
+Understands two JSON schemas, sniffed per file:
+
+- google-benchmark JSON from `bench_micro --json`: compares
+  items_per_second for every benchmark in the guarded families present in
+  both files: BM_PacketForwarding* (the steady-state batched path, the
+  unbatched reference path, the train path, and the telemetry-on variant)
+  plus the frame-cache pair BM_FrameSynthesis / BM_FrameCacheHit.
+
+- bench_shared_world JSON (context.benchmark == "bench_shared_world"):
+  compares events_per_sec for every (partitions, threads) cell present in
+  both files, under synthetic names like "shared_world/p4t2". The files'
+  "deterministic" flag must be true -- a divergent parallel simulation is a
+  correctness failure regardless of speed.
 
 Guards, mirroring check_telemetry_overhead.py:
 - Debug/assert builds (context.assertions == "enabled") in either file are
@@ -14,11 +21,14 @@ Guards, mirroring check_telemetry_overhead.py:
 - Cross-host comparisons (context.host_name differs) are noise -- warn and
   exit 0 instead of failing.
 
-Exit code 0 = within budget (or nothing comparable), 1 = regression.
+Exit code 0 = within budget (or nothing comparable), 1 = regression (or a
+non-deterministic shared-world run).
 
 Usage:
   tools/check_bench_regression.py BENCH_micro.json --baseline OLD.json
       [--budget 10.0]
+  tools/check_bench_regression.py BENCH_shared_world.json \
+      --baseline OLD_shared_world.json [--budget 15.0]
 """
 
 import argparse
@@ -34,7 +44,19 @@ def load(path):
         return json.load(f)
 
 
+def is_shared_world(doc):
+    return doc.get("context", {}).get("benchmark") == "bench_shared_world"
+
+
 def family_items_per_second(doc):
+    if is_shared_world(doc):
+        out = {}
+        for row in doc.get("results", []):
+            name = "shared_world/p{}t{}".format(
+                row.get("partitions"), row.get("threads"))
+            if "events_per_sec" in row:
+                out[name] = float(row["events_per_sec"])
+        return out
     out = {}
     for bench in doc.get("benchmarks", []):
         name = bench.get("name", "")
@@ -54,6 +76,19 @@ def main():
 
     fresh = load(args.fresh)
     base = load(args.baseline)
+
+    if is_shared_world(fresh) != is_shared_world(base):
+        print("check_bench_regression: fresh and baseline use different "
+              "schemas -- nothing to compare", file=sys.stderr)
+        return 0
+
+    # Byte-identity of parallel vs sequential runs is a hard gate before any
+    # speed comparison: a fast divergent simulation is simply wrong.
+    if is_shared_world(fresh) and fresh.get("deterministic") is not True:
+        print("check_bench_regression: FRESH shared-world run is NOT "
+              "deterministic (parallel != sequential kernel)",
+              file=sys.stderr)
+        return 1
 
     for label, doc in (("fresh", fresh), ("baseline", base)):
         if doc.get("context", {}).get("assertions") == "enabled":
