@@ -33,7 +33,7 @@ struct Totals {
   long long crashes = 0;
 };
 
-client::BrowserSession::Config session_config() {
+client::BrowserSession::Config session_config(bool harsh) {
   client::BrowserSession::Config c;
   c.tcp.max_syn_retries = 4;
   c.tcp.max_rto = Time::sec(4);
@@ -46,15 +46,26 @@ client::BrowserSession::Config session_config() {
   c.recovery.backoff_initial = Time::msec(300);
   c.recovery.backoff_cap = Time::sec(2);
   c.recovery.max_attempts = 10;
+  if (harsh) {
+    // The abnormal-session regime: a tight recovery budget against a
+    // denser, longer fault plan, so some sessions exhaust their attempts
+    // and end degraded/aborted — the flight recorder's dump path.
+    c.recovery.max_attempts = 2;
+    c.recovery.backoff_cap = Time::sec(1);
+  }
   return c;
 }
 
-void run_one(std::uint64_t seed, Totals& totals,
-             const char* trace_file = nullptr) {
+void run_one(std::uint64_t seed, Totals& totals, int index, bool harsh,
+             const char* trace_file = nullptr,
+             const char* metrics_file = nullptr,
+             telemetry::QoeCollector* fleet = nullptr) {
   sim::Simulator sim(seed);
   telemetry::Hub hub;
-  if (trace_file != nullptr) {
-    hub.set_tracing(true);
+  const bool telemetry_on =
+      trace_file != nullptr || metrics_file != nullptr || fleet != nullptr;
+  if (telemetry_on) {
+    hub.set_tracing(trace_file != nullptr);
     sim.set_telemetry(&hub);  // before the deployment interns its tracks
   }
   hermes::Deployment::Config dc;
@@ -67,7 +78,7 @@ void run_one(std::uint64_t seed, Totals& totals,
 
   client::BrowserSession session(
       deployment.network(), deployment.client_node(0),
-      deployment.server(0).control_endpoint(), session_config());
+      deployment.server(0).control_endpoint(), session_config(harsh));
   session.set_subscription_form(hermes::student_form("chaos", "standard"));
   session.connect("chaos", "secret-chaos");
   session.queue_document("lesson");
@@ -83,6 +94,12 @@ void run_one(std::uint64_t seed, Totals& totals,
   profile.start = Time::sec(2);
   profile.max_faults = 3;
   profile.max_outage = Time::sec(4);
+  if (harsh) {
+    profile.max_faults = 6;
+    profile.max_outage = Time::sec(10);
+    profile.w_server_crash = 3.0;
+    profile.w_partition = 3.0;
+  }
   injector.arm(net::make_random_plan(
       seed, profile,
       {{deployment.router(), deployment.client_node(0)},
@@ -106,18 +123,37 @@ void run_one(std::uint64_t seed, Totals& totals,
   totals.faults += injector.stats().injected;
   totals.crashes += server.stats().crashes;
 
-  if (trace_file != nullptr) {
+  if (telemetry_on) {
     sim.flush_telemetry();
     deployment.network().flush_telemetry();
     injector.flush_telemetry();
     if (session.presentation() != nullptr) {
       session.presentation()->flush_telemetry();
     }
-    hub.write_trace_json(trace_file);
-    std::printf("  wrote %s (seed %llu: outcome=%s recoveries=%d)\n",
-                trace_file, static_cast<unsigned long long>(seed),
-                to_string(session.outcome()).c_str(),
-                session.recovery_count());
+    // Fold this seed's sealed QoE record into the fleet collector. Each
+    // run owns its Simulator, so trace ids restart at 1 every seed — relabel
+    // to the (unique) session index before merging.
+    session.finalize_qoe();
+    if (fleet != nullptr) {
+      if (const auto* rec = hub.qoe().find(session.trace_id())) {
+        telemetry::QoeRecord fleet_rec = *rec;
+        fleet_rec.trace_id = static_cast<std::uint32_t>(index) + 1;
+        fleet_rec.session = "seed/" + std::to_string(seed);
+        fleet->add(fleet_rec);
+      }
+    }
+    if (trace_file != nullptr) {
+      hub.write_trace_json(trace_file);
+      std::printf("  wrote %s (seed %llu: outcome=%s recoveries=%d)\n",
+                  trace_file, static_cast<unsigned long long>(seed),
+                  to_string(session.outcome()).c_str(),
+                  session.recovery_count());
+    }
+    if (metrics_file != nullptr) {
+      hub.write_metrics_csv(metrics_file);
+      std::printf("  wrote %s (seed %llu)\n", metrics_file,
+                  static_cast<unsigned long long>(seed));
+    }
   }
 }
 
@@ -127,7 +163,10 @@ int main(int argc, char** argv) {
   int sessions = 200;
   std::uint64_t base_seed = 10'000;
   bool json = false;
-  const char* trace_file = nullptr;  // Perfetto trace of the FIRST session
+  bool harsh = false;  // abnormal-session regime (see session_config)
+  const char* trace_file = nullptr;    // Perfetto trace of the FIRST session
+  const char* metrics_file = nullptr;  // metrics CSV of the FIRST session
+  const char* slo_file = nullptr;      // fleet QoE/SLO JSON across all seeds
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
       sessions = std::atoi(argv[++i]);
@@ -135,22 +174,30 @@ int main(int argc, char** argv) {
       base_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--slo-json") == 0 && i + 1 < argc) {
+      slo_file = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--harsh") == 0) {
+      harsh = true;
     } else {
-      std::fprintf(
-          stderr,
-          "usage: %s [--sessions N] [--seed S] [--trace FILE] [--json]\n",
-          argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--sessions N] [--seed S] [--trace FILE] "
+                   "[--metrics FILE] [--slo-json FILE] [--harsh] [--json]\n",
+                   argv[0]);
       return 2;
     }
   }
 
   Totals totals;
+  telemetry::QoeCollector fleet;
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < sessions; ++i) {
-    run_one(base_seed + static_cast<std::uint64_t>(i), totals,
-            i == 0 ? trace_file : nullptr);
+    run_one(base_seed + static_cast<std::uint64_t>(i), totals, i, harsh,
+            i == 0 ? trace_file : nullptr, i == 0 ? metrics_file : nullptr,
+            slo_file != nullptr ? &fleet : nullptr);
   }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -171,6 +218,21 @@ int main(int argc, char** argv) {
                 "outcome\n", totals.pending);
   }
 
+  if (slo_file != nullptr) {
+    const auto report = fleet.report();
+    std::printf("  slo: compliance=%.4f error_budget_burn=%.2f "
+                "startup_p95=%.1fms rebuffer_ratio_p95=%.4f\n",
+                report.compliance, report.error_budget_burn,
+                report.startup_ms.p95, report.rebuffer_ratio.p95);
+    const std::string slo_json = fleet.to_json();
+    if (FILE* f = std::fopen(slo_file, "w")) {
+      std::fwrite(slo_json.data(), 1, slo_json.size(), f);
+      std::fclose(f);
+      std::printf("  wrote %s (%d sessions)\n", slo_file,
+                  static_cast<int>(fleet.size()));
+    }
+  }
+
   if (json) {
     FILE* f = std::fopen("BENCH_chaos.json", "w");
     if (f != nullptr) {
@@ -178,7 +240,8 @@ int main(int argc, char** argv) {
           f,
           "{\"context\": {\"benchmark\": \"bench_chaos\","
           " \"host_name\": \"%s\", \"hardware_concurrency\": %u,"
-          " \"threads\": 1, \"assertions\": \"%s\"},\n"
+          " \"threads\": 1, \"assertions\": \"%s\","
+          " \"trace\": \"%s\", \"metrics\": \"%s\", \"slo_json\": \"%s\"},\n"
           " \"sessions\": %d, \"wall_s\": %.3f, \"sessions_per_sec\": %.2f,\n"
           " \"completed\": %d, \"degraded\": %d, \"aborted\": %d,"
           " \"pending\": %d,\n"
@@ -186,6 +249,9 @@ int main(int argc, char** argv) {
           " \"faults\": %lld, \"crashes\": %lld}\n",
           bench::host_name().c_str(), bench::hardware_threads(),
           bench::built_with_assertions() ? "enabled" : "disabled",
+          trace_file != nullptr ? trace_file : "",
+          metrics_file != nullptr ? metrics_file : "",
+          slo_file != nullptr ? slo_file : "",
           sessions, wall_s, rate, totals.completed, totals.degraded,
           totals.aborted, totals.pending, totals.recoveries,
           totals.degradations, totals.faults, totals.crashes);

@@ -412,6 +412,43 @@ void BM_TracerInstant(benchmark::State& state) {
 }
 BENCHMARK(BM_TracerInstant);
 
+void BM_SessionLifecycle(benchmark::State& state) {
+  // A complete short client-server session with NO telemetry hub: every
+  // QoE/flight-recorder/tracing site along the session lifecycle (connect,
+  // admission, stream setup, pacing, playout, seal) is one null-check
+  // branch. Guarded against the committed baseline by
+  // tools/check_telemetry_overhead.py at the same <=3% budget as the
+  // packet path.
+  bench::SessionParams params;
+  params.markup = bench::lecture_markup(2);
+  params.seed = 5;
+  params.run_for = Time::sec(6);
+  for (auto _ : state) {
+    const auto metrics = bench::run_session(params);
+    benchmark::DoNotOptimize(metrics);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SessionLifecycle);
+
+void BM_SessionLifecycleQoeOn(benchmark::State& state) {
+  // The same session with a hub installed and QoE collection on (tracing
+  // off): the delta against BM_SessionLifecycle is the price of the QoE
+  // plane + flight recorder — per-session records, playout accounting
+  // fold-in, ring events on state transitions, and the terminal seal.
+  bench::SessionParams params;
+  params.markup = bench::lecture_markup(2);
+  params.seed = 5;
+  params.run_for = Time::sec(6);
+  params.collect_qoe = true;
+  for (auto _ : state) {
+    const auto metrics = bench::run_session(params);
+    benchmark::DoNotOptimize(metrics);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SessionLifecycleQoeOn);
+
 }  // namespace
 
 int main(int argc, char** argv) {

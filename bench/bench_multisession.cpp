@@ -25,6 +25,7 @@
 
 #include "harness.hpp"
 #include "media/frame_cache.hpp"
+#include "telemetry/qoe.hpp"
 
 using namespace hyms;
 
@@ -104,6 +105,9 @@ int main(int argc, char** argv) {
   bool cache_enabled = true;
   double cache_mb = 64.0;
   double run_for_s = 20.0;
+  std::string trace_file;    // Perfetto trace of session 0
+  std::string metrics_file;  // metrics CSV of session 0
+  std::string slo_file;      // fleet QoE/SLO JSON across all sessions
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--json") {
@@ -132,12 +136,19 @@ int main(int argc, char** argv) {
       thread_counts = parse_thread_list(arg.data() + 10);
     } else if (arg.rfind("--run-for=", 0) == 0) {
       run_for_s = std::atof(arg.data() + 10);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_file = std::string(arg.substr(8));
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_file = std::string(arg.substr(10));
+    } else if (arg.rfind("--slo-json=", 0) == 0) {
+      slo_file = std::string(arg.substr(11));
     } else {
       std::fprintf(stderr,
                    "usage: bench_multisession [--sessions=N] "
                    "[--documents=N] [--zipf=S] [--threads=1,2,4] "
                    "[--run-for=SECONDS] [--cache-mb=MB] [--smoke] "
-                   "[--unbatched] [--no-cache] [--json]\n");
+                   "[--unbatched] [--no-cache] [--trace=FILE] "
+                   "[--metrics=FILE] [--slo-json=FILE] [--json]\n");
       return 1;
     }
   }
@@ -154,6 +165,7 @@ int main(int argc, char** argv) {
   base.seed = 7;
   base.run_for = Time::sec(static_cast<std::int64_t>(run_for_s) + 2);
   base.link_batching = batching;
+  base.collect_qoe = !slo_file.empty();
 
   // One process-wide cache shared by every session on every shard — the
   // tentpole: a Zipf-popular document's frames are synthesized exactly once.
@@ -178,6 +190,25 @@ int main(int argc, char** argv) {
       zipf_assignment(sessions, documents, zipf_s, base.seed);
   auto customize = [&](int i, bench::SessionParams& params) {
     params.markup = markups[static_cast<std::size_t>(doc_of[static_cast<std::size_t>(i)])];
+    if (i == 0) {  // session 0 carries the exemplar trace/metrics exports
+      params.trace_file = trace_file;
+      params.metrics_file = metrics_file;
+    }
+  };
+
+  // Fold the per-session QoE records into one fleet collector. Sessions are
+  // relabeled by index so the export is identical no matter which shard ran
+  // them — the SLO byte-identity gate across thread rows.
+  auto fleet_slo_json = [&](const std::vector<bench::SessionMetrics>& ms) {
+    telemetry::QoeCollector fleet;
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      if (ms[i].qoe.trace_id == 0) continue;
+      telemetry::QoeRecord rec = ms[i].qoe;
+      rec.trace_id = static_cast<std::uint32_t>(i) + 1;
+      rec.session = "session/" + std::to_string(i);
+      fleet.add(rec);
+    }
+    return fleet.to_json();
   };
 
   // Sequential reference: both the 1-thread timing row and the per-session
@@ -215,6 +246,15 @@ int main(int argc, char** argv) {
                  sessions);
     return 1;
   }
+  std::string ref_slo;
+  if (!slo_file.empty()) {
+    ref_slo = fleet_slo_json(reference);
+    if (std::FILE* f = std::fopen(slo_file.c_str(), "w")) {
+      std::fwrite(ref_slo.data(), 1, ref_slo.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s (%d sessions)\n\n", slo_file.c_str(), sessions);
+    }
+  }
 
   std::vector<ThreadResult> results;
   for (const int t : thread_counts) {
@@ -238,6 +278,13 @@ int main(int argc, char** argv) {
                        "diverged from the sequential run\n",
                        i, t);
         }
+      }
+      if (!slo_file.empty() && fleet_slo_json(metrics) != ref_slo) {
+        row.deterministic = false;
+        std::fprintf(stderr,
+                     "SLO DIVERGENCE: fleet QoE export at %d threads is not "
+                     "byte-identical to the sequential run\n",
+                     t);
       }
     }
     row.cache_hits = row_cache.hits;
@@ -288,6 +335,9 @@ int main(int argc, char** argv) {
                  "    \"link_batching\": %s,\n"
                  "    \"frame_cache\": %s,\n"
                  "    \"frame_cache_mb\": %.1f,\n"
+                 "    \"trace\": \"%s\",\n"
+                 "    \"metrics\": \"%s\",\n"
+                 "    \"slo_json\": \"%s\",\n"
                  "    \"assertions\": \"%s\"\n"
                  "  },\n"
                  "  \"deterministic\": %s,\n"
@@ -296,7 +346,8 @@ int main(int argc, char** argv) {
                  run_for_s, hw, bench::hardware_threads(),
                  batching ? "true" : "false",
                  cache_enabled ? "true" : "false",
-                 cache_enabled ? cache_mb : 0.0,
+                 cache_enabled ? cache_mb : 0.0, trace_file.c_str(),
+                 metrics_file.c_str(), slo_file.c_str(),
                  bench::built_with_assertions() ? "enabled" : "disabled",
                  all_deterministic ? "true" : "false");
     for (std::size_t i = 0; i < results.size(); ++i) {

@@ -58,6 +58,9 @@ int main(int argc, char** argv) {
   std::size_t partitions = 4;
   std::uint64_t seed = 1;
   bool json = false;
+  std::string trace_file;    // Perfetto trace of the sequential run
+  std::string metrics_file;  // merged metrics CSV of the sequential run
+  std::string slo_file;      // fleet QoE/SLO JSON (one record per client)
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -71,12 +74,19 @@ int main(int argc, char** argv) {
       partitions = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--trace") {
+      trace_file = next();
+    } else if (arg == "--metrics") {
+      metrics_file = next();
+    } else if (arg == "--slo-json") {
+      slo_file = next();
     } else if (arg == "--json") {
       json = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_shared_world [--clients N] [--seconds S] "
-                   "[--partitions P] [--seed S] [--json]\n");
+                   "[--partitions P] [--seed S] [--trace FILE] "
+                   "[--metrics FILE] [--slo-json FILE] [--json]\n");
       return 1;
     }
   }
@@ -90,6 +100,8 @@ int main(int argc, char** argv) {
   // oversubscribes it ~25%: drops happen, the rate-feedback loop engages,
   // and cross-partition traffic stays load-bearing.
   cfg.server_bandwidth_bps = clients * 0.75e6;
+  cfg.telemetry =
+      !trace_file.empty() || !metrics_file.empty() || !slo_file.empty();
 
   const unsigned hw = bench::hardware_threads();
   std::printf("bench_shared_world: %d clients, %ds sim, partitions=%zu "
@@ -99,6 +111,19 @@ int main(int argc, char** argv) {
   // The reference: the plain single-calendar kernel.
   hyms::net::StarWorldResult seq;
   const double seq_wall = run_once(cfg, 1, seq);
+
+  const auto write_file = [](const std::string& path,
+                             const std::string& body) {
+    if (path.empty()) return;
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", path.c_str());
+    }
+  };
+  write_file(trace_file, seq.trace_json);
+  write_file(metrics_file, seq.metrics_csv);
+  write_file(slo_file, seq.qoe_json);
 
   std::vector<Row> rows;
   rows.push_back(Row{1, 1, seq_wall,
@@ -116,7 +141,14 @@ int main(int argc, char** argv) {
             static_cast<double>(par.events_executed) / wall,
             seq_wall / wall, par.windows, par.messages,
             par.fingerprint == seq.fingerprint &&
-                par.events_csv == seq.events_csv};
+                par.events_csv == seq.events_csv &&
+                par.qoe_json == seq.qoe_json};
+    if (cfg.telemetry && par.qoe_json != seq.qoe_json) {
+      std::fprintf(stderr,
+                   "SLO DIVERGENCE: QoE export at %zu partitions / %d "
+                   "threads is not byte-identical to the sequential kernel\n",
+                   partitions, threads);
+    }
     all_deterministic = all_deterministic && row.deterministic;
     rows.push_back(row);
   }
@@ -158,6 +190,9 @@ int main(int argc, char** argv) {
                  "    \"seed\": %llu,\n"
                  "    \"lookahead_us\": %lld,\n"
                  "    \"events\": %zu,\n"
+                 "    \"trace\": \"%s\",\n"
+                 "    \"metrics\": \"%s\",\n"
+                 "    \"slo_json\": \"%s\",\n"
                  "    \"assertions\": \"%s\"\n"
                  "  },\n"
                  "  \"deterministic\": %s,\n"
@@ -165,6 +200,7 @@ int main(int argc, char** argv) {
                  bench::host_name().c_str(), hw, clients, seconds, partitions,
                  static_cast<unsigned long long>(seed),
                  static_cast<long long>(lookahead.us()), seq.events_executed,
+                 trace_file.c_str(), metrics_file.c_str(), slo_file.c_str(),
                  bench::built_with_assertions() ? "enabled" : "disabled",
                  all_deterministic ? "true" : "false");
     for (std::size_t i = 0; i < rows.size(); ++i) {

@@ -41,8 +41,8 @@ SessionMetrics run_session(const SessionParams& params) {
   // Install the hub before the deployment builds the network: components
   // intern their telemetry tracks in their constructors.
   telemetry::Hub hub;
-  const bool telemetry_on =
-      !params.trace_file.empty() || !params.metrics_file.empty();
+  const bool telemetry_on = !params.trace_file.empty() ||
+                            !params.metrics_file.empty() || params.collect_qoe;
   if (telemetry_on) {
     hub.set_tracing(!params.trace_file.empty());
     sim.set_telemetry(&hub);
@@ -125,6 +125,12 @@ SessionMetrics run_session(const SessionParams& params) {
 
   auto export_telemetry = [&] {
     if (!telemetry_on) return;
+    // Seal the session's QoE record (horizon runs never disconnect) and hand
+    // it to the caller; the benches fold these into the fleet SLO report.
+    session.finalize_qoe();
+    if (const auto* rec = hub.qoe().find(session.trace_id())) {
+      metrics.qoe = *rec;
+    }
     sim.flush_telemetry();
     deployment.network().flush_telemetry();
     deployment.server(0).flush_telemetry();

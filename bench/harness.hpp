@@ -16,6 +16,7 @@
 #include "media/frame_cache.hpp"
 #include "net/loss.hpp"
 #include "server/qos_manager.hpp"
+#include "telemetry/qoe.hpp"
 #include "util/time.hpp"
 
 namespace hyms::bench {
@@ -73,6 +74,10 @@ struct SessionParams {
   // the run the Perfetto trace JSON / metrics CSV are written to these paths.
   std::string trace_file;
   std::string metrics_file;
+  /// Install a hub (tracing off) even without export paths and return the
+  /// session's sealed QoE record in SessionMetrics::qoe — the benches
+  /// aggregate these into a fleet SLO report (--slo-json).
+  bool collect_qoe = false;
 };
 
 struct SessionMetrics {
@@ -101,6 +106,9 @@ struct SessionMetrics {
   /// Drop counters of the impaired client downlink.
   std::int64_t link_dropped_loss = 0;
   std::int64_t link_dropped_queue = 0;
+  /// Sealed per-session QoE record (trace_id == 0 when QoE collection was
+  /// off). Includes the flight-recorder black_box for abnormal outcomes.
+  telemetry::QoeRecord qoe;
 };
 
 /// Run one complete session (connect, subscribe, request, play, teardown).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "markup/parser.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace hyms::client {
@@ -48,6 +49,11 @@ BrowserSession::~BrowserSession() {
 
 void BrowserSession::log_event(const std::string& what) {
   events_.push_back(sim_.now().str() + " " + what);
+  if (trace_id_ != 0) {
+    if (auto* hub = sim_.telemetry(); hub != nullptr) {
+      hub->qoe().note_event(trace_id_, sim_.now(), what);
+    }
+  }
 }
 
 void BrowserSession::transition(ClientState next) {
@@ -91,11 +97,27 @@ void BrowserSession::fail(util::Error error) {
 }
 
 void BrowserSession::send(const proto::Message& msg) {
+  // Span ids advance unconditionally (they are part of the wire envelope),
+  // so traced and bare runs put byte-identical frames on the network.
+  send(msg, telemetry::TraceContext{trace_id_, ++span_seq_});
+}
+
+void BrowserSession::send(const proto::Message& msg,
+                          const telemetry::TraceContext& ctx) {
   if (!channel_) {
     fail(util::Error{util::Error::Code::kNetwork, "send with no connection"});
     return;
   }
-  channel_->send_message(proto::encode(msg));
+  if (ctx.valid() && trace_track_ != telemetry::kInvalidTraceId) {
+    if (auto* hub = sim_.telemetry(); hub != nullptr && hub->tracing()) {
+      // One Perfetto flow per request: it starts here and is stepped/ended
+      // by the server handler and (for StreamSetup) the first playout slot.
+      auto& tr = hub->tracer();
+      tr.flow_start(trace_track_, tr.name(proto::message_name(msg)), sim_.now(),
+                    ctx.flow_id());
+    }
+  }
+  channel_->send_message(proto::encode(msg, ctx));
 }
 
 void BrowserSession::connect(const std::string& user,
@@ -108,6 +130,15 @@ void BrowserSession::connect(const std::string& user,
   user_ = user;
   credential_ = credential;
   user_closing_ = false;
+  // The session trace id survives reconnects: every recovery attempt of one
+  // user session stitches into the same causal tree and QoE record.
+  if (trace_id_ == 0) trace_id_ = sim_.next_trace_id();
+  if (auto* hub = sim_.telemetry(); hub != nullptr) {
+    hub->qoe().session(trace_id_, "client/" + user_);
+    if (hub->tracing() && trace_track_ == telemetry::kInvalidTraceId) {
+      trace_track_ = hub->tracer().track("client/" + user_ + "/session");
+    }
+  }
   open_connection();
 }
 
@@ -129,7 +160,9 @@ void BrowserSession::open_connection() {
       return;
     }
     transition(ClientState::kClosed);
+    accumulate_playout_qoe();
     presentation_.reset();
+    seal_qoe(outcome_);
     if (on_closed_) on_closed_();
   });
   transition(ClientState::kConnecting);
@@ -222,6 +255,7 @@ void BrowserSession::begin_recovery(const std::string& why) {
     const Time position = presentation_->playout_position();
     if (position > resume_position_) resume_position_ = position;
   }
+  accumulate_playout_qoe();
   presentation_.reset();
   if (conn_) conn_->abort();  // re-entry into on_close is guarded by recovering_
   channel_.reset();
@@ -255,7 +289,9 @@ void BrowserSession::abort_recovery(const std::string& why) {
   recovering_ = false;
   cancel_recovery_timers();
   outcome_ = SessionOutcome::kAborted;
+  accumulate_playout_qoe();
   presentation_.reset();
+  seal_qoe(outcome_);
   transition(ClientState::kClosed);  // before abort(): on_close sees kClosed
   if (conn_) conn_->abort();
   channel_.reset();
@@ -269,7 +305,54 @@ void BrowserSession::finish_presentation() {
   log_event("presentation finished");
   outcome_ = floor_degradations_ > 0 ? SessionOutcome::kDegraded
                                      : SessionOutcome::kCompleted;
+  accumulate_playout_qoe();
+  seal_qoe(outcome_);
   if (on_presentation_finished_) on_presentation_finished_();
+}
+
+// --- observability --------------------------------------------------------------
+
+void BrowserSession::finalize_qoe() {
+  accumulate_playout_qoe();
+  seal_qoe(outcome_);
+}
+
+void BrowserSession::accumulate_playout_qoe() {
+  if (qoe_accumulated_ || !presentation_ || trace_id_ == 0) return;
+  qoe_accumulated_ = true;
+  auto* hub = sim_.telemetry();
+  if (hub == nullptr) return;
+  const auto& trace = presentation_->trace();
+  const auto totals = trace.totals();
+  auto& rec = hub->qoe().session(trace_id_, "client/" + user_);
+  rec.rebuffer_count += static_cast<int>(totals.rebuffers);
+  rec.rebuffer_ms += presentation_->scheduler().rebuffer_wait_total().to_ms();
+  rec.max_skew_ms = std::max(rec.max_skew_ms, trace.max_abs_skew_ms());
+  rec.fresh_slots += totals.fresh;
+  rec.total_slots += totals.total_slots();
+  if (totals.last_play > totals.first_play) {
+    rec.play_ms += (totals.last_play - totals.first_play).to_ms();
+  }
+}
+
+void BrowserSession::seal_qoe(SessionOutcome outcome) {
+  if (trace_id_ == 0) return;
+  auto* hub = sim_.telemetry();
+  if (hub == nullptr) return;
+  auto& rec = hub->qoe().session(trace_id_, "client/" + user_);
+  rec.recoveries = recoveries_;
+  telemetry::QoeOutcome qoe = telemetry::QoeOutcome::kPending;
+  switch (outcome) {
+    case SessionOutcome::kPending: qoe = telemetry::QoeOutcome::kPending; break;
+    case SessionOutcome::kCompleted:
+      qoe = telemetry::QoeOutcome::kCompleted;
+      break;
+    case SessionOutcome::kDegraded:
+      qoe = telemetry::QoeOutcome::kDegraded;
+      break;
+    case SessionOutcome::kAborted: qoe = telemetry::QoeOutcome::kAborted; break;
+  }
+  hub->qoe().seal(trace_id_, qoe);
 }
 
 void BrowserSession::request_topics() { send(proto::TopicListRequest{}); }
@@ -290,9 +373,11 @@ void BrowserSession::request_document(const std::string& name) {
                      "request_document in state " + to_string(state_)});
     return;
   }
+  accumulate_playout_qoe();
   presentation_.reset();  // navigating away tears the old playout down
   pending_document_ = name;
   if (!recovering_) outcome_ = SessionOutcome::kPending;  // a fresh fate
+  if (first_request_at_ == Time::max()) first_request_at_ = sim_.now();
   transition(ClientState::kRequestingDocument);
   proto::DocumentRequest request{name};
   if (recovering_ && floor_degradations_ > 0) {
@@ -341,6 +426,7 @@ void BrowserSession::search(const std::string& token) {
 void BrowserSession::suspend() {
   if (state_ == ClientState::kViewing || state_ == ClientState::kPaused ||
       state_ == ClientState::kBrowsing) {
+    accumulate_playout_qoe();
     presentation_.reset();
     send(proto::Suspend{});
   } else {
@@ -364,6 +450,7 @@ void BrowserSession::disconnect() {
   cancel_recovery_timers();
   if (!channel_) return;
   send(proto::Disconnect{});
+  accumulate_playout_qoe();
   presentation_.reset();
   if (conn_) conn_->close();
 }
@@ -405,10 +492,27 @@ void BrowserSession::reload_document() {
 
 void BrowserSession::on_frame(std::vector<std::uint8_t> frame) {
   disarm_request_timer();  // any inbound frame proves the server alive
-  auto decoded = proto::decode(frame);
+  telemetry::TraceContext ctx;
+  auto decoded = proto::decode(frame, &ctx);
   if (!decoded.ok()) {
     fail(util::Error{util::Error::Code::kParse, "undecodable server message"});
     return;
+  }
+  if (ctx.valid() && trace_track_ != telemetry::kInvalidTraceId) {
+    if (auto* hub = sim_.telemetry(); hub != nullptr && hub->tracing()) {
+      // Replies close the request's flow on the client track — except the
+      // StreamSetupReply, whose flow is only stepped here and terminates at
+      // the presentation's first playout slot.
+      auto& tr = hub->tracer();
+      const auto name =
+          tr.name(proto::message_name(decoded.value()));
+      if (std::holds_alternative<proto::StreamSetupReply>(decoded.value())) {
+        tr.flow_step(trace_track_, name, sim_.now(), ctx.flow_id());
+      } else {
+        tr.flow_end(trace_track_, name, sim_.now(), ctx.flow_id());
+      }
+      tr.instant(trace_track_, name, sim_.now());
+    }
   }
   std::visit([this](const auto& m) { handle(m); }, decoded.value());
 }
@@ -514,9 +618,14 @@ void BrowserSession::handle(const proto::DocumentReply& m) {
           if (on_timed_link_) on_timed_link_(link);
         });
       });
+  qoe_accumulated_ = false;  // a fresh presentation's playout to account
   if (config_.auto_setup) {
     transition(ClientState::kSettingUp);
-    send(presentation_->prepare_setup(current_document_));
+    // The StreamSetup's flow does not end at its reply: it is stepped through
+    // the server and terminates at the presentation's first playout slot.
+    const telemetry::TraceContext setup_ctx{trace_id_, ++span_seq_};
+    presentation_->set_trace_context(setup_ctx);
+    send(presentation_->prepare_setup(current_document_), setup_ctx);
     arm_request_timer();
   }
 }
@@ -527,6 +636,7 @@ void BrowserSession::handle(const proto::StreamSetupReply& m) {
     return;
   }
   if (!m.ok) {
+    accumulate_playout_qoe();
     presentation_.reset();
     transition(ClientState::kBrowsing);
     fail(util::Error{util::Error::Code::kProtocol,
@@ -535,6 +645,14 @@ void BrowserSession::handle(const proto::StreamSetupReply& m) {
   }
   presentation_->activate(m, server_.node);
   transition(ClientState::kViewing);
+  if (!startup_recorded_ && first_request_at_ != Time::max()) {
+    startup_recorded_ = true;
+    if (auto* hub = sim_.telemetry(); hub != nullptr && trace_id_ != 0) {
+      auto& rec = hub->qoe().session(trace_id_, "client/" + user_);
+      rec.startup_ms =
+          std::max(rec.startup_ms, (sim_.now() - first_request_at_).to_ms());
+    }
+  }
   if (recovering_) {
     recovering_ = false;
     recovery_attempts_ = 0;  // a successful recovery refills the budget

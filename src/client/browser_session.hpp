@@ -159,6 +159,15 @@ class BrowserSession {
   }
   [[nodiscard]] net::Endpoint server() const { return server_; }
   [[nodiscard]] const std::string& user() const { return user_; }
+  /// Dense per-run causal trace id (allocated at connect; 0 before that).
+  /// Stable across recoveries, so every reconnect of one user session
+  /// stitches into the same causal tree and QoE record.
+  [[nodiscard]] std::uint32_t trace_id() const { return trace_id_; }
+  /// Fold any live playout accounting into the QoE record and seal it with
+  /// the session's current outcome. For harnesses that stop the simulation
+  /// at a horizon instead of disconnecting; idempotent (later terminal
+  /// events can still worsen the outcome but never double-count).
+  void finalize_qoe();
 
   // --- hooks -------------------------------------------------------------------
   void set_on_browsing(Notify fn) { on_browsing_ = std::move(fn); }
@@ -177,6 +186,7 @@ class BrowserSession {
 
  private:
   void send(const proto::Message& msg);
+  void send(const proto::Message& msg, const telemetry::TraceContext& ctx);
   void transition(ClientState next);
   void enter_browsing();
   void log_event(const std::string& what);
@@ -199,6 +209,15 @@ class BrowserSession {
   void finish_presentation();
   [[nodiscard]] Time backoff_delay();
   void cancel_recovery_timers();
+
+  // --- observability -----------------------------------------------------------
+  /// Fold the live presentation's playout accounting (rebuffers, skew,
+  /// fresh ratio, play/rebuffer spans) into this session's QoE record.
+  /// Idempotent per presentation; call before presentation_.reset().
+  void accumulate_playout_qoe();
+  /// Seal the session's QoE record with its terminal outcome: the flight
+  /// recorder frees the ring on completed, dumps it on degraded/aborted.
+  void seal_qoe(SessionOutcome outcome);
 
   void handle(const proto::ConnectReply& m);
   void handle(const proto::SubscribeReply& m);
@@ -259,6 +278,15 @@ class BrowserSession {
   sim::EventId request_timer_ = sim::kNoEvent;
   sim::EventId liveness_timer_ = sim::kNoEvent;
   sim::EventId reconnect_timer_ = sim::kNoEvent;
+
+  // Causal tracing + QoE (trace id assignment is always on and part of
+  // deterministic simulation state; recording is gated on the hub).
+  std::uint32_t trace_id_ = 0;
+  std::uint32_t span_seq_ = 0;
+  telemetry::TrackId trace_track_ = telemetry::kInvalidTraceId;
+  Time first_request_at_ = Time::max();
+  bool startup_recorded_ = false;
+  bool qoe_accumulated_ = false;  // current presentation already folded in
 
   Notify on_browsing_;
   Notify on_viewing_;

@@ -65,6 +65,11 @@ class PresentationRuntime {
   }
 
   [[nodiscard]] core::PlayoutScheduler& scheduler() { return *scheduler_; }
+  /// Propagate the StreamSetup's causal trace context into the playout
+  /// scheduler (the request's flow terminates at the first playout start).
+  void set_trace_context(const telemetry::TraceContext& ctx) {
+    scheduler_->set_trace_context(ctx);
+  }
   [[nodiscard]] const core::PlayoutTrace& trace() const {
     return scheduler_->trace();
   }

@@ -29,6 +29,7 @@ PlayoutScheduler::PlayoutScheduler(sim::Simulator& sim,
     n_buffer_ms_ = tr.name("buffer_ms");
     n_skew_ms_ = tr.name("skew_ms");
     n_rebuffer_ = tr.name("rebuffer");
+    n_playout_start_ = tr.name("playout_start");
   }
 }
 
@@ -119,6 +120,16 @@ void PlayoutScheduler::start_process(Process& p) {
       p.done = true;
       p.active = false;
       return;
+    }
+  }
+  if (!flow_emitted_ && flow_ctx_.valid() &&
+      p.track != telemetry::kInvalidTraceId) {
+    if (auto* hub = sim_.telemetry(); hub != nullptr && hub->tracing()) {
+      // Terminate the StreamSetup request's flow at the first playout start.
+      hub->tracer().flow_end(p.track, n_playout_start_, sim_.now(),
+                             flow_ctx_.flow_id());
+      hub->tracer().instant(p.track, n_playout_start_, sim_.now());
+      flow_emitted_ = true;
     }
   }
   Time first_tick = epoch_ + p.spec.start + p.interval * p.next_index;
@@ -422,6 +433,7 @@ void PlayoutScheduler::poll_rebuffer(Process* p, Time began) {
   const bool timed_out = sim_.now() - began >= config_.rebuffer.max_wait;
   if (refilled || timed_out) {
     rebuffering_ = false;
+    rebuffer_wait_total_ += sim_.now() - began;
     if (auto* hub = sim_.telemetry()) {
       hub->tracer().end(p->track, sim_.now());
     }

@@ -10,6 +10,7 @@
 #include "core/scenario.hpp"
 #include "core/trace.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/trace_context.hpp"
 #include "util/time.hpp"
 
 namespace hyms::core {
@@ -119,6 +120,19 @@ class PlayoutScheduler {
   void set_on_finished(FinishedFn fn) { on_finished_ = std::move(fn); }
   void set_on_timed_link(TimedLinkFn fn) { on_timed_link_ = std::move(fn); }
 
+  /// Causal trace context of the StreamSetup request that produced this
+  /// presentation: the first playout process to start terminates that
+  /// request's Perfetto flow on its track, stitching client request ->
+  /// server spans -> playout into one connected tree.
+  void set_trace_context(const telemetry::TraceContext& ctx) {
+    flow_ctx_ = ctx;
+  }
+  /// Total wall time this presentation spent paused inside rebuffer refills
+  /// (QoE rebuffer duration).
+  [[nodiscard]] Time rebuffer_wait_total() const {
+    return rebuffer_wait_total_;
+  }
+
  private:
   struct Process {
     StreamSpec spec;
@@ -165,6 +179,10 @@ class PlayoutScheduler {
   telemetry::NameId n_buffer_ms_ = telemetry::kInvalidTraceId;
   telemetry::NameId n_skew_ms_ = telemetry::kInvalidTraceId;
   telemetry::NameId n_rebuffer_ = telemetry::kInvalidTraceId;
+  telemetry::NameId n_playout_start_ = telemetry::kInvalidTraceId;
+  telemetry::TraceContext flow_ctx_;
+  bool flow_emitted_ = false;
+  Time rebuffer_wait_total_;
   /// Flat and sorted by stream id (the order the old string-keyed map
   /// iterated in, which tie-breaks simultaneous ticks and sync decisions),
   /// so per-tick group scans walk a contiguous array.

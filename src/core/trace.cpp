@@ -130,6 +130,7 @@ std::string PlayoutTrace::events_csv() const {
 
 StreamPlayoutStats PlayoutTrace::totals() const {
   StreamPlayoutStats total;
+  bool any_play = false;
   for (const StreamPlayoutStats& s : stats_) {
     total.fresh += s.fresh;
     total.duplicates += s.duplicates;
@@ -139,6 +140,14 @@ StreamPlayoutStats PlayoutTrace::totals() const {
     total.late_discards += s.late_discards;
     total.gap_skips += s.gap_skips;
     total.rebuffers += s.rebuffers;
+    // Playing span across streams: earliest first slot to latest last slot
+    // (streams that never played a fresh slot contribute nothing).
+    if (s.fresh > 0) {
+      total.first_play =
+          any_play ? std::min(total.first_play, s.first_play) : s.first_play;
+      total.last_play = std::max(total.last_play, s.last_play);
+      any_play = true;
+    }
   }
   return total;
 }

@@ -231,6 +231,22 @@ void FaultInjector::apply(const FaultEvent& event) {
       span_open_ = false;
     }
   }
+  if (hub != nullptr) {
+    // World-scoped flight-recorder entry: every abnormal session's black-box
+    // dump interleaves these with its own events.
+    std::string text = std::string("fault: ") + to_string(event.kind);
+    if (event.kind == FaultKind::kServerCrash ||
+        event.kind == FaultKind::kServerRestart) {
+      if (event.server >= 0 &&
+          event.server < static_cast<int>(servers_.size())) {
+        text += " " + servers_[static_cast<std::size_t>(event.server)].name;
+      }
+    } else if (event.a != kNoNode) {
+      text += " a=" + std::to_string(event.a);
+      if (event.b != kNoNode) text += " b=" + std::to_string(event.b);
+    }
+    hub->qoe().note_world_event(sim.now(), text);
+  }
 
   switch (event.kind) {
     case FaultKind::kLinkDown:

@@ -157,6 +157,7 @@ class Client {
   std::int64_t late_ = 0;
   std::int64_t bytes_ = 0;
   std::int64_t reports_sent_ = 0;
+  Time first_arrival_ = Time::zero();
   Time last_arrival_ = Time::zero();
   std::vector<LogEntry> log_;
 
@@ -166,6 +167,7 @@ class Client {
   }
   void report_tick(Time now);
   void on_packet(const PacketItem& item) {
+    if (received_ == 0) first_arrival_ = item.arrival;
     ++received_;
     ++recv_since_;
     bytes_ += item.bytes;
@@ -261,6 +263,18 @@ class Server {
   Pipe egress_;
   std::vector<int> level_;
   std::vector<LogEntry> log_;
+
+  /// Server-side half of each client's QoE record (rate-change count, final
+  /// delivered level), written into the server partition's collector; the
+  /// client-side half lives in the client's partition. The fills are
+  /// field-disjoint, so the commutative merge is partition-proof.
+  void flush_qoe(telemetry::Hub& hub) {
+    for (std::uint32_t c = 0; c < level_.size(); ++c) {
+      auto& rec = hub.qoe().session(c + 1);
+      rec.quality_changes += static_cast<int>(rate_seq_[c]);
+      ++rec.level_slots[std::min(level_[c], telemetry::kQoeLevels - 1)];
+    }
+  }
 
  private:
   void arm_frame(std::uint32_t c, Time at) {
@@ -551,11 +565,32 @@ StarWorldResult run_star_world(const StarWorldConfig& cfg, int threads) {
       m.set(m.gauge(prefix + "/queued"),
             static_cast<double>(world.sims[p]->queued()));
     }
+    // QoE: each client's record is split field-disjointly between its own
+    // partition (delivery-side metrics) and the server's partition (quality
+    // grading), then folded by the commutative merge below.
+    server.flush_qoe(*world.hubs[0]);
+    for (const auto& cl : clients) {
+      auto& qoe = world.hubs[client_partition[cl.id_]]->qoe();
+      auto& rec =
+          qoe.session(cl.id_ + 1, "world/client/" + std::to_string(cl.id_));
+      if (cl.received_ > 0) {
+        rec.startup_ms = std::max(rec.startup_ms, cl.first_arrival_.to_ms());
+        rec.play_ms += (cl.last_arrival_ - cl.first_arrival_).to_ms();
+      }
+      rec.fresh_slots += cl.received_;
+      rec.total_slots += cl.received_ + cl.lost_;
+      rec.outcome = std::max(rec.outcome,
+                             server.level_[cl.id_] == 0
+                                 ? telemetry::QoeOutcome::kCompleted
+                                 : telemetry::QoeOutcome::kDegraded);
+    }
     telemetry::Hub root;
     for (const auto& hub : world.hubs) root.merge_from(*hub);
     root.tracer().stable_sort_by_time();
     r.metrics_csv = root.metrics().to_csv();
     r.trace_csv = root.tracer().to_csv();
+    r.trace_json = root.tracer().to_chrome_json();
+    r.qoe_json = root.qoe().to_json();
   }
   return r;
 }

@@ -80,6 +80,12 @@ struct StarWorldResult {
   // Merged telemetry (empty unless StarWorldConfig::telemetry).
   std::string metrics_csv;
   std::string trace_csv;
+  /// Perfetto trace-event JSON of the merged timeline.
+  std::string trace_json;
+  /// Fleet QoE/SLO export ("hyms-slo-v1"): one record per client, filled
+  /// field-disjointly from the client's and the server's partition hubs and
+  /// folded commutatively — byte-identical across partition/thread counts.
+  std::string qoe_json;
 };
 
 /// Build and run the star world to cfg.run_for. With partitions == 1 this is

@@ -231,17 +231,28 @@ struct Encoder {
 
 }  // namespace
 
-net::Payload encode(const Message& msg) {
+net::Payload encode(const Message& msg, const telemetry::TraceContext& ctx) {
   net::Payload out;
   WireWriter w(out);
+  w.u32(ctx.trace_id);
+  w.u32(ctx.span_id);
   std::visit(Encoder{w}, msg);
   return out;
 }
 
-util::Result<Message> decode(const net::Payload& frame) {
+net::Payload encode(const Message& msg) {
+  return encode(msg, telemetry::TraceContext{});
+}
+
+util::Result<Message> decode(const net::Payload& frame,
+                             telemetry::TraceContext* ctx) {
   if (frame.empty()) return util::parse_error("empty protocol frame");
   try {
     WireReader r(frame);
+    telemetry::TraceContext envelope;
+    envelope.trace_id = r.u32();
+    envelope.span_id = r.u32();
+    if (ctx != nullptr) *ctx = envelope;
     const auto type = static_cast<MsgType>(r.u8());
     switch (type) {
       case MsgType::kConnectRequest: {
@@ -443,6 +454,10 @@ util::Result<Message> decode(const net::Payload& frame) {
   } catch (const std::out_of_range&) {
     return util::parse_error("truncated protocol frame");
   }
+}
+
+util::Result<Message> decode(const net::Payload& frame) {
+  return decode(frame, nullptr);
 }
 
 std::string message_name(const Message& msg) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "telemetry/trace_context.hpp"
 #include "util/result.hpp"
 #include "util/time.hpp"
 
@@ -254,7 +255,17 @@ using Message = std::variant<
     MailFetch, MailList, Annotate, AnnotationListRequest, AnnotationListReply,
     DirectoryListRequest, DirectoryListReply, ErrorReply>;
 
+/// Every frame starts with a fixed 8-byte trace envelope
+/// ([u32 trace_id][u32 span_id]) ahead of the type byte. The envelope is
+/// always present — context {0,0} means "untraced" — so frame sizes and
+/// timing never depend on whether a telemetry hub is recording.
+[[nodiscard]] net::Payload encode(const Message& msg,
+                                  const telemetry::TraceContext& ctx);
 [[nodiscard]] net::Payload encode(const Message& msg);
+/// `ctx`, when non-null, receives the frame's trace envelope (also on
+/// decode failure past the envelope itself).
+[[nodiscard]] util::Result<Message> decode(const net::Payload& frame,
+                                           telemetry::TraceContext* ctx);
 [[nodiscard]] util::Result<Message> decode(const net::Payload& frame);
 [[nodiscard]] std::string message_name(const Message& msg);
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace hyms::server {
@@ -81,7 +82,10 @@ class MultimediaServer::ClientSession {
   };
 
   void send(const proto::Message& msg) {
-    channel_.send_message(proto::encode(msg));
+    // Replies echo the trace context of the request being handled; messages
+    // sent outside a handler (suspend expiry, deferred search results) carry
+    // the null context. Always-on, so frames match with telemetry off.
+    channel_.send_message(proto::encode(msg, current_ctx_));
   }
 
   void protocol_error(const std::string& what) {
@@ -91,13 +95,37 @@ class MultimediaServer::ClientSession {
 
   void on_frame(std::vector<std::uint8_t> frame) {
     last_peer_activity_ = sim_.now();
-    auto decoded = proto::decode(frame);
+    telemetry::TraceContext ctx;
+    auto decoded = proto::decode(frame, &ctx);
     if (!decoded.ok()) {
       protocol_error("undecodable message: " + decoded.error().message);
       return;
     }
+    current_ctx_ = ctx;
+    if (ctx.trace_id != 0) peer_trace_id_ = ctx.trace_id;
     const proto::Message& msg = decoded.value();
+    bool span_open = false;
+    if (ctx.valid()) {
+      if (auto* hub = sim_.telemetry(); hub != nullptr && hub->tracing()) {
+        // Step the request's flow through this session's server track and
+        // wrap the handler in a span named after the message.
+        auto& tr = hub->tracer();
+        if (trace_track_ == telemetry::kInvalidTraceId) {
+          trace_track_ = tr.track(session_key_);
+        }
+        const auto name = tr.name(proto::message_name(msg));
+        tr.flow_step(trace_track_, name, sim_.now(), ctx.flow_id());
+        tr.begin(trace_track_, name, sim_.now());
+        span_open = true;
+      }
+    }
     std::visit([this](const auto& m) { handle(m); }, msg);
+    if (span_open) {
+      if (auto* hub = sim_.telemetry(); hub != nullptr && hub->tracing()) {
+        hub->tracer().end(trace_track_, sim_.now());
+      }
+    }
+    current_ctx_ = telemetry::TraceContext{};
   }
 
   // --- protocol handlers -----------------------------------------------------
@@ -205,6 +233,7 @@ class MultimediaServer::ClientSession {
         tier.admission_utilization);
     if (!decision.admitted) {
       ++server_.stats_.admission_rejections;
+      note_qoe_event("server: admission rejected: " + decision.reason);
       send(proto::DocumentReply{false, decision.reason, "",
                                 /*retryable_admission=*/true});
       return;
@@ -262,6 +291,7 @@ class MultimediaServer::ClientSession {
                                : granted_audio_floor_;
       params.start_offset = Time::usec(std::max<std::int64_t>(
           0, m.resume_offset_us));
+      params.trace = current_ctx_;
 
       std::unique_ptr<MediaStreamSession> session;
       if (spec.type == media::MediaType::kAudio ||
@@ -375,6 +405,7 @@ class MultimediaServer::ClientSession {
     suspend_event_ = sim_.schedule_after(keepalive, [this] {
       suspend_event_ = sim::kNoEvent;
       ++server_.stats_.suspend_expiries;
+      note_qoe_event("server: suspend keepalive expired");
       send(proto::SuspendExpired{});
       teardown();
       conn_->close();
@@ -469,6 +500,15 @@ class MultimediaServer::ClientSession {
            state_ != SessionState::kClosed;
   }
 
+  /// Server-side entry in the client session's flight recorder (keyed by the
+  /// trace id the peer stamps on its requests). No-op for untraced peers.
+  void note_qoe_event(const std::string& text) {
+    if (peer_trace_id_ == 0) return;
+    if (auto* hub = sim_.telemetry(); hub != nullptr) {
+      hub->qoe().note_event(peer_trace_id_, sim_.now(), text);
+    }
+  }
+
   void charge_viewing() {
     if (state_ != SessionState::kViewing && state_ != SessionState::kPaused) {
       return;
@@ -545,6 +585,8 @@ class MultimediaServer::ClientSession {
     if (!flows_active) return;  // drained flows legitimately go quiet
     if (sim_.now() - last_peer_activity_ > server_.config_.dead_peer_timeout) {
       ++server_.stats_.dead_peer_teardowns;
+      note_qoe_event("server: dead-peer teardown after " +
+                     server_.config_.dead_peer_timeout.str() + " of silence");
       LOG_INFO << server_.config_.name << ": session " << session_key_
                << " peer silent past "
                << server_.config_.dead_peer_timeout.str() << ", reaping";
@@ -624,6 +666,13 @@ class MultimediaServer::ClientSession {
   sim::EventId suspend_event_ = sim::kNoEvent;
   std::unique_ptr<PendingSearch> search_;
   std::uint32_t next_search_id_ = 1;
+  /// Trace context of the request currently being handled (echoed on every
+  /// reply sent from inside the handler); null outside handlers.
+  telemetry::TraceContext current_ctx_;
+  /// Last nonzero trace id the peer stamped — keys flight-recorder entries
+  /// for server-side events that outlive the triggering request.
+  std::uint32_t peer_trace_id_ = 0;
+  telemetry::TrackId trace_track_ = telemetry::kInvalidTraceId;
 };
 
 // --- MultimediaServer --------------------------------------------------------

@@ -1,6 +1,9 @@
 #include "server/stream_session.hpp"
 
+#include <algorithm>
+
 #include "net/wire.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace hyms::server {
@@ -100,6 +103,8 @@ std::unique_ptr<MediaStreamSession> MediaStreamSession::make_object(
         conn->send(*frame.payload);
         conn->close();
         ++raw->stats_.objects_served;
+        ++raw->level_slots_[std::clamp(raw->converter_.current_level(), 0,
+                                       telemetry::kQoeLevels - 1)];
         if (auto* hub = raw->sim_.telemetry()) {
           hub->tracer().instant(raw->trace_track_, raw->n_object_,
                                 raw->sim_.now(),
@@ -111,10 +116,22 @@ std::unique_ptr<MediaStreamSession> MediaStreamSession::make_object(
   return session;
 }
 
-MediaStreamSession::~MediaStreamSession() { sim_.cancel(pace_event_); }
+MediaStreamSession::~MediaStreamSession() {
+  sim_.cancel(pace_event_);
+  flush_qoe();
+}
 
 void MediaStreamSession::start_flow() {
   if (stopped_ || !is_rtp()) return;  // object flows wait for the client pull
+  if (params_.trace.valid()) {
+    if (auto* hub = sim_.telemetry(); hub != nullptr && hub->tracing()) {
+      // Step the StreamSetup request's flow through this stream's track; the
+      // arrow terminates at the client's first playout slot.
+      auto& tr = hub->tracer();
+      tr.flow_step(trace_track_, tr.name("start_flow"), sim_.now(),
+                   params_.trace.flow_id());
+    }
+  }
   if (next_frame_ >= frame_limit_) {  // resumed past the end of this stream
     complete_ = true;
     return;
@@ -172,6 +189,8 @@ void MediaStreamSession::pace_frame() {
     LOG_TRACE << "pace " << spec_.id << " frame " << next_frame_ << " level "
               << converter_.current_level();
     ++stats_.frames_sent;
+    ++level_slots_[std::clamp(converter_.current_level(), 0,
+                              telemetry::kQoeLevels - 1)];
     ++next_frame_;
   } while (interval == Time::zero() && next_frame_ < frame_limit_);
   sender_->flush();
@@ -189,13 +208,35 @@ Time MediaStreamSession::media_position() const {
 
 bool MediaStreamSession::degrade() {
   const bool changed = converter_.degrade();
-  if (changed) note_rate();
+  if (changed) {
+    ++quality_changes_;
+    note_rate();
+    if (params_.trace.trace_id != 0) {
+      if (auto* hub = sim_.telemetry()) {
+        hub->qoe().note_event(
+            params_.trace.trace_id, sim_.now(),
+            "stream " + spec_.id + ": degrade to level " +
+                std::to_string(converter_.current_level()));
+      }
+    }
+  }
   return changed;
 }
 
 bool MediaStreamSession::upgrade() {
   const bool changed = converter_.upgrade();
-  if (changed) note_rate();
+  if (changed) {
+    ++quality_changes_;
+    note_rate();
+    if (params_.trace.trace_id != 0) {
+      if (auto* hub = sim_.telemetry()) {
+        hub->qoe().note_event(
+            params_.trace.trace_id, sim_.now(),
+            "stream " + spec_.id + ": upgrade to level " +
+                std::to_string(converter_.current_level()));
+      }
+    }
+  }
   return changed;
 }
 
@@ -212,6 +253,19 @@ void MediaStreamSession::end_send_window() {
   if (auto* hub = sim_.telemetry()) {
     hub->tracer().end(trace_track_, sim_.now());
   }
+  flush_qoe();
+}
+
+void MediaStreamSession::flush_qoe() {
+  if (qoe_flushed_ || params_.trace.trace_id == 0) return;
+  qoe_flushed_ = true;
+  auto* hub = sim_.telemetry();
+  if (hub == nullptr) return;
+  auto& rec = hub->qoe().session(params_.trace.trace_id);
+  for (int l = 0; l < telemetry::kQoeLevels; ++l) {
+    rec.level_slots[l] += static_cast<int>(level_slots_[l]);
+  }
+  rec.quality_changes += quality_changes_;
 }
 
 void MediaStreamSession::flush_telemetry() {

@@ -12,6 +12,7 @@
 #include "proto/messages.hpp"
 #include "rtp/session.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/qoe.hpp"
 
 namespace hyms::server {
 
@@ -39,6 +40,11 @@ class MediaStreamSession {
     /// sessions). Null = synthesize per frame, the uncached reference path.
     /// Payload bytes are identical either way.
     media::FrameCache* frame_cache = nullptr;
+    /// Causal trace context of the StreamSetup request that created this
+    /// flow: trace_id keys the session's QoE record (delivered-quality
+    /// distribution, quality changes); the flow id is stepped through the
+    /// stream's track at start_flow.
+    telemetry::TraceContext trace;
   };
 
   /// RTP flow toward the client's per-stream receive port.
@@ -114,6 +120,9 @@ class MediaStreamSession {
   void schedule_next(Time delay);
   void note_rate();
   void end_send_window();
+  /// Fold this flow's locally accumulated quality accounting (per-level slot
+  /// counts, grade changes) into the session's QoE record. Once per flow.
+  void flush_qoe();
 
   net::Network& net_;
   sim::Simulator& sim_;
@@ -147,6 +156,12 @@ class MediaStreamSession {
   telemetry::NameId n_rate_ = telemetry::kInvalidTraceId;
   telemetry::NameId n_object_ = telemetry::kInvalidTraceId;
   bool window_open_ = false;
+
+  // Delivered-quality accounting: plain counters on the pace path (always
+  // on, no hub dependency), folded into the QoE plane once at flow end.
+  std::int64_t level_slots_[telemetry::kQoeLevels] = {0, 0, 0, 0};
+  int quality_changes_ = 0;
+  bool qoe_flushed_ = false;
 };
 
 }  // namespace hyms::server

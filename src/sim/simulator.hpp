@@ -94,6 +94,12 @@ class Simulator {
   void set_telemetry(telemetry::Hub* hub) { telemetry_ = hub; }
   [[nodiscard]] telemetry::Hub* telemetry() const { return telemetry_; }
 
+  /// Dense per-run session trace ids (1, 2, ...; 0 means "untraced").
+  /// Always on — allocation is a counter bump and is part of deterministic
+  /// simulation state, so traced and bare runs assign identical ids and
+  /// protocol frames carry identical bytes either way.
+  [[nodiscard]] std::uint32_t next_trace_id() { return ++last_trace_id_; }
+
   [[nodiscard]] std::size_t cancelled() const { return cancelled_; }
   [[nodiscard]] std::size_t heap_peak() const { return heap_peak_; }
 
@@ -173,6 +179,7 @@ class Simulator {
   std::size_t cancelled_ = 0;
   std::size_t heap_peak_ = 0;
   std::size_t event_budget_ = 500'000'000;
+  std::uint32_t last_trace_id_ = 0;
   telemetry::Hub* telemetry_ = nullptr;
   std::vector<HeapEntry> heap_;  // kHeapArity-ary min-heap
   std::vector<std::unique_ptr<std::byte[]>> chunks_;  // raw Slot storage

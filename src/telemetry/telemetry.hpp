@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/qoe.hpp"
 #include "telemetry/tracer.hpp"
 
 namespace hyms::telemetry {
@@ -27,6 +28,8 @@ class Hub {
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
   [[nodiscard]] SpanTracer& tracer() { return tracer_; }
   [[nodiscard]] const SpanTracer& tracer() const { return tracer_; }
+  [[nodiscard]] QoeCollector& qoe() { return qoe_; }
+  [[nodiscard]] const QoeCollector& qoe() const { return qoe_; }
 
   /// Convenience toggle mirrored onto the tracer; metric updates are cheap
   /// enough that they are always on while a hub is installed.
@@ -48,16 +51,19 @@ class Hub {
   void merge_from(const Hub& other) {
     metrics_.merge_from(other.metrics());
     tracer_.merge_from(other.tracer());
+    qoe_.merge_from(other.qoe());
   }
 
   void reset() {
     metrics_.reset();
     tracer_.reset();
+    qoe_.reset();
   }
 
  private:
   MetricsRegistry metrics_;
   SpanTracer tracer_;
+  QoeCollector qoe_;
 };
 
 }  // namespace hyms::telemetry

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hyms::telemetry {
+
+/// Causal trace identity carried across the wire with every protocol frame:
+/// the dense per-run session trace id (allocated by sim::Simulator::
+/// next_trace_id(), 0 = "no trace") plus the parent span sequence number on
+/// the sending side. The pair stitches client request spans, server
+/// admission/flow-plan/stream spans, and client playout spans into one
+/// causal tree per session, and names the Perfetto flow (binding arrow)
+/// that renders the cross-node path as one connected timeline.
+///
+/// TraceContext is always propagated — encoding/decoding it is part of the
+/// frame format, not of telemetry — so traced runs stay event-for-event
+/// identical to bare runs; only the *recording* of spans is gated on a hub.
+struct TraceContext {
+  std::uint32_t trace_id = 0;
+  std::uint32_t span_id = 0;
+
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+
+  /// Perfetto flow-event id for the request that this context names.
+  /// 24 bits of span under 29 bits of trace id keeps the value exactly
+  /// representable in a double (trace records store values as doubles).
+  [[nodiscard]] std::uint64_t flow_id() const {
+    return (static_cast<std::uint64_t>(trace_id) << 24) |
+           (span_id & 0xFF'FFFFu);
+  }
+};
+
+inline bool operator==(const TraceContext& a, const TraceContext& b) {
+  return a.trace_id == b.trace_id && a.span_id == b.span_id;
+}
+
+}  // namespace hyms::telemetry

@@ -98,6 +98,9 @@ std::string SpanTracer::to_chrome_json() const {
       case Phase::kEnd: out += 'E'; break;
       case Phase::kInstant: out += 'i'; break;
       case Phase::kCounter: out += 'C'; break;
+      case Phase::kFlowStart: out += 's'; break;
+      case Phase::kFlowStep: out += 't'; break;
+      case Phase::kFlowEnd: out += 'f'; break;
     }
     out += "\",\"pid\":1,\"tid\":";
     std::snprintf(buf, sizeof(buf), "%u", r.track + 1);
@@ -123,6 +126,16 @@ std::string SpanTracer::to_chrome_json() const {
         out += ",\"args\":{\"value\":";
         append_double(out, r.value);
         out += '}';
+        break;
+      case Phase::kFlowStart:
+      case Phase::kFlowStep:
+      case Phase::kFlowEnd:
+        // Flow id is an exact integer riding in the double value slot.
+        out += ",\"cat\":\"flow\",\"id\":";
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(r.value));
+        out += buf;
+        if (r.phase == Phase::kFlowEnd) out += ",\"bp\":\"e\"";
         break;
       default:
         break;
@@ -176,6 +189,9 @@ std::string SpanTracer::to_csv() const {
       case Phase::kEnd: out += ",E,"; break;
       case Phase::kInstant: out += ",i,"; break;
       case Phase::kCounter: out += ",C,"; break;
+      case Phase::kFlowStart: out += ",s,"; break;
+      case Phase::kFlowStep: out += ",t,"; break;
+      case Phase::kFlowEnd: out += ",f,"; break;
     }
     if (r.name != kInvalidTraceId) out += event_names_[r.name];
     out += ',';

@@ -23,6 +23,9 @@ enum class Phase : std::uint8_t {
   kEnd,         // "E": most recent open span on the track closes
   kInstant,     // "i": point event
   kCounter,     // "C": numeric sample; Perfetto renders a counter lane
+  kFlowStart,   // "s": flow (binding arrow) originates here; id in value
+  kFlowStep,    // "t": flow passes through here; id in value
+  kFlowEnd,     // "f": flow terminates here; id in value
 };
 
 /// Sim-time span/event tracer. Recording is passive — it never schedules
@@ -58,6 +61,18 @@ class SpanTracer {
   }
   void counter(TrackId track, NameId name, Time at, double value) {
     record(Phase::kCounter, track, name, at, value);
+  }
+  /// Flow events: one binding arrow per id, started once, stepped through
+  /// any number of tracks, ended once. The id (TraceContext::flow_id) rides
+  /// in the record's value slot.
+  void flow_start(TrackId track, NameId name, Time at, std::uint64_t id) {
+    record(Phase::kFlowStart, track, name, at, static_cast<double>(id));
+  }
+  void flow_step(TrackId track, NameId name, Time at, std::uint64_t id) {
+    record(Phase::kFlowStep, track, name, at, static_cast<double>(id));
+  }
+  void flow_end(TrackId track, NameId name, Time at, std::uint64_t id) {
+    record(Phase::kFlowEnd, track, name, at, static_cast<double>(id));
   }
 
   // --- recording (convenience; interns per call) ----------------------------

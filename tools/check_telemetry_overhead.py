@@ -1,17 +1,25 @@
 #!/usr/bin/env python3
 """Guard the telemetry layer's hot-path cost from BENCH_micro.json.
 
-Two checks, both read from a google-benchmark JSON file produced by
-`bench_micro --json`:
+Two checks per instrumented pair, both read from a google-benchmark JSON
+file produced by `bench_micro --json`. The pairs are:
 
-1. Telemetry-off overhead: BM_PacketForwardingSteadyState (no hub installed,
+- BM_PacketForwardingSteadyState / BM_PacketForwardingTelemetryOn: the
+  packet forwarding inner loop, with tracing fully on in the second.
+- BM_SessionLifecycle / BM_SessionLifecycleQoeOn: a complete short
+  session (connect, admission, stream setup, playout, seal), with the
+  QoE/flight-recorder plane collecting in the second.
+
+1. Telemetry-off overhead: the off-path benchmark (no hub installed,
    every instrumentation site is one null-check branch) must stay within
-   --budget (default 3%) of a baseline file's number — but only when the two
-   runs come from the same host (google-benchmark's context.host_name);
-   cross-host comparisons are noise, so they warn instead of fail.
-2. Telemetry-on delta: within the fresh run, BM_PacketForwardingTelemetryOn
-   vs BM_PacketForwardingSteadyState is reported (informational unless
-   --max-on-overhead is given).
+   --budget (default 3%) of a baseline file's number — but only when the
+   two runs come from the same host (google-benchmark's
+   context.host_name); cross-host comparisons are noise, so they warn
+   instead of fail. A pair absent from the baseline (older baseline) is
+   skipped with a note.
+2. Telemetry-on delta: within the fresh run, on vs off is reported
+   (informational unless --max-on-overhead is given; the bound applies
+   only to the packet pair — session QoE collection is an opt-in path).
 
 Exit code 0 = within budget (or nothing comparable), 1 = regression.
 
@@ -26,6 +34,12 @@ import sys
 
 STEADY = "BM_PacketForwardingSteadyState"
 TRACED = "BM_PacketForwardingTelemetryOn"
+
+# (off-path name, on-path name, does --max-on-overhead bound this pair)
+PAIRS = (
+    (STEADY, TRACED, True),
+    ("BM_SessionLifecycle", "BM_SessionLifecycleQoeOn", False),
+)
 
 
 def load(path):
@@ -45,7 +59,7 @@ def main():
     parser.add_argument("fresh", help="BENCH_micro.json from this run")
     parser.add_argument("--baseline", help="committed BENCH_micro.json")
     parser.add_argument("--budget", type=float, default=3.0,
-                        help="max %% slowdown of the no-hub packet path")
+                        help="max %% slowdown of any telemetry-off path")
     parser.add_argument("--max-on-overhead", type=float, default=None,
                         help="optionally also bound the tracing-on delta")
     args = parser.parse_args()
@@ -56,27 +70,31 @@ def main():
               "numbers are not comparable -- skipping", file=sys.stderr)
         return 0
 
+    base = load(args.baseline) if args.baseline else None
+    base_host = (base or {}).get("context", {}).get("host_name")
+    fresh_host = fresh.get("context", {}).get("host_name")
+
     failed = False
-    off = items_per_second(fresh, STEADY)
-    on = items_per_second(fresh, TRACED)
+    for off_name, on_name, bound_on in PAIRS:
+        off = items_per_second(fresh, off_name)
+        on = items_per_second(fresh, on_name)
 
-    if off is not None and on is not None and on > 0:
-        delta = (off / on - 1.0) * 100.0
-        print(f"telemetry-on cost: {STEADY} {off:,.0f} items/s vs "
-              f"{TRACED} {on:,.0f} items/s ({delta:+.1f}%)")
-        if args.max_on_overhead is not None and delta > args.max_on_overhead:
-            print(f"FAIL: tracing-on overhead {delta:.1f}% exceeds "
-                  f"{args.max_on_overhead:.1f}%", file=sys.stderr)
-            failed = True
+        if off is not None and on is not None and on > 0:
+            delta = (off / on - 1.0) * 100.0
+            print(f"telemetry-on cost: {off_name} {off:,.0f} items/s vs "
+                  f"{on_name} {on:,.0f} items/s ({delta:+.1f}%)")
+            if (bound_on and args.max_on_overhead is not None
+                    and delta > args.max_on_overhead):
+                print(f"FAIL: tracing-on overhead {delta:.1f}% exceeds "
+                      f"{args.max_on_overhead:.1f}%", file=sys.stderr)
+                failed = True
 
-    if args.baseline:
-        base = load(args.baseline)
-        base_host = base.get("context", {}).get("host_name")
-        fresh_host = fresh.get("context", {}).get("host_name")
-        base_off = items_per_second(base, STEADY)
+        if base is None:
+            continue
+        base_off = items_per_second(base, off_name)
         if base_off is None or off is None:
             print("check_telemetry_overhead: no comparable "
-                  f"{STEADY} in baseline -- skipping off-path check")
+                  f"{off_name} in baseline -- skipping off-path check")
         elif base_host != fresh_host:
             print(f"check_telemetry_overhead: baseline host {base_host!r} != "
                   f"{fresh_host!r}; cross-host numbers are noise -- "
@@ -84,10 +102,11 @@ def main():
             print(f"  baseline {base_off:,.0f} items/s, fresh {off:,.0f}")
         else:
             slowdown = (base_off / off - 1.0) * 100.0 if off > 0 else 0.0
-            print(f"telemetry-off path vs baseline: {off:,.0f} items/s "
+            print(f"telemetry-off path vs baseline: {off_name} "
+                  f"{off:,.0f} items/s "
                   f"(baseline {base_off:,.0f}, {slowdown:+.1f}%)")
             if slowdown > args.budget:
-                print(f"FAIL: telemetry-off packet path regressed "
+                print(f"FAIL: telemetry-off path {off_name} regressed "
                       f"{slowdown:.1f}% > budget {args.budget:.1f}%",
                       file=sys.stderr)
                 failed = True
