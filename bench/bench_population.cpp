@@ -1,0 +1,254 @@
+// Shared-world population benchmark: the FULL emulator stack — real
+// BrowserSessions, the §5 protocol, RTP/TCP, admission control, the QoS
+// feedback loop — driven as one session population (Poisson/diurnal
+// arrivals, a flash crowd, Zipf document popularity, abandonment and churn)
+// against a server fleet sharing one FrameCache. The same world runs on the
+// sequential kernel and then partitioned on the conservative parallel
+// executor at several thread counts; every parallel run is checked
+// byte-identical (fingerprint + canonical event log + QoE/SLO export) to the
+// sequential kernel BEFORE its wall time is reported.
+//
+//   bench_population [--sessions N] [--servers N] [--documents N]
+//                    [--partitions P] [--seed S] [--smoke] [--json]
+//
+// --json writes BENCH_population.json, guarded by
+// tools/check_bench_regression.py (events_per_sec per partitions/threads
+// cell; a non-deterministic fresh run is a hard failure).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness.hpp"
+#include "hermes/population.hpp"
+#include "util/time.hpp"
+
+namespace {
+
+struct Row {
+  std::uint32_t partitions;
+  int threads;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  double sessions_per_sec = 0.0;
+  double speedup = 1.0;
+  std::uint64_t windows = 0;
+  std::uint64_t messages = 0;
+  bool deterministic = true;
+};
+
+double run_once(const hyms::hermes::PopulationConfig& cfg, int threads,
+                hyms::hermes::PopulationResult& out) {
+  const auto start = std::chrono::steady_clock::now();
+  out = hyms::hermes::run_population(cfg, threads);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hyms::Time;
+  namespace bench = hyms::bench;
+
+  hyms::hermes::PopulationConfig cfg;
+  cfg.sessions = 1000;
+  cfg.servers = 4;
+  cfg.documents = 12;
+  // Provision each server for a few dozen concurrent presentations (the
+  // default 10 Mbps admission estimate would bounce nearly the whole
+  // population); the flash crowd still drives rejections at the peak.
+  cfg.server_template.admission.capacity_bps = 60e6;
+  std::uint32_t partitions = 2;
+  bool json = false;
+  std::string slo_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--sessions") {
+      cfg.sessions = std::atoi(next());
+    } else if (arg == "--servers") {
+      cfg.servers = std::atoi(next());
+    } else if (arg == "--documents") {
+      cfg.documents = std::atoi(next());
+    } else if (arg == "--partitions") {
+      partitions = static_cast<std::uint32_t>(std::atoll(next()));
+    } else if (arg == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--slo-json") {
+      slo_file = next();
+    } else if (arg == "--smoke") {
+      cfg.sessions = 48;
+      cfg.servers = 2;
+      cfg.documents = 6;
+      cfg.arrival_window = Time::sec(6);
+      cfg.run_for = Time::sec(16);
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_population [--sessions N] [--servers N] "
+                   "[--documents N] [--partitions P] [--seed S] "
+                   "[--slo-json FILE] [--smoke] [--json]\n");
+      return 1;
+    }
+  }
+  bench::warn_if_debug_build("bench_population");
+
+  const unsigned hw = bench::hardware_threads();
+  std::printf("bench_population: %d sessions, %d servers, %d documents, "
+              "partitions=%u (host has %u hardware thread%s)\n\n",
+              cfg.sessions, cfg.servers, cfg.documents, partitions, hw,
+              hw == 1 ? "" : "s");
+
+  // The reference: the plain single-calendar kernel.
+  hyms::hermes::PopulationConfig seq_cfg = cfg;
+  seq_cfg.partitions = 1;
+  hyms::hermes::PopulationResult seq;
+  const double seq_wall = run_once(seq_cfg, 1, seq);
+
+  std::printf("fates: %lld completed, %lld degraded, %lld churned, "
+              "%lld abandoned, %lld failed, %lld unfinished; "
+              "%lld admission rejections; cache %lld hits / %lld misses\n\n",
+              static_cast<long long>(seq.completed),
+              static_cast<long long>(seq.degraded),
+              static_cast<long long>(seq.churned),
+              static_cast<long long>(seq.abandoned),
+              static_cast<long long>(seq.failed),
+              static_cast<long long>(seq.unfinished),
+              static_cast<long long>(seq.admission_rejections),
+              static_cast<long long>(seq.cache_hits),
+              static_cast<long long>(seq.cache_misses));
+
+  if (!slo_file.empty()) {
+    if (std::FILE* f = std::fopen(slo_file.c_str(), "w")) {
+      std::fwrite(seq.qoe_json.data(), 1, seq.qoe_json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", slo_file.c_str());
+    }
+  }
+
+  std::vector<Row> rows;
+  rows.push_back(Row{1, 1, seq_wall,
+                     static_cast<double>(seq.events_executed) / seq_wall,
+                     static_cast<double>(cfg.sessions) / seq_wall, 1.0, 0, 0,
+                     true});
+
+  bool all_deterministic = true;
+  cfg.partitions = partitions;
+  Time lookahead = Time::max();
+  for (const int threads : {1, 2, 4}) {
+    hyms::hermes::PopulationResult par;
+    const double wall = run_once(cfg, threads, par);
+    lookahead = par.lookahead;
+    Row row{partitions, threads, wall,
+            static_cast<double>(par.events_executed) / wall,
+            static_cast<double>(cfg.sessions) / wall, seq_wall / wall,
+            par.windows, par.messages,
+            par.fingerprint == seq.fingerprint &&
+                par.events_csv == seq.events_csv &&
+                par.qoe_json == seq.qoe_json};
+    if (par.qoe_json != seq.qoe_json) {
+      std::fprintf(stderr,
+                   "SLO DIVERGENCE: QoE export at %u partitions / %d threads "
+                   "is not byte-identical to the sequential kernel\n",
+                   partitions, threads);
+    }
+    all_deterministic = all_deterministic && row.deterministic;
+    rows.push_back(row);
+  }
+
+  bench::table_header({"partitions", "threads", "wall s", "events/s",
+                       "sessions/s", "speedup", "windows", "messages",
+                       "identical"});
+  for (const Row& row : rows) {
+    bench::table_row({std::to_string(row.partitions),
+                      std::to_string(row.threads), bench::fmt(row.wall_s, 3),
+                      bench::fmt(row.events_per_sec, 0),
+                      bench::fmt(row.sessions_per_sec, 1),
+                      bench::fmt(row.speedup, 2), std::to_string(row.windows),
+                      std::to_string(row.messages),
+                      row.deterministic ? "yes" : "NO"});
+  }
+  std::printf("\n%u partitions, lookahead %lld us, %llu events; parallel runs "
+              "byte-identical to the sequential kernel: %s\n",
+              partitions, static_cast<long long>(lookahead.us()),
+              static_cast<unsigned long long>(seq.events_executed),
+              all_deterministic ? "verified" : "VIOLATED");
+  if (hw == 1) {
+    std::printf("note: 1-CPU host -- thread speedups here measure overhead, "
+                "not scaling.\n");
+  }
+
+  if (json) {
+    std::FILE* out = std::fopen("BENCH_population.json", "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_population.json\n");
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"context\": {\n"
+                 "    \"benchmark\": \"bench_population\",\n"
+                 "    \"host_name\": \"%s\",\n"
+                 "    \"hardware_concurrency\": %u,\n"
+                 "    \"sessions\": %d,\n"
+                 "    \"servers\": %d,\n"
+                 "    \"documents\": %d,\n"
+                 "    \"partitions\": %u,\n"
+                 "    \"seed\": %llu,\n"
+                 "    \"lookahead_us\": %lld,\n"
+                 "    \"events\": %llu,\n"
+                 "    \"completed\": %lld,\n"
+                 "    \"degraded\": %lld,\n"
+                 "    \"churned\": %lld,\n"
+                 "    \"abandoned\": %lld,\n"
+                 "    \"failed\": %lld,\n"
+                 "    \"unfinished\": %lld,\n"
+                 "    \"admission_rejections\": %lld,\n"
+                 "    \"assertions\": \"%s\"\n"
+                 "  },\n"
+                 "  \"deterministic\": %s,\n"
+                 "  \"results\": [\n",
+                 bench::host_name().c_str(), hw, cfg.sessions, cfg.servers,
+                 cfg.documents, partitions,
+                 static_cast<unsigned long long>(cfg.seed),
+                 static_cast<long long>(lookahead.us()),
+                 static_cast<unsigned long long>(seq.events_executed),
+                 static_cast<long long>(seq.completed),
+                 static_cast<long long>(seq.degraded),
+                 static_cast<long long>(seq.churned),
+                 static_cast<long long>(seq.abandoned),
+                 static_cast<long long>(seq.failed),
+                 static_cast<long long>(seq.unfinished),
+                 static_cast<long long>(seq.admission_rejections),
+                 bench::built_with_assertions() ? "enabled" : "disabled",
+                 all_deterministic ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(out,
+                   "    {\"partitions\": %u, \"threads\": %d, "
+                   "\"wall_s\": %.4f, \"events_per_sec\": %.1f, "
+                   "\"sessions_per_sec\": %.2f, \"speedup\": %.3f, "
+                   "\"windows\": %llu, \"messages\": %llu, "
+                   "\"deterministic\": %s}%s\n",
+                   row.partitions, row.threads, row.wall_s,
+                   row.events_per_sec, row.sessions_per_sec, row.speedup,
+                   static_cast<unsigned long long>(row.windows),
+                   static_cast<unsigned long long>(row.messages),
+                   row.deterministic ? "true" : "false",
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_population.json\n");
+  }
+  return all_deterministic ? 0 : 1;
+}

@@ -37,9 +37,9 @@ std::string to_string(SessionOutcome outcome) {
 
 BrowserSession::BrowserSession(net::Network& net, net::NodeId node,
                                net::Endpoint server, Config config)
-    : net_(net), sim_(net.sim()), node_(node), server_(server),
-      config_(std::move(config)),
-      jitter_rng_(net.sim().rng().fork(0xBAC0FFull ^ node)) {}
+    : net_(net), sim_(net.sim_at(node)), node_(node), server_(server),
+      config_(std::move(config)), trace_id_(config_.trace_id),
+      jitter_rng_(net.sim_at(node).rng().fork(0xBAC0FFull ^ node)) {}
 
 BrowserSession::~BrowserSession() {
   sim_.cancel(request_timer_);

@@ -76,6 +76,11 @@ class BrowserSession {
     /// Auto-send StreamSetup when a DocumentReply arrives.
     bool auto_setup = true;
     RecoveryConfig recovery;
+    /// Pre-assigned QoE trace id; 0 allocates one from the session's
+    /// simulator on connect. Population drivers pre-assign ids so QoE
+    /// records carry the same keys at every partition count (per-partition
+    /// allocators would drift).
+    std::uint32_t trace_id = 0;
   };
 
   using Notify = std::function<void()>;

@@ -9,8 +9,8 @@ namespace hyms::client {
 PresentationRuntime::PresentationRuntime(net::Network& net, net::NodeId node,
                                          core::PresentationScenario scenario,
                                          Config config)
-    : net_(net), sim_(net.sim()), node_(node), scenario_(std::move(scenario)),
-      config_(config) {
+    : net_(net), sim_(net.sim_at(node)), node_(node),
+      scenario_(std::move(scenario)), config_(config) {
   core::PlayoutConfig playout;
   playout.initial_delay = config_.time_window;
   playout.sync = config_.sync;

@@ -2,14 +2,38 @@
 
 namespace hyms::hermes {
 
-Deployment::Deployment(sim::Simulator& sim, Config config) : sim_(sim) {
-  network_ = std::make_unique<net::Network>(sim);
-  router_ = network_->add_router("backbone");
+namespace {
+
+/// Per-index propagation stagger (see Config::client_propagation_spread).
+net::LinkParams staggered(net::LinkParams base, Time spread, int idx) {
+  if (spread > Time::zero()) {
+    base.propagation =
+        base.propagation + Time::usec(spread.us() * (idx % 251));
+  }
+  return base;
+}
+
+}  // namespace
+
+Deployment::Deployment(sim::Simulator& sim, Config config)
+    : Deployment(std::vector<sim::Simulator*>{&sim}, nullptr,
+                 std::move(config)) {}
+
+Deployment::Deployment(const std::vector<sim::Simulator*>& sims,
+                       sim::ParallelExec* exec, Config config)
+    : sim_(*sims.at(0)) {
+  network_ = std::make_unique<net::Network>(sims, exec);
+  const auto partitions = static_cast<std::uint32_t>(sims.size());
+  router_ = network_->add_router("backbone");  // partition 0
 
   for (int i = 0; i < config.server_count; ++i) {
     const std::string name = "hermes-" + std::to_string(i + 1);
     const net::NodeId node = network_->add_host(name + "-host");
-    network_->connect(node, router_, config.backbone);
+    const std::uint32_t part = static_cast<std::uint32_t>(i) % partitions;
+    network_->set_node_partition(node, part);
+    network_->connect(
+        node, router_,
+        staggered(config.backbone, config.server_propagation_spread, i));
     server_nodes_.push_back(node);
 
     auto server_config = config.server_template;
@@ -19,13 +43,17 @@ Deployment::Deployment(sim::Simulator& sim, Config config) : sim_(sim) {
 
     if (config.separate_media_hosts) {
       // One media-server host per time-sensitive/bulk media type, attached
-      // to the backbone beside the multimedia server (Fig. 3).
+      // to the backbone beside the multimedia server (Fig. 3) and homed on
+      // its partition.
       for (auto [type, label] :
            {std::pair{media::MediaType::kAudio, "-audio"},
             std::pair{media::MediaType::kVideo, "-video"},
             std::pair{media::MediaType::kImage, "-image"}}) {
         const net::NodeId media_node = network_->add_host(name + label);
-        network_->connect(media_node, router_, config.backbone);
+        network_->set_node_partition(media_node, part);
+        network_->connect(
+            media_node, router_,
+            staggered(config.backbone, config.server_propagation_spread, i));
         servers_.back()->attach_media_host(type, media_node);
       }
     }
@@ -40,7 +68,7 @@ Deployment::Deployment(sim::Simulator& sim, Config config) : sim_(sim) {
   }
 
   if (config.with_directory) {
-    const net::NodeId node = network_->add_host("directory");
+    const net::NodeId node = network_->add_host("directory");  // partition 0
     network_->connect(node, router_, config.backbone);
     directory_ = std::make_unique<server::DirectoryServer>(*network_, node,
                                                            5999);
@@ -53,9 +81,14 @@ Deployment::Deployment(sim::Simulator& sim, Config config) : sim_(sim) {
   for (int i = 0; i < config.client_count; ++i) {
     const net::NodeId node =
         network_->add_host("client-" + std::to_string(i + 1));
-    network_->connect(node, router_, config.client_access);
+    network_->set_node_partition(
+        node, static_cast<std::uint32_t>(i) % partitions);
+    network_->connect(
+        node, router_,
+        staggered(config.client_access, config.client_propagation_spread, i));
     client_nodes_.push_back(node);
   }
+  network_->finalize_routes();
 }
 
 }  // namespace hyms::hermes

@@ -31,6 +31,16 @@ class Deployment {
     bool separate_media_hosts = false;
     net::LinkParams backbone;       // router <-> server links
     net::LinkParams client_access;  // router <-> client links
+    /// Deterministic per-index propagation stagger: client/server i gets
+    /// base propagation + (i mod 251) * spread. Part of the topology (so it
+    /// is identical at every partition count); staggering the otherwise
+    /// same-shaped hosts decorrelates their periodic packet processes so
+    /// distinct hosts stop colliding on exact microsecond ticks — the one
+    /// place a partitioned run's cross-partition merge order could differ
+    /// from the sequential kernel's heap order. Zero keeps the historical
+    /// uniform topology.
+    Time client_propagation_spread = Time::zero();
+    Time server_propagation_spread = Time::zero();
     server::MultimediaServer::Config server_template;
 
     Config() {
@@ -44,6 +54,17 @@ class Deployment {
   };
 
   Deployment(sim::Simulator& sim, Config config);
+  /// Partition-aware deployment: sims[p] is partition p's kernel (all
+  /// seeded identically so forked component streams agree), `exec` the
+  /// executor that advances them. The topology is identical to the
+  /// single-kernel form at any partition count — only the node->partition
+  /// assignment changes: the backbone router (and directory) stay on
+  /// partition 0 while server i and client i go to partition i mod P, so
+  /// cross-partition links are the 2 ms backbone / 8 ms access links and
+  /// network().cross_lookahead() is comfortably wide. Routes are finalized
+  /// eagerly (the lazy rebuild would race between partition threads).
+  Deployment(const std::vector<sim::Simulator*>& sims,
+             sim::ParallelExec* exec, Config config);
 
   [[nodiscard]] net::Network& network() { return *network_; }
   [[nodiscard]] sim::Simulator& sim() { return sim_; }

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/parallel.hpp"
+#include "util/time.hpp"
+
+namespace hyms::net {
+
+/// The one cross-partition posting seam. A Conduit knows whether its two
+/// sides live in the same partition: colocated (or fully sequential) posts
+/// run their injection thunk inline, exactly like the single-kernel code
+/// path; cross-partition posts go through the ParallelExec mailbox and run
+/// at the next barrier in the executor's canonical (earliest, src partition,
+/// per-pair seq) merge order. Everything that mails state across a partition
+/// boundary — partitioned net::Link conduits, the star-world bench — routes
+/// through this type, so the ordering discipline exists in exactly one
+/// place.
+class Conduit {
+ public:
+  /// Sequential / colocated: post() runs the thunk inline.
+  Conduit() = default;
+
+  /// Cross-capable: posts from partition `src` to partition `dst` through
+  /// `exec`. When src == dst the conduit degenerates to the inline form (the
+  /// executor applies no lookahead inside a partition anyway).
+  Conduit(sim::ParallelExec* exec, std::uint32_t src, std::uint32_t dst)
+      : exec_(src == dst ? nullptr : exec), src_(src), dst_(dst) {}
+
+  /// True when posts actually cross a partition boundary (and are therefore
+  /// subject to the lookahead contract: earliest >= poster clock + L).
+  [[nodiscard]] bool crosses() const { return exec_ != nullptr; }
+
+  [[nodiscard]] std::uint32_t src_partition() const { return src_; }
+  [[nodiscard]] std::uint32_t dst_partition() const { return dst_; }
+
+  /// Run `inject` inline (colocated) or mail it for the next barrier
+  /// (crossing). `earliest` is the canonical sort key: no event the thunk
+  /// schedules may precede it.
+  void post(Time earliest, sim::EventFn inject) const {
+    if (exec_ == nullptr) {
+      inject();
+      return;
+    }
+    exec_->post(src_, dst_, earliest, std::move(inject));
+  }
+
+ private:
+  sim::ParallelExec* exec_ = nullptr;
+  std::uint32_t src_ = 0;
+  std::uint32_t dst_ = 0;
+};
+
+}  // namespace hyms::net

@@ -14,7 +14,7 @@ PacketSink::~PacketSink() { net_.unbind(ep_); }
 
 CbrSource::CbrSource(Network& net, NodeId from, Endpoint to, double rate_bps,
                      std::size_t packet_bytes)
-    : net_(net), sim_(net.sim()), to_(to),
+    : net_(net), sim_(net.sim_at(from)), to_(to),
       socket_(&net.bind(from, 0, [](const Packet&) {})),
       rate_bps_(rate_bps), packet_bytes_(packet_bytes) {}
 
@@ -42,9 +42,9 @@ void CbrSource::emit() {
 
 OnOffSource::OnOffSource(Network& net, NodeId from, Endpoint to, Params params,
                          std::uint64_t seed_stream)
-    : net_(net), sim_(net.sim()), to_(to),
+    : net_(net), sim_(net.sim_at(from)), to_(to),
       socket_(&net.bind(from, 0, [](const Packet&) {})),
-      params_(params), rng_(net.sim().rng().fork(seed_stream)),
+      params_(params), rng_(net.sim_at(from).rng().fork(seed_stream)),
       on_(params.start_in_on) {}
 
 OnOffSource::~OnOffSource() {

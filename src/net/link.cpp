@@ -22,7 +22,13 @@ Link::Link(sim::Simulator& sim, std::string name, LinkParams params,
   }
 }
 
-Link::~Link() { sim_.cancel(chain_event_); }
+Link::~Link() { deliver_sim_->cancel(chain_event_); }
+
+void Link::make_conduit(sim::Simulator& dst_sim, Conduit conduit) {
+  deliver_sim_ = &dst_sim;
+  conduit_ = conduit;
+  is_conduit_ = conduit.crosses();
+}
 
 Time Link::serialization_time(std::size_t bytes) const {
   const double seconds =
@@ -62,6 +68,11 @@ void Link::transmit(Packet&& pkt) {
     drop_down(std::move(pkt));
     return;
   }
+  if (is_conduit_) {
+    offer(std::move(pkt), sim_.now());
+    flush_mailbox();
+    return;
+  }
   if (!params_.batching) {
     transmit_unbatched(std::move(pkt));
     return;
@@ -73,6 +84,14 @@ void Link::send_train(std::vector<Packet>& train) {
   if (!up_) {
     for (auto& pkt : train) drop_down(std::move(pkt));
     train.clear();
+    return;
+  }
+  if (is_conduit_) {
+    const Time now = sim_.now();
+    mailbox_.reserve(mailbox_.size() + train.size());
+    for (auto& pkt : train) offer(std::move(pkt), now);
+    train.clear();
+    flush_mailbox();
     return;
   }
   if (!params_.batching) {
@@ -165,46 +184,83 @@ void Link::offer(Packet&& pkt, Time t_offer) {
                           static_cast<double>(queued_bytes_));
   }
 
+  if (is_conduit_) {
+    // Admission arithmetic above is byte-identical to the local path; only
+    // the hand-off differs. The packet waits in the mailbox until the
+    // enclosing transmit()/send_train() posts the batch through the conduit.
+    mailbox_.push_back(PendingArrival{std::move(pkt), arrival});
+    return;
+  }
+  insert_calendar(PendingArrival{std::move(pkt), arrival});
+}
+
+void Link::insert_calendar(PendingArrival&& item) {
   // Calendar insertion. Back-to-back bursts arrive monotonically, so the
   // common case is a push_back; jitter can reorder, handled by a stable
   // sorted insert (after equal arrivals — FIFO among ties, matching the
   // schedule-order semantics of per-packet arrival events).
   if (calendar_.size() == calendar_head_ ||
-      arrival >= calendar_.back().arrival) {
-    calendar_.push_back(PendingArrival{std::move(pkt), arrival});
+      item.arrival >= calendar_.back().arrival) {
+    calendar_.push_back(std::move(item));
     if (calendar_.size() - calendar_head_ == 1) arm_chain();
     return;
   }
+  const Time arrival = item.arrival;
   const auto pos = std::upper_bound(
       calendar_.begin() + static_cast<std::ptrdiff_t>(calendar_head_),
       calendar_.end(), arrival,
-      [](Time t, const PendingArrival& item) { return t < item.arrival; });
+      [](Time t, const PendingArrival& it) { return t < it.arrival; });
   const bool new_head =
       pos == calendar_.begin() + static_cast<std::ptrdiff_t>(calendar_head_);
-  calendar_.insert(pos, PendingArrival{std::move(pkt), arrival});
+  calendar_.insert(pos, std::move(item));
   if (new_head) arm_chain();
 }
 
+void Link::flush_mailbox() {
+  if (mailbox_.empty()) return;
+  Time earliest = mailbox_.front().arrival;
+  for (const PendingArrival& item : mailbox_) {
+    earliest = std::min(earliest, item.arrival);
+  }
+  // earliest >= now + propagation >= now + lookahead, satisfying the
+  // executor's post contract; the thunk runs at the next barrier with no
+  // partition executing, so touching the calendar there is race-free.
+  conduit_.post(earliest, [this, items = std::move(mailbox_)]() mutable {
+    accept_mailed(std::move(items));
+  });
+  mailbox_ = {};
+}
+
+void Link::accept_mailed(std::vector<PendingArrival>&& items) {
+  for (PendingArrival& item : items) insert_calendar(std::move(item));
+}
+
 void Link::arm_chain() {
-  sim_.cancel(chain_event_);
+  deliver_sim_->cancel(chain_event_);
   chain_event_ = sim::kNoEvent;
   if (calendar_head_ == calendar_.size()) return;
-  chain_event_ = sim_.schedule_at(calendar_[calendar_head_].arrival, [this] {
-    chain_event_ = sim::kNoEvent;
-    fire_chain();
-  });
+  chain_event_ =
+      deliver_sim_->schedule_at(calendar_[calendar_head_].arrival, [this] {
+        chain_event_ = sim::kNoEvent;
+        fire_chain();
+      });
 }
 
 void Link::fire_chain() {
-  auto* hub = sim_.telemetry();
-  const Time fired_at = sim_.now();
+  // A conduit's chain runs on the destination partition's thread: the trace
+  // track lives in the source partition's hub, and the transit queue is
+  // source-side admission state, so both stay untouched here (transit drains
+  // lazily at the next offer).
+  sim::Simulator& dsim = *deliver_sim_;
+  auto* hub = is_conduit_ ? nullptr : sim_.telemetry();
+  const Time fired_at = dsim.now();
   Time last_delivered = fired_at;
   std::int64_t delivered_here = 0;
   for (;;) {
     // A delivery below may have re-entered offer() and armed a fresh chain
     // event; this loop is still in charge, so retire it.
     if (chain_event_ != sim::kNoEvent) {
-      sim_.cancel(chain_event_);
+      dsim.cancel(chain_event_);
       chain_event_ = sim::kNoEvent;
     }
     if (calendar_head_ == calendar_.size()) {
@@ -213,16 +269,16 @@ void Link::fire_chain() {
       break;
     }
     const Time arrival = calendar_[calendar_head_].arrival;
-    if (arrival > sim_.now()) {
+    if (arrival > dsim.now()) {
       // Run ahead only while no other simulator event intervenes (strict <:
       // at a tie the heap's FIFO order decides) and the run's horizon allows
       // it; otherwise hand control back and resume at the next arrival.
-      if (arrival > sim_.run_horizon() || arrival >= sim_.next_event_time()) {
+      if (arrival > dsim.run_horizon() || arrival >= dsim.next_event_time()) {
         arm_chain();
         break;
       }
-      sim_.advance_now(arrival);
-      drain_transit(arrival);
+      dsim.advance_now(arrival);
+      if (!is_conduit_) drain_transit(arrival);
     }
     Packet pkt = std::move(calendar_[calendar_head_].pkt);
     ++calendar_head_;
@@ -235,7 +291,7 @@ void Link::fire_chain() {
     const std::size_t size = pkt.wire_size();
     ++stats_.delivered;
     stats_.bytes_delivered += static_cast<std::int64_t>(size);
-    last_delivered = sim_.now();
+    last_delivered = dsim.now();
     ++delivered_here;
     deliver_(std::move(pkt));
   }

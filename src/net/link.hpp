@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "net/conduit.hpp"
 #include "net/loss.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
@@ -52,6 +53,21 @@ class Link {
   ~Link();
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
+
+  /// Turn this link into a cross-partition *conduit*: admission (queue,
+  /// loss, serialization, jitter — every RNG draw and timestamp) still runs
+  /// on the source partition's simulator exactly as in the local batched
+  /// path, but admitted packets are mailed through `conduit` and parked in
+  /// the arrival calendar at the next executor barrier; the chained delivery
+  /// event then runs on `dst_sim` (the far endpoint's partition). Requires
+  /// params().propagation >= the executor lookahead for the lifetime of the
+  /// link — a push_override() must not lower a cross link's propagation
+  /// below it. Conduits always use the calendar path (the per-packet
+  /// unbatched reference path would schedule onto the far simulator from the
+  /// source thread), and skip per-event tracer emission (the trace track
+  /// lives in the source partition's hub; counters still flush post-run).
+  void make_conduit(sim::Simulator& dst_sim, Conduit conduit);
+  [[nodiscard]] bool is_conduit() const { return is_conduit_; }
 
   /// Offer a packet to the link. May drop (queue full or loss model); on
   /// success schedules delivery at the far end.
@@ -135,6 +151,16 @@ class Link {
   /// then calendar insertion. No events scheduled beyond (re)arming the
   /// chain. `t_offer` is the packet's logical offer instant (== sim_.now()).
   void offer(Packet&& pkt, Time t_offer);
+  /// Sorted insert into the arrival calendar (FIFO among equal arrivals),
+  /// re-arming the chain when the head changes. Shared by the local batched
+  /// path (at offer time) and the conduit path (at the executor barrier).
+  void insert_calendar(PendingArrival&& item);
+  /// Conduit path: mail the admitted packets buffered by offer() through the
+  /// conduit; the thunk parks them in the calendar at the next barrier.
+  void flush_mailbox();
+  /// Runs at the executor barrier (no partition executing): park mailed
+  /// packets in the calendar and arm the chain on the delivery simulator.
+  void accept_mailed(std::vector<PendingArrival>&& items);
   /// Fire of the chained arrival event: deliver every calendar item whose
   /// time has come, running ahead of the clock (advance_now per item) while
   /// no other simulator event intervenes, then re-arm at the next arrival.
@@ -165,6 +191,14 @@ class Link {
   std::vector<TransitEntry> transit_;
   std::size_t transit_head_ = 0;
   sim::EventId chain_event_ = sim::kNoEvent;
+
+  // Conduit-mode state. deliver_sim_ owns the calendar's chain event (== the
+  // source simulator for ordinary links); mailbox_ buffers admissions within
+  // one transmit/send_train call until flush_mailbox() posts them.
+  sim::Simulator* deliver_sim_ = &sim_;
+  Conduit conduit_;
+  bool is_conduit_ = false;
+  std::vector<PendingArrival> mailbox_;
 
   // Trace ids, interned once at construction when a telemetry hub is
   // installed on the simulator (unused otherwise).

@@ -11,6 +11,29 @@ void DatagramSocket::send(Endpoint dst, Payload payload) {
   net_.send(local_, dst, std::move(payload));
 }
 
+Network::Network(std::vector<sim::Simulator*> sims, sim::ParallelExec* exec)
+    : sims_(std::move(sims)), exec_(exec),
+      rng_(sims_.at(0)->rng().fork(0x4E4554)), map_(sims_.size()),
+      shards_(sims_.size()) {
+  if (sims_.size() > 1 && exec_ == nullptr) {
+    throw std::invalid_argument(
+        "Network: multiple partitions require a ParallelExec");
+  }
+}
+
+void Network::set_node_partition(NodeId node, std::uint32_t p) {
+  if (node >= nodes_.size() || p >= sims_.size()) {
+    throw std::invalid_argument("set_node_partition: bad node or partition");
+  }
+  if (!nodes_[node]->out_links.empty()) {
+    throw std::logic_error(
+        "set_node_partition: node already has links (links are homed at "
+        "connect time)");
+  }
+  nodes_[node]->partition = p;
+  map_.assign(node, p);
+}
+
 NodeId Network::add_host(std::string name) {
   return add_node(std::move(name), /*is_host=*/true);
 }
@@ -26,6 +49,7 @@ NodeId Network::add_node(std::string name, bool is_host) {
   node->name = std::move(name);
   node->is_host = is_host;
   nodes_.push_back(std::move(node));
+  map_.assign(id, 0);
   routes_dirty_ = true;
   return id;
 }
@@ -42,16 +66,21 @@ std::pair<Link*, Link*> Network::connect(NodeId a, NodeId b,
     throw std::invalid_argument("Network::connect: bad node ids");
   }
   auto make = [this](NodeId from, NodeId to, const LinkParams& p) {
+    const std::uint32_t sp = nodes_[from]->partition;
+    const std::uint32_t dp = nodes_[to]->partition;
     auto link = std::make_unique<Link>(
-        sim_, nodes_[from]->name + "->" + nodes_[to]->name, p, to,
+        *sims_[sp], nodes_[from]->name + "->" + nodes_[to]->name, p, to,
         [this, to](Packet&& pkt) { deliver_at(to, std::move(pkt)); },
-        rng_.fork(next_link_rng_++), &pool_);
+        rng_.fork(next_link_rng_++), &shards_[sp].pool);
+    if (sp != dp) link->make_conduit(*sims_[dp], Conduit(exec_, sp, dp));
     Link* raw = link.get();
     nodes_[from]->out_links.push_back(std::move(link));
     return raw;
   };
   Link* fwd = make(a, b, ab);
   Link* rev = make(b, a, ba);
+  map_.add_link(a, b, ab.propagation);
+  map_.add_link(b, a, ba.propagation);
   routes_dirty_ = true;
   return {fwd, rev};
 }
@@ -102,49 +131,57 @@ DatagramSocket& Network::bind(NodeId host, Port port,
 void Network::unbind(Endpoint ep) {
   if (ep.node >= nodes_.size()) return;
   nodes_[ep.node]->sockets.erase(ep.port);
-  cached_sock_ = nullptr;
-  cached_sock_node_ = kNoNode;
+  // Only the owning partition's shard can have memoized this endpoint
+  // (socket_for runs on the node's partition), so clearing just that memo
+  // keeps unbind race-free during a window.
+  Shard& shard = shard_of(ep.node);
+  shard.cached_sock = nullptr;
+  shard.cached_sock_node = kNoNode;
 }
 
 DatagramSocket* Network::socket_for(Node& node, Port port) {
-  if (cached_sock_ != nullptr && cached_sock_node_ == node.id &&
-      cached_sock_port_ == port) {
-    return cached_sock_;
+  Shard& shard = shards_[node.partition];
+  if (shard.cached_sock != nullptr && shard.cached_sock_node == node.id &&
+      shard.cached_sock_port == port) {
+    return shard.cached_sock;
   }
   auto it = node.sockets.find(port);
   if (it == node.sockets.end()) return nullptr;
-  cached_sock_ = it->second.get();
-  cached_sock_node_ = node.id;
-  cached_sock_port_ = port;
-  return cached_sock_;
+  shard.cached_sock = it->second.get();
+  shard.cached_sock_node = node.id;
+  shard.cached_sock_port = port;
+  return shard.cached_sock;
 }
 
 void Network::send(Endpoint src, Endpoint dst, Payload payload) {
   if (routes_dirty_) compute_routes();
-  ++stats_.sent;
+  Shard& shard = shard_of(src.node);
+  ++shard.stats.sent;
   Packet pkt;
   pkt.src = src;
   pkt.dst = dst;
   pkt.payload = std::move(payload);
-  pkt.id = next_packet_id_++;
-  pkt.injected_at = sim_.now();
+  pkt.id = shard.next_packet_id++;
+  pkt.injected_at = sims_[nodes_[src.node]->partition]->now();
   deliver_at(src.node, std::move(pkt));
 }
 
 void Network::deliver_local(Node& node, Packet&& pkt) {
+  Shard& shard = shards_[node.partition];
   DatagramSocket* sock = socket_for(node, pkt.dst.port);
   if (sock == nullptr) {
-    ++stats_.dropped_no_socket;
+    ++shard.stats.dropped_no_socket;
     LOG_TRACE << "no socket at " << node.name << ":" << pkt.dst.port;
-    pool_.release(std::move(pkt.payload));
+    shard.pool.release(std::move(pkt.payload));
     return;
   }
-  ++stats_.delivered;
-  stats_.end_to_end_delay_ms.add((sim_.now() - pkt.injected_at).to_ms());
+  ++shard.stats.delivered;
+  shard.stats.end_to_end_delay_ms.add(
+      (sims_[node.partition]->now() - pkt.injected_at).to_ms());
   sock->deliver(pkt);
   // Receivers see a const Packet& and copy what they keep, so the payload
   // buffer can be recycled as soon as the callback returns.
-  pool_.release(std::move(pkt.payload));
+  shard.pool.release(std::move(pkt.payload));
 }
 
 void Network::deliver_at(NodeId node_id, Packet&& pkt) {
@@ -156,9 +193,9 @@ void Network::deliver_at(NodeId node_id, Packet&& pkt) {
   Link* hop = pkt.dst.node < node.next_hop.size() ? node.next_hop[pkt.dst.node]
                                                   : nullptr;
   if (hop == nullptr) {
-    ++stats_.dropped_no_route;
+    ++shards_[node.partition].stats.dropped_no_route;
     LOG_WARN << "no route from " << node.name << " to node " << pkt.dst.node;
-    pool_.release(std::move(pkt.payload));
+    shards_[node.partition].pool.release(std::move(pkt.payload));
     return;
   }
   hop->transmit(std::move(pkt));
@@ -168,17 +205,20 @@ void Network::send_train(Endpoint src, Endpoint dst,
                          std::vector<Payload>& payloads) {
   if (payloads.empty()) return;
   if (routes_dirty_) compute_routes();
-  train_scratch_.clear();
-  train_scratch_.reserve(payloads.size());
+  Shard& shard = shard_of(src.node);
+  sim::Simulator& sim = *sims_[nodes_[src.node]->partition];
+  std::vector<Packet>& scratch = shard.train_scratch;
+  scratch.clear();
+  scratch.reserve(payloads.size());
   for (Payload& payload : payloads) {
-    ++stats_.sent;
+    ++shard.stats.sent;
     Packet pkt;
     pkt.src = src;
     pkt.dst = dst;
     pkt.payload = std::move(payload);
-    pkt.id = next_packet_id_++;
-    pkt.injected_at = sim_.now();
-    train_scratch_.push_back(std::move(pkt));
+    pkt.id = shard.next_packet_id++;
+    pkt.injected_at = sim.now();
+    scratch.push_back(std::move(pkt));
   }
   payloads.clear();
   Node& node = *nodes_[src.node];
@@ -187,48 +227,63 @@ void Network::send_train(Endpoint src, Endpoint dst,
     // one callback (per-packet delivery stats preserved).
     DatagramSocket* sock = socket_for(node, dst.port);
     if (sock == nullptr) {
-      stats_.dropped_no_socket +=
-          static_cast<std::int64_t>(train_scratch_.size());
+      shard.stats.dropped_no_socket += static_cast<std::int64_t>(scratch.size());
       LOG_TRACE << "no socket at " << node.name << ":" << dst.port;
-      for (auto& pkt : train_scratch_) pool_.release(std::move(pkt.payload));
-      train_scratch_.clear();
+      for (auto& pkt : scratch) shard.pool.release(std::move(pkt.payload));
+      scratch.clear();
       return;
     }
-    stats_.delivered += static_cast<std::int64_t>(train_scratch_.size());
-    for (auto& pkt : train_scratch_) {
-      stats_.end_to_end_delay_ms.add((sim_.now() - pkt.injected_at).to_ms());
+    shard.stats.delivered += static_cast<std::int64_t>(scratch.size());
+    for (auto& pkt : scratch) {
+      shard.stats.end_to_end_delay_ms.add((sim.now() - pkt.injected_at).to_ms());
     }
-    sock->deliver_train(train_scratch_);
-    for (auto& pkt : train_scratch_) pool_.release(std::move(pkt.payload));
-    train_scratch_.clear();
+    sock->deliver_train(scratch);
+    for (auto& pkt : scratch) shard.pool.release(std::move(pkt.payload));
+    scratch.clear();
     return;
   }
   Link* hop = dst.node < node.next_hop.size() ? node.next_hop[dst.node]
                                               : nullptr;
   if (hop == nullptr) {
-    stats_.dropped_no_route += static_cast<std::int64_t>(train_scratch_.size());
+    shard.stats.dropped_no_route += static_cast<std::int64_t>(scratch.size());
     LOG_WARN << "no route from " << node.name << " to node " << dst.node;
-    for (auto& pkt : train_scratch_) pool_.release(std::move(pkt.payload));
-    train_scratch_.clear();
+    for (auto& pkt : scratch) shard.pool.release(std::move(pkt.payload));
+    scratch.clear();
     return;
   }
-  hop->send_train(train_scratch_);
+  hop->send_train(scratch);
+}
+
+Network::Stats Network::stats() const {
+  Stats total;
+  for (const Shard& shard : shards_) {
+    total.sent += shard.stats.sent;
+    total.delivered += shard.stats.delivered;
+    total.dropped_no_route += shard.stats.dropped_no_route;
+    total.dropped_no_socket += shard.stats.dropped_no_socket;
+    total.end_to_end_delay_ms.merge_from(shard.stats.end_to_end_delay_ms);
+  }
+  return total;
 }
 
 void Network::flush_telemetry() {
-  auto* hub = sim_.telemetry();
+  // Post-run, single-threaded: merged net/* counters go to partition 0's
+  // hub; each link flushes into its own source partition's hub (families
+  // are disjoint, so a later Hub::merge_from sees no conflicts).
+  auto* hub = sims_[0]->telemetry();
   if (hub == nullptr) return;
+  const Stats total = stats();
   auto& m = hub->metrics();
-  m.set(m.gauge("net/sent"), static_cast<double>(stats_.sent));
-  m.set(m.gauge("net/delivered"), static_cast<double>(stats_.delivered));
+  m.set(m.gauge("net/sent"), static_cast<double>(total.sent));
+  m.set(m.gauge("net/delivered"), static_cast<double>(total.delivered));
   m.set(m.gauge("net/dropped_no_route"),
-        static_cast<double>(stats_.dropped_no_route));
+        static_cast<double>(total.dropped_no_route));
   m.set(m.gauge("net/dropped_no_socket"),
-        static_cast<double>(stats_.dropped_no_socket));
+        static_cast<double>(total.dropped_no_socket));
   m.set(m.gauge("net/e2e_delay_ms_p50"),
-        stats_.end_to_end_delay_ms.percentile(50));
+        total.end_to_end_delay_ms.percentile(50));
   m.set(m.gauge("net/e2e_delay_ms_p95"),
-        stats_.end_to_end_delay_ms.percentile(95));
+        total.end_to_end_delay_ms.percentile(95));
   for (auto& node : nodes_) {
     for (auto& link : node->out_links) link->flush_telemetry();
   }

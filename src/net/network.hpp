@@ -8,6 +8,8 @@
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "net/partition.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 
@@ -58,14 +60,53 @@ class DatagramSocket {
 /// shortest-path (hop count) routing, and a datagram service on top. All of
 /// the paper's traffic — scenario download, media streams, RTCP feedback,
 /// service control — crosses this substrate.
+///
+/// Partition-aware mode: constructed over one Simulator per partition (plus
+/// the ParallelExec that advances them), every node is assigned a partition
+/// and every link whose endpoints straddle two partitions becomes a
+/// *conduit* — admission runs on the source partition, admitted packets are
+/// mailed through the executor's canonical (earliest, src partition, seq)
+/// merge order, and delivery fires on the destination partition. Mutable
+/// per-packet state (stats, payload pool, packet ids, socket memo) is
+/// sharded per partition so concurrent windows share nothing; results are
+/// byte-identical to the same topology on one sequential kernel.
 class Network {
  public:
-  explicit Network(sim::Simulator& sim) : sim_(sim), rng_(sim.rng().fork(0x4E4554)) {}
+  explicit Network(sim::Simulator& sim)
+      : Network(std::vector<sim::Simulator*>{&sim}, nullptr) {}
+  /// Partition-aware mode: sims[p] is partition p's kernel. `exec` is
+  /// required whenever more than one partition exists.
+  Network(std::vector<sim::Simulator*> sims, sim::ParallelExec* exec);
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   NodeId add_host(std::string name);
   NodeId add_router(std::string name);
+
+  /// Home `node` on partition `p`. Must be called before any connect()
+  /// involving the node (links are homed — and conduits created — from the
+  /// endpoint partitions in force at connect time). Nodes default to
+  /// partition 0.
+  void set_node_partition(NodeId node, std::uint32_t p);
+  [[nodiscard]] std::uint32_t partition_of(NodeId node) const {
+    return nodes_.at(node)->partition;
+  }
+  [[nodiscard]] std::size_t partition_count() const { return sims_.size(); }
+  /// Node->partition assignment + lookahead math, built automatically from
+  /// set_node_partition() and connect() calls.
+  [[nodiscard]] const PartitionMap& partition_map() const { return map_; }
+  /// Minimum propagation of any cross-partition link — the safe
+  /// ParallelExec lookahead for this topology (Time::max() if nothing
+  /// crosses).
+  [[nodiscard]] Time cross_lookahead() const {
+    return map_.cross_lookahead();
+  }
+  /// Compute routes eagerly. Partitioned runs must call this (or send once)
+  /// before ParallelExec::run_until: the lazy first-send rebuild would
+  /// otherwise race between partition threads.
+  void finalize_routes() {
+    if (routes_dirty_) compute_routes();
+  }
 
   /// Duplex connect with symmetric parameters.
   std::pair<Link*, Link*> connect(NodeId a, NodeId b, const LinkParams& both);
@@ -98,11 +139,23 @@ class Network {
   void isolate(NodeId node);
   void rejoin(NodeId node);
 
-  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  /// Partition 0's simulator (the only one in single-kernel mode).
+  [[nodiscard]] sim::Simulator& sim() { return *sims_[0]; }
+  /// The simulator of the partition `node` is homed on. Components bind
+  /// their clocks/timers here so they execute on their node's partition.
+  [[nodiscard]] sim::Simulator& sim_at(NodeId node) {
+    return *sims_[nodes_.at(node)->partition];
+  }
   /// Buffer pool for datagram payloads. High-rate senders (RTP) acquire
   /// their wire buffers here; the network returns every payload it finishes
-  /// with (delivered or dropped), closing the recycling loop.
-  [[nodiscard]] PayloadPool& payload_pool() { return pool_; }
+  /// with (delivered or dropped), closing the recycling loop. The
+  /// node-qualified overload returns the pool of the node's partition —
+  /// components on partitioned networks must use it so recycling never
+  /// crosses a thread boundary.
+  [[nodiscard]] PayloadPool& payload_pool() { return shards_[0].pool; }
+  [[nodiscard]] PayloadPool& payload_pool(NodeId node) {
+    return shards_[nodes_.at(node)->partition].pool;
+  }
   [[nodiscard]] const std::string& node_name(NodeId id) const;
   [[nodiscard]] Link* find_link(NodeId from, NodeId to);
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
@@ -114,7 +167,8 @@ class Network {
     std::int64_t dropped_no_socket = 0;
     util::Sampler end_to_end_delay_ms;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Counters merged across partition shards (sum; delay samples unioned).
+  [[nodiscard]] Stats stats() const;
 
   /// Snapshot network + per-link counters into the telemetry hub (net/* and
   /// link/<name>/* metric families). No-op without a hub.
@@ -125,6 +179,7 @@ class Network {
     NodeId id;
     std::string name;
     bool is_host;
+    std::uint32_t partition = 0;
     std::vector<std::unique_ptr<Link>> out_links;
     /// Flat routing table indexed by destination NodeId (nullptr = no
     /// route), rebuilt by compute_routes(); one indexed load per hop instead
@@ -133,28 +188,41 @@ class Network {
     std::map<Port, std::unique_ptr<DatagramSocket>> sockets;
     Port next_ephemeral = 49152;
   };
+  /// Per-partition mutable packet-path state. Each field is touched only by
+  /// the thread running its partition (or post-run), so concurrent windows
+  /// never contend: sent/drop counters and packet ids follow the node the
+  /// operation runs on, pools recycle within their partition, and the
+  /// socket memo caches only same-partition resolutions.
+  struct Shard {
+    Stats stats;
+    PayloadPool pool;
+    std::uint64_t next_packet_id = 1;
+    std::vector<Packet> train_scratch;  // reused across send_train calls
+    // Memo of the last destination-socket resolution: media flows hammer
+    // one endpoint, so this short-circuits the per-packet port-map lookup.
+    // Invalidated on bind/unbind.
+    NodeId cached_sock_node = kNoNode;
+    Port cached_sock_port = 0;
+    DatagramSocket* cached_sock = nullptr;
+  };
 
   NodeId add_node(std::string name, bool is_host);
   void compute_routes();
   void deliver_at(NodeId node, Packet&& pkt);
   void deliver_local(Node& node, Packet&& pkt);
   [[nodiscard]] DatagramSocket* socket_for(Node& node, Port port);
+  [[nodiscard]] Shard& shard_of(NodeId node) {
+    return shards_[nodes_[node]->partition];
+  }
 
-  sim::Simulator& sim_;
+  std::vector<sim::Simulator*> sims_;
+  sim::ParallelExec* exec_ = nullptr;
   util::Rng rng_;
+  PartitionMap map_;
+  std::vector<Shard> shards_;
   std::vector<std::unique_ptr<Node>> nodes_;
   bool routes_dirty_ = true;
-  std::uint64_t next_packet_id_ = 1;
   std::uint64_t next_link_rng_ = 1;
-  PayloadPool pool_;
-  Stats stats_;
-  std::vector<Packet> train_scratch_;  // reused across send_train calls
-  // Memo of the last destination-socket resolution: media flows hammer one
-  // endpoint, so this short-circuits the per-packet port-map lookup.
-  // Invalidated on bind/unbind.
-  NodeId cached_sock_node_ = kNoNode;
-  Port cached_sock_port_ = 0;
-  DatagramSocket* cached_sock_ = nullptr;
 };
 
 }  // namespace hyms::net

@@ -11,6 +11,7 @@
 
 #include "net/packet.hpp"
 #include "net/partition.hpp"
+#include "net/conduit.hpp"
 #include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
@@ -92,9 +93,10 @@ struct LogEntry {
 class Server;
 
 /// Shared context: the partition Simulators, optional per-partition hubs,
-/// and the post() seam that routes cross-partition traffic through the
-/// executor (partitioned mode) or runs the injection thunk inline
-/// (sequential kernel) — the ONLY control-flow difference between modes.
+/// and the executor. Cross-partition traffic is posted through net::Conduit
+/// — the same seam the partitioned Network's links mail their packet trains
+/// through — so the inline-when-colocated / mailbox-when-crossing ordering
+/// discipline lives in exactly one place.
 struct World {
   const StarWorldConfig* cfg = nullptr;
   std::vector<std::unique_ptr<sim::Simulator>> sims;
@@ -102,13 +104,8 @@ struct World {
   sim::ParallelExec exec;
   bool parallel = false;
 
-  void post(std::uint32_t src, std::uint32_t dst, Time earliest,
-            sim::EventFn inject) {
-    if (parallel) {
-      exec.post(src, dst, earliest, std::move(inject));
-    } else {
-      inject();
-    }
+  [[nodiscard]] Conduit conduit(std::uint32_t src, std::uint32_t dst) {
+    return Conduit(parallel ? &exec : nullptr, src, dst);
   }
 };
 
@@ -311,10 +308,10 @@ class Server {
       // Hoisted before the call: argument evaluation order is unspecified,
       // and the init-capture move below would gut train_ first.
       const Time first_arrival = train_.front().arrival;
-      world_->post(0, (*client_partition_)[c], first_arrival,
-                   [cl, train = std::move(train_)] {
-                     for (const PacketItem& item : train) cl->deliver(item);
-                   });
+      world_->conduit(0, (*client_partition_)[c])
+          .post(first_arrival, [cl, train = std::move(train_)] {
+            for (const PacketItem& item : train) cl->deliver(item);
+          });
       train_ = {};
     }
     const Time next = now + world_->cfg->frame_interval;
@@ -380,10 +377,10 @@ void Client::report_tick(Time now) {
   const auto arrival = uplink_.admit(now, 64 + kIpUdpOverhead, up_prop_);
   Server* srv = server_;
   const std::uint32_t c = id_;
-  world_->post(partition_, server_partition_, *arrival,
-               [srv, c, at = *arrival, recv, lost] {
-                 srv->schedule_report(at, c, recv, lost);
-               });
+  world_->conduit(partition_, server_partition_)
+      .post(*arrival, [srv, c, at = *arrival, recv, lost] {
+        srv->schedule_report(at, c, recv, lost);
+      });
   const Time next = now + world_->cfg->report_interval;
   if (next <= world_->cfg->run_for) arm_report(next);
 }

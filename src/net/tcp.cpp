@@ -88,8 +88,8 @@ std::unique_ptr<StreamConnection> StreamConnection::connect(Network& net,
 StreamConnection::StreamConnection(Network& net, NodeId local_node,
                                    Endpoint remote, TcpParams params,
                                    bool passive)
-    : net_(net), sim_(net.sim()), params_(params), remote_(remote),
-      rto_(params.initial_rto) {
+    : net_(net), sim_(net.sim_at(local_node)), params_(params),
+      remote_(remote), rto_(params.initial_rto) {
   socket_ = &net_.bind(local_node, 0,
                        [this](const Packet& pkt) { on_datagram(pkt); });
   local_ = socket_->local();

@@ -12,8 +12,8 @@ namespace hyms::rtp {
 RtpSender::RtpSender(net::Network& net, net::NodeId node,
                      net::Endpoint remote_rtp, net::Endpoint remote_rtcp,
                      Params params)
-    : net_(net), sim_(net.sim()), params_(params), remote_rtp_(remote_rtp),
-      remote_rtcp_(remote_rtcp) {
+    : net_(net), sim_(net.sim_at(node)), pool_(&net.payload_pool(node)),
+      params_(params), remote_rtp_(remote_rtp), remote_rtcp_(remote_rtcp) {
   if (auto* hub = sim_.telemetry()) {
     auto& tr = hub->tracer();
     trace_track_ = tr.track(
@@ -65,7 +65,7 @@ void RtpSender::append_frame(const std::uint8_t* data, std::size_t size,
     const std::size_t len = std::min(size - begin, params_.max_payload);
     stats_.octets_sent += static_cast<std::int64_t>(len);
     ++stats_.packets_sent;
-    auto wire = net_.payload_pool().acquire(kRtpHeaderSize + 4 + len);
+    auto wire = pool_->acquire(kRtpHeaderSize + 4 + len);
     serialize_rtp_into(header, static_cast<std::uint16_t>(i),
                        static_cast<std::uint16_t>(frag_count), data + begin,
                        len, wire);
@@ -89,7 +89,7 @@ void RtpSender::emit_sender_report() {
   sr.octet_count = static_cast<std::uint32_t>(stats_.octets_sent);
   RtcpCompound compound;
   compound.sender_reports.push_back(sr);
-  auto wire = net_.payload_pool().acquire();
+  auto wire = pool_->acquire();
   serialize_rtcp_into(compound, wire);
   rtcp_socket_->send(remote_rtcp_, std::move(wire));
 }
@@ -98,7 +98,7 @@ void RtpSender::send_bye(const std::string& reason) {
   if (remote_rtcp_.node == net::kNoNode) return;
   RtcpCompound compound;
   compound.byes.push_back(Bye{params_.ssrc, reason});
-  auto wire = net_.payload_pool().acquire();
+  auto wire = pool_->acquire();
   serialize_rtcp_into(compound, wire);
   rtcp_socket_->send(remote_rtcp_, std::move(wire));
 }
@@ -169,7 +169,8 @@ void RtpSender::flush_telemetry() {
 RtpReceiver::RtpReceiver(net::Network& net, net::NodeId node,
                          net::Port rtp_port, net::Endpoint sender_rtcp,
                          Params params)
-    : net_(net), sim_(net.sim()), params_(params), sender_rtcp_(sender_rtcp) {
+    : net_(net), sim_(net.sim_at(node)), pool_(&net.payload_pool(node)),
+      params_(params), sender_rtcp_(sender_rtcp) {
   if (auto* hub = sim_.telemetry()) {
     auto& tr = hub->tracer();
     trace_track_ = tr.track(
@@ -385,7 +386,7 @@ void RtpReceiver::emit_receiver_report() {
     tr.counter(trace_track_, n_lost_, sim_.now(),
                static_cast<double>(stats_.packets_lost_cumulative));
   }
-  auto wire = net_.payload_pool().acquire();
+  auto wire = pool_->acquire();
   serialize_rtcp_into(compound, wire);
   rtcp_socket_->send(sender_rtcp_, std::move(wire));
 }

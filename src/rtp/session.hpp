@@ -110,6 +110,7 @@ class RtpSender {
 
   net::Network& net_;
   sim::Simulator& sim_;
+  net::PayloadPool* pool_;  // the sender node's partition pool
   Params params_;
   net::Endpoint remote_rtp_;
   net::Endpoint remote_rtcp_;
@@ -220,6 +221,7 @@ class RtpReceiver {
 
   net::Network& net_;
   sim::Simulator& sim_;
+  net::PayloadPool* pool_;  // the receiver node's partition pool
   Params params_;
   net::Endpoint sender_rtcp_;
   net::DatagramSocket* rtp_socket_;

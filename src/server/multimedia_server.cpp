@@ -679,8 +679,8 @@ class MultimediaServer::ClientSession {
 
 MultimediaServer::MultimediaServer(net::Network& net, net::NodeId node,
                                    Config config)
-    : net_(net), sim_(net.sim()), node_(node), config_(std::move(config)),
-      admission_(config_.admission, &sim_) {
+    : net_(net), sim_(net.sim_at(node)), node_(node),
+      config_(std::move(config)), admission_(config_.admission, &sim_) {
   if (config_.frame_cache == nullptr && config_.frame_cache_bytes > 0) {
     config_.frame_cache = std::make_shared<media::FrameCache>(
         media::FrameCache::Config{config_.frame_cache_bytes});

@@ -26,7 +26,7 @@ MediaStreamSession::MediaStreamSession(
     net::Network& net, net::NodeId server_node,
     std::shared_ptr<media::MediaSource> source, core::StreamSpec spec,
     Params params)
-    : net_(net), sim_(net.sim()), node_(server_node),
+    : net_(net), sim_(net.sim_at(server_node)), node_(server_node),
       source_(std::move(source)), spec_(std::move(spec)), params_(params),
       converter_(*source_, params.floor_level) {
   converter_.set_level(params.initial_level);

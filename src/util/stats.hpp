@@ -49,6 +49,13 @@ class Sampler {
   [[nodiscard]] double mean() const;
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
+  /// Append every sample from `other` (exact percentiles over the union;
+  /// insertion order is irrelevant — percentile() sorts).
+  void merge_from(const Sampler& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
   void reset() { samples_.clear(); }
 
  private:

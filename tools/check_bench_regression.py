@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Fail CI when a guarded benchmark family regresses.
 
-Understands two JSON schemas, sniffed per file:
+Understands three JSON schemas, sniffed per file:
 
 - google-benchmark JSON from `bench_micro --json`: compares
   items_per_second for every benchmark in the guarded families present in
@@ -11,9 +11,15 @@ Understands two JSON schemas, sniffed per file:
 
 - bench_shared_world JSON (context.benchmark == "bench_shared_world"):
   compares events_per_sec for every (partitions, threads) cell present in
-  both files, under synthetic names like "shared_world/p4t2". The files'
-  "deterministic" flag must be true -- a divergent parallel simulation is a
-  correctness failure regardless of speed.
+  both files, under synthetic names like "shared_world/p4t2".
+
+- bench_population JSON (context.benchmark == "bench_population"): same
+  per-(partitions, threads) cell comparison of events_per_sec, under names
+  like "population/p2t4".
+
+For both cell schemas the FRESH file's "deterministic" flag must be true —
+a divergent parallel simulation is a correctness failure regardless of
+speed, and fails hard even when the speed numbers are incomparable.
 
 Guards, mirroring check_telemetry_overhead.py:
 - Debug/assert builds (context.assertions == "enabled") in either file are
@@ -22,13 +28,15 @@ Guards, mirroring check_telemetry_overhead.py:
   exit 0 instead of failing.
 
 Exit code 0 = within budget (or nothing comparable), 1 = regression (or a
-non-deterministic shared-world run).
+non-deterministic fresh parallel run).
 
 Usage:
   tools/check_bench_regression.py BENCH_micro.json --baseline OLD.json
       [--budget 10.0]
   tools/check_bench_regression.py BENCH_shared_world.json \
       --baseline OLD_shared_world.json [--budget 15.0]
+  tools/check_bench_regression.py BENCH_population.json \
+      --baseline OLD_population.json [--budget 15.0]
 """
 
 import argparse
@@ -38,22 +46,30 @@ import sys
 FAMILY_PREFIXES = ("BM_PacketForwarding", "BM_FrameSynthesis",
                    "BM_FrameCacheHit")
 
+# context.benchmark -> synthetic cell-name prefix
+CELL_SCHEMAS = {
+    "bench_shared_world": "shared_world",
+    "bench_population": "population",
+}
+
 
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
         return json.load(f)
 
 
-def is_shared_world(doc):
-    return doc.get("context", {}).get("benchmark") == "bench_shared_world"
+def cell_prefix(doc):
+    """The cell-schema name prefix, or None for google-benchmark JSON."""
+    return CELL_SCHEMAS.get(doc.get("context", {}).get("benchmark"))
 
 
 def family_items_per_second(doc):
-    if is_shared_world(doc):
+    prefix = cell_prefix(doc)
+    if prefix is not None:
         out = {}
         for row in doc.get("results", []):
-            name = "shared_world/p{}t{}".format(
-                row.get("partitions"), row.get("threads"))
+            name = "{}/p{}t{}".format(prefix, row.get("partitions"),
+                                      row.get("threads"))
             if "events_per_sec" in row:
                 out[name] = float(row["events_per_sec"])
         return out
@@ -67,9 +83,9 @@ def family_items_per_second(doc):
 
 def main():
     parser = argparse.ArgumentParser()
-    parser.add_argument("fresh", help="BENCH_micro.json from this run")
+    parser.add_argument("fresh", help="benchmark JSON from this run")
     parser.add_argument("--baseline", required=True,
-                        help="committed BENCH_micro.json to compare against")
+                        help="committed benchmark JSON to compare against")
     parser.add_argument("--budget", type=float, default=10.0,
                         help="max %% slowdown per benchmark before failing")
     args = parser.parse_args()
@@ -77,18 +93,18 @@ def main():
     fresh = load(args.fresh)
     base = load(args.baseline)
 
-    if is_shared_world(fresh) != is_shared_world(base):
+    # Byte-identity of parallel vs sequential runs is a hard gate before any
+    # speed comparison: a fast divergent simulation is simply wrong.
+    if cell_prefix(fresh) is not None and fresh.get("deterministic") is not True:
+        print("check_bench_regression: FRESH {} run is NOT deterministic "
+              "(parallel != sequential kernel)".format(cell_prefix(fresh)),
+              file=sys.stderr)
+        return 1
+
+    if cell_prefix(fresh) != cell_prefix(base):
         print("check_bench_regression: fresh and baseline use different "
               "schemas -- nothing to compare", file=sys.stderr)
         return 0
-
-    # Byte-identity of parallel vs sequential runs is a hard gate before any
-    # speed comparison: a fast divergent simulation is simply wrong.
-    if is_shared_world(fresh) and fresh.get("deterministic") is not True:
-        print("check_bench_regression: FRESH shared-world run is NOT "
-              "deterministic (parallel != sequential kernel)",
-              file=sys.stderr)
-        return 1
 
     for label, doc in (("fresh", fresh), ("baseline", base)):
         if doc.get("context", {}).get("assertions") == "enabled":
