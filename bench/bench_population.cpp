@@ -8,12 +8,22 @@
 // byte-identical (fingerprint + canonical event log + QoE/SLO export) to the
 // sequential kernel BEFORE its wall time is reported.
 //
+// --overload adds two more scenario sweeps: "overload" engages the
+// overload-control pipeline (admission wait queue + pressure-aware
+// degradation ladder + client retry-with-backoff) and prints how many of
+// the base scenario's admission-rejected fates now finish; "chaos" adds an
+// active fault plan on top (server crash mid-flash-crowd with the wait
+// queue populated, backbone link flap). The byte-identity gate applies to
+// every cell of every sweep, so fault injection on the partitioned
+// population is regression-checked here.
+//
 //   bench_population [--sessions N] [--servers N] [--documents N]
-//                    [--partitions P] [--seed S] [--smoke] [--json]
+//                    [--partitions P] [--seed S] [--smoke] [--overload]
+//                    [--json]
 //
 // --json writes BENCH_population.json, guarded by
-// tools/check_bench_regression.py (events_per_sec per partitions/threads
-// cell; a non-deterministic fresh run is a hard failure).
+// tools/check_bench_regression.py (events_per_sec per scenario/partitions/
+// threads cell; a non-deterministic fresh run is a hard failure).
 
 #include <chrono>
 #include <cstdint>
@@ -21,6 +31,7 @@
 #include <cstdlib>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "harness.hpp"
@@ -30,6 +41,7 @@
 namespace {
 
 struct Row {
+  const char* scenario;
   std::uint32_t partitions;
   int threads;
   double wall_s = 0.0;
@@ -50,6 +62,34 @@ double run_once(const hyms::hermes::PopulationConfig& cfg, int threads,
       .count();
 }
 
+void print_fates(const char* scenario, const hyms::hermes::PopulationResult& r) {
+  std::printf("[%s] fates: %lld completed, %lld degraded, %lld churned, "
+              "%lld abandoned, %lld rejected, %lld failed, %lld unfinished; "
+              "%lld admission rejections; cache %lld hits / %lld misses\n",
+              scenario, static_cast<long long>(r.completed),
+              static_cast<long long>(r.degraded),
+              static_cast<long long>(r.churned),
+              static_cast<long long>(r.abandoned),
+              static_cast<long long>(r.rejected),
+              static_cast<long long>(r.failed),
+              static_cast<long long>(r.unfinished),
+              static_cast<long long>(r.admission_rejections),
+              static_cast<long long>(r.cache_hits),
+              static_cast<long long>(r.cache_misses));
+  if (r.queued_total + r.admission_retries + r.faults_injected > 0) {
+    std::printf("[%s] overload: %lld queued (%lld granted, %lld timed out), "
+                "%lld degraded grants, %lld client retries, "
+                "%lld faults injected\n",
+                scenario, static_cast<long long>(r.queued_total),
+                static_cast<long long>(r.queue_grants),
+                static_cast<long long>(r.queue_timeouts),
+                static_cast<long long>(r.degraded_grants),
+                static_cast<long long>(r.admission_retries),
+                static_cast<long long>(r.faults_injected));
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,6 +106,7 @@ int main(int argc, char** argv) {
   cfg.server_template.admission.capacity_bps = 60e6;
   std::uint32_t partitions = 2;
   bool json = false;
+  bool overload = false;
   std::string slo_file;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -90,13 +131,19 @@ int main(int argc, char** argv) {
       cfg.documents = 6;
       cfg.arrival_window = Time::sec(6);
       cfg.run_for = Time::sec(16);
+      // Tight fleet (~4 full-quality viewers per server): even 48 sessions
+      // overload admission, so the --overload smoke leg exercises the wait
+      // queue and retry machinery rather than sailing through.
+      cfg.server_template.admission.capacity_bps = 6e6;
+    } else if (arg == "--overload") {
+      overload = true;
     } else if (arg == "--json") {
       json = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_population [--sessions N] [--servers N] "
                    "[--documents N] [--partitions P] [--seed S] "
-                   "[--slo-json FILE] [--smoke] [--json]\n");
+                   "[--slo-json FILE] [--smoke] [--overload] [--json]\n");
       return 1;
     }
   }
@@ -104,72 +151,111 @@ int main(int argc, char** argv) {
 
   const unsigned hw = bench::hardware_threads();
   std::printf("bench_population: %d sessions, %d servers, %d documents, "
-              "partitions=%u (host has %u hardware thread%s)\n\n",
-              cfg.sessions, cfg.servers, cfg.documents, partitions, hw,
+              "partitions=%u%s (host has %u hardware thread%s)\n\n",
+              cfg.sessions, cfg.servers, cfg.documents, partitions,
+              overload ? ", overload+chaos sweep on" : "", hw,
               hw == 1 ? "" : "s");
 
-  // The reference: the plain single-calendar kernel.
-  hyms::hermes::PopulationConfig seq_cfg = cfg;
-  seq_cfg.partitions = 1;
-  hyms::hermes::PopulationResult seq;
-  const double seq_wall = run_once(seq_cfg, 1, seq);
-
-  std::printf("fates: %lld completed, %lld degraded, %lld churned, "
-              "%lld abandoned, %lld failed, %lld unfinished; "
-              "%lld admission rejections; cache %lld hits / %lld misses\n\n",
-              static_cast<long long>(seq.completed),
-              static_cast<long long>(seq.degraded),
-              static_cast<long long>(seq.churned),
-              static_cast<long long>(seq.abandoned),
-              static_cast<long long>(seq.failed),
-              static_cast<long long>(seq.unfinished),
-              static_cast<long long>(seq.admission_rejections),
-              static_cast<long long>(seq.cache_hits),
-              static_cast<long long>(seq.cache_misses));
-
-  if (!slo_file.empty()) {
-    if (std::FILE* f = std::fopen(slo_file.c_str(), "w")) {
-      std::fwrite(seq.qoe_json.data(), 1, seq.qoe_json.size(), f);
-      std::fclose(f);
-      std::printf("wrote %s\n", slo_file.c_str());
-    }
+  std::vector<std::pair<const char*, hyms::hermes::PopulationConfig>>
+      scenarios;
+  scenarios.emplace_back("base", cfg);
+  if (overload) {
+    // Overload control trades latency for goodput: sessions the base
+    // scenario rejected at the peak are served as the backlog drains, so
+    // the horizon must extend past the drain or they count as unfinished.
+    hyms::hermes::PopulationConfig ocfg = cfg;
+    ocfg.overload_control = true;
+    ocfg.run_for = ocfg.run_for + Time::sec(15);
+    scenarios.emplace_back("overload", ocfg);
+    // Chaos rides on top of the overload posture: a server crash mid-flash-
+    // crowd (wait queue populated) and a backbone link flap, on the
+    // partitioned population, still byte-identical at every thread count.
+    hyms::hermes::PopulationConfig ccfg = ocfg;
+    ccfg.chaos = true;
+    scenarios.emplace_back("chaos", ccfg);
   }
 
   std::vector<Row> rows;
-  rows.push_back(Row{1, 1, seq_wall,
-                     static_cast<double>(seq.events_executed) / seq_wall,
-                     static_cast<double>(cfg.sessions) / seq_wall, 1.0, 0, 0,
-                     true});
-
   bool all_deterministic = true;
-  cfg.partitions = partitions;
+  hyms::hermes::PopulationResult base_seq;
   Time lookahead = Time::max();
-  for (const int threads : {1, 2, 4}) {
-    hyms::hermes::PopulationResult par;
-    const double wall = run_once(cfg, threads, par);
-    lookahead = par.lookahead;
-    Row row{partitions, threads, wall,
-            static_cast<double>(par.events_executed) / wall,
-            static_cast<double>(cfg.sessions) / wall, seq_wall / wall,
-            par.windows, par.messages,
-            par.fingerprint == seq.fingerprint &&
-                par.events_csv == seq.events_csv &&
-                par.qoe_json == seq.qoe_json};
-    if (par.qoe_json != seq.qoe_json) {
-      std::fprintf(stderr,
-                   "SLO DIVERGENCE: QoE export at %u partitions / %d threads "
-                   "is not byte-identical to the sequential kernel\n",
-                   partitions, threads);
+  std::uint64_t seq_events = 0;
+
+  for (const auto& [scenario, scfg] : scenarios) {
+    // The reference: the plain single-calendar kernel.
+    hyms::hermes::PopulationConfig seq_cfg = scfg;
+    seq_cfg.partitions = 1;
+    hyms::hermes::PopulationResult seq;
+    const double seq_wall = run_once(seq_cfg, 1, seq);
+    print_fates(scenario, seq);
+    if (rows.empty()) {
+      base_seq = seq;
+      seq_events = seq.events_executed;
+    } else if (std::string_view(scenario) == "overload") {
+      const long long converted = (seq.completed + seq.degraded) -
+                                  (base_seq.completed + base_seq.degraded);
+      std::printf("[overload] conversion: %lld of %lld base admission-"
+                  "rejected fates now finish (target: >= %lld)\n\n",
+                  converted, static_cast<long long>(base_seq.rejected),
+                  static_cast<long long>((base_seq.rejected + 1) / 2));
     }
-    all_deterministic = all_deterministic && row.deterministic;
-    rows.push_back(row);
+
+    if (!slo_file.empty()) {
+      // One SLO file per scenario so the overload recipe can diff the
+      // with-queue and without-queue fleets: "pop.json" for the base
+      // scenario, "pop.overload.json" / "pop.chaos.json" for the sweeps.
+      std::string path = slo_file;
+      if (!rows.empty()) {
+        const auto dot = path.rfind(".json");
+        const std::string suffix = std::string(".") + scenario + ".json";
+        if (dot != std::string::npos && dot == path.size() - 5) {
+          path.replace(dot, 5, suffix);
+        } else {
+          path += suffix;
+        }
+      }
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        std::fwrite(seq.qoe_json.data(), 1, seq.qoe_json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+      }
+    }
+
+    rows.push_back(Row{scenario, 1, 1, seq_wall,
+                       static_cast<double>(seq.events_executed) / seq_wall,
+                       static_cast<double>(scfg.sessions) / seq_wall, 1.0, 0,
+                       0, true});
+
+    hyms::hermes::PopulationConfig par_cfg = scfg;
+    par_cfg.partitions = partitions;
+    for (const int threads : {1, 2, 4}) {
+      hyms::hermes::PopulationResult par;
+      const double wall = run_once(par_cfg, threads, par);
+      lookahead = par.lookahead;
+      Row row{scenario, partitions, threads, wall,
+              static_cast<double>(par.events_executed) / wall,
+              static_cast<double>(scfg.sessions) / wall, seq_wall / wall,
+              par.windows, par.messages,
+              par.fingerprint == seq.fingerprint &&
+                  par.events_csv == seq.events_csv &&
+                  par.qoe_json == seq.qoe_json};
+      if (par.qoe_json != seq.qoe_json) {
+        std::fprintf(stderr,
+                     "SLO DIVERGENCE: [%s] QoE export at %u partitions / %d "
+                     "threads is not byte-identical to the sequential "
+                     "kernel\n",
+                     scenario, partitions, threads);
+      }
+      all_deterministic = all_deterministic && row.deterministic;
+      rows.push_back(row);
+    }
   }
 
-  bench::table_header({"partitions", "threads", "wall s", "events/s",
-                       "sessions/s", "speedup", "windows", "messages",
-                       "identical"});
+  bench::table_header({"scenario", "partitions", "threads", "wall s",
+                       "events/s", "sessions/s", "speedup", "windows",
+                       "messages", "identical"});
   for (const Row& row : rows) {
-    bench::table_row({std::to_string(row.partitions),
+    bench::table_row({row.scenario, std::to_string(row.partitions),
                       std::to_string(row.threads), bench::fmt(row.wall_s, 3),
                       bench::fmt(row.events_per_sec, 0),
                       bench::fmt(row.sessions_per_sec, 1),
@@ -180,7 +266,7 @@ int main(int argc, char** argv) {
   std::printf("\n%u partitions, lookahead %lld us, %llu events; parallel runs "
               "byte-identical to the sequential kernel: %s\n",
               partitions, static_cast<long long>(lookahead.us()),
-              static_cast<unsigned long long>(seq.events_executed),
+              static_cast<unsigned long long>(seq_events),
               all_deterministic ? "verified" : "VIOLATED");
   if (hw == 1) {
     std::printf("note: 1-CPU host -- thread speedups here measure overhead, "
@@ -210,9 +296,11 @@ int main(int argc, char** argv) {
                  "    \"degraded\": %lld,\n"
                  "    \"churned\": %lld,\n"
                  "    \"abandoned\": %lld,\n"
+                 "    \"rejected\": %lld,\n"
                  "    \"failed\": %lld,\n"
                  "    \"unfinished\": %lld,\n"
                  "    \"admission_rejections\": %lld,\n"
+                 "    \"overload_sweep\": %s,\n"
                  "    \"assertions\": \"%s\"\n"
                  "  },\n"
                  "  \"deterministic\": %s,\n"
@@ -221,25 +309,28 @@ int main(int argc, char** argv) {
                  cfg.documents, partitions,
                  static_cast<unsigned long long>(cfg.seed),
                  static_cast<long long>(lookahead.us()),
-                 static_cast<unsigned long long>(seq.events_executed),
-                 static_cast<long long>(seq.completed),
-                 static_cast<long long>(seq.degraded),
-                 static_cast<long long>(seq.churned),
-                 static_cast<long long>(seq.abandoned),
-                 static_cast<long long>(seq.failed),
-                 static_cast<long long>(seq.unfinished),
-                 static_cast<long long>(seq.admission_rejections),
+                 static_cast<unsigned long long>(seq_events),
+                 static_cast<long long>(base_seq.completed),
+                 static_cast<long long>(base_seq.degraded),
+                 static_cast<long long>(base_seq.churned),
+                 static_cast<long long>(base_seq.abandoned),
+                 static_cast<long long>(base_seq.rejected),
+                 static_cast<long long>(base_seq.failed),
+                 static_cast<long long>(base_seq.unfinished),
+                 static_cast<long long>(base_seq.admission_rejections),
+                 overload ? "true" : "false",
                  bench::built_with_assertions() ? "enabled" : "disabled",
                  all_deterministic ? "true" : "false");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& row = rows[i];
       std::fprintf(out,
-                   "    {\"partitions\": %u, \"threads\": %d, "
+                   "    {\"scenario\": \"%s\", \"partitions\": %u, "
+                   "\"threads\": %d, "
                    "\"wall_s\": %.4f, \"events_per_sec\": %.1f, "
                    "\"sessions_per_sec\": %.2f, \"speedup\": %.3f, "
                    "\"windows\": %llu, \"messages\": %llu, "
                    "\"deterministic\": %s}%s\n",
-                   row.partitions, row.threads, row.wall_s,
+                   row.scenario, row.partitions, row.threads, row.wall_s,
                    row.events_per_sec, row.sessions_per_sec, row.speedup,
                    static_cast<unsigned long long>(row.windows),
                    static_cast<unsigned long long>(row.messages),

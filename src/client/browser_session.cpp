@@ -15,6 +15,7 @@ std::string to_string(ClientState state) {
     case ClientState::kSubscribing: return "subscribing";
     case ClientState::kBrowsing: return "browsing";
     case ClientState::kRequestingDocument: return "requesting-document";
+    case ClientState::kQueuedForAdmission: return "queued-for-admission";
     case ClientState::kSettingUp: return "setting-up";
     case ClientState::kViewing: return "viewing";
     case ClientState::kPaused: return "paused";
@@ -38,8 +39,12 @@ std::string to_string(SessionOutcome outcome) {
 BrowserSession::BrowserSession(net::Network& net, net::NodeId node,
                                net::Endpoint server, Config config)
     : net_(net), sim_(net.sim_at(node)), node_(node), server_(server),
-      config_(std::move(config)), trace_id_(config_.trace_id),
-      jitter_rng_(net.sim_at(node).rng().fork(0xBAC0FFull ^ node)) {}
+      config_(std::move(config)),
+      // Fork from the pristine seed, not the live root RNG: the root's state
+      // depends on how many TCP/RTP objects this kernel built before us,
+      // which varies with the partition count — backoff jitter must not.
+      jitter_rng_(util::Rng(net.sim_at(node).seed()).fork(0xBAC0FFull ^ node)),
+      trace_id_(config_.trace_id) {}
 
 BrowserSession::~BrowserSession() {
   sim_.cancel(request_timer_);
@@ -153,11 +158,21 @@ void BrowserSession::open_connection() {
     if (config_.recovery.enabled && !user_closing_ &&
         outcome_ == SessionOutcome::kPending &&
         state_ != ClientState::kSuspended) {
+      settle_queue_wait();  // a crash may have hit us parked in the queue
       // An unsolicited transport death (server crash, outage longer than the
       // retransmit budget) is an outage, not the end of the session.
       begin_recovery(std::string("transport closed: ") +
                      net::to_string(conn_->close_reason()));
       return;
+    }
+    if (state_ == ClientState::kQueuedForAdmission &&
+        outcome_ == SessionOutcome::kPending && !user_closing_) {
+      // Without recovery a transport death while parked in the server's
+      // wait queue (server crash) is a terminal, typed admission loss.
+      settle_queue_wait();
+      outcome_ = SessionOutcome::kAborted;
+      fail(util::Error{util::Error::Code::kAdmissionRejected,
+                       "connection lost while queued for admission"});
     }
     transition(ClientState::kClosed);
     accumulate_playout_qoe();
@@ -231,15 +246,19 @@ void BrowserSession::check_liveness() {
   arm_liveness_monitor();
 }
 
-Time BrowserSession::backoff_delay() {
-  const auto& rc = config_.recovery;
-  const int exponent = std::min(recovery_attempts_, 16);
+Time BrowserSession::backoff_for(const RecoveryConfig& rc, int attempt,
+                                 util::Rng& rng) {
+  const int exponent = std::min(attempt, 16);
   double us = static_cast<double>(rc.backoff_initial.us());
   for (int i = 0; i < exponent; ++i) us *= 2.0;
   us = std::min(us, static_cast<double>(rc.backoff_cap.us()));
   // Jitter decorrelates reconnect storms across clients hit by one outage.
-  us *= 1.0 + rc.backoff_jitter * (2.0 * jitter_rng_.uniform() - 1.0);
+  us *= 1.0 + rc.backoff_jitter * (2.0 * rng.uniform() - 1.0);
   return std::max(Time::msec(1), Time::usec(static_cast<std::int64_t>(us)));
+}
+
+Time BrowserSession::backoff_delay() {
+  return backoff_for(config_.recovery, recovery_attempts_, jitter_rng_);
 }
 
 void BrowserSession::begin_recovery(const std::string& why) {
@@ -248,6 +267,7 @@ void BrowserSession::begin_recovery(const std::string& why) {
   cancel_recovery_timers();
   log_event("recovery: " + why);
   recovering_ = true;
+  settle_queue_wait();  // an outage while queued ends that queue stay
   if (presentation_ != nullptr &&
       (state_ == ClientState::kViewing || state_ == ClientState::kPaused)) {
     // Resume no earlier than where playout stopped; across repeated outages
@@ -310,6 +330,58 @@ void BrowserSession::finish_presentation() {
   if (on_presentation_finished_) on_presentation_finished_();
 }
 
+// --- overload retry -------------------------------------------------------------
+
+void BrowserSession::settle_queue_wait() {
+  if (queue_entered_at_ == Time::max()) return;
+  queue_wait_ms_ += (sim_.now() - queue_entered_at_).to_ms();
+  queue_entered_at_ = Time::max();
+}
+
+void BrowserSession::handle_admission_rejection(const proto::DocumentReply& m) {
+  const auto& rc = config_.recovery;
+  if (admission_wait_began_ == Time::max()) admission_wait_began_ = sim_.now();
+  if (admission_retries_ >= rc.max_admission_retries) {
+    give_up_admission("retry budget exhausted: " + m.reason);
+    return;
+  }
+  if (sim_.now() - admission_wait_began_ >= rc.admission_patience) {
+    give_up_admission("patience exhausted: " + m.reason);
+    return;
+  }
+  ++admission_retries_;
+  if (rc.concede_every > 0 && admission_retries_ % rc.concede_every == 0 &&
+      floor_degradations_ < rc.max_floor_degradations) {
+    ++floor_degradations_;
+    log_event("overload: conceding quality floor notch " +
+              std::to_string(floor_degradations_));
+  }
+  // Backoff: our own capped exponential with deterministically forked
+  // jitter, never earlier than the server's retry-after hint.
+  Time delay = backoff_for(rc, admission_retries_ - 1, jitter_rng_);
+  if (m.retry_after_us > 0) delay = std::max(delay, Time::usec(m.retry_after_us));
+  log_event("overload: admission rejected, retry " +
+            std::to_string(admission_retries_) + "/" +
+            std::to_string(rc.max_admission_retries) + " in " + delay.str());
+  if (on_admission_retry_) on_admission_retry_(admission_retries_);
+  const std::string doc = pending_document_;
+  sim_.cancel(reconnect_timer_);
+  reconnect_timer_ = sim_.schedule_after(delay, [this, doc] {
+    reconnect_timer_ = sim::kNoEvent;
+    if (state_ == ClientState::kBrowsing && !doc.empty()) {
+      request_document(doc);
+    }
+  });
+}
+
+void BrowserSession::give_up_admission(const std::string& why) {
+  log_event("overload: giving up on admission: " + why);
+  outcome_ = SessionOutcome::kAborted;
+  seal_qoe(outcome_);
+  fail(util::Error{util::Error::Code::kAdmissionRejected,
+                   "admission abandoned: " + why});
+}
+
 // --- observability --------------------------------------------------------------
 
 void BrowserSession::finalize_qoe() {
@@ -341,6 +413,12 @@ void BrowserSession::seal_qoe(SessionOutcome outcome) {
   if (hub == nullptr) return;
   auto& rec = hub->qoe().session(trace_id_, "client/" + user_);
   rec.recoveries = recoveries_;
+  rec.admission_retries = admission_retries_;
+  double queue_wait = queue_wait_ms_;
+  if (queue_entered_at_ != Time::max()) {
+    queue_wait += (sim_.now() - queue_entered_at_).to_ms();  // still parked
+  }
+  rec.queue_wait_ms = queue_wait;
   telemetry::QoeOutcome qoe = telemetry::QoeOutcome::kPending;
   switch (outcome) {
     case SessionOutcome::kPending: qoe = telemetry::QoeOutcome::kPending; break;
@@ -380,9 +458,10 @@ void BrowserSession::request_document(const std::string& name) {
   if (first_request_at_ == Time::max()) first_request_at_ = sim_.now();
   transition(ClientState::kRequestingDocument);
   proto::DocumentRequest request{name};
-  if (recovering_ && floor_degradations_ > 0) {
-    // Re-admission already refused us at the granted floors: concede quality
-    // notches (the server only ever degrades — max(subscribed, override)).
+  if (floor_degradations_ > 0) {
+    // Admission already refused us at the granted floors (outage recovery or
+    // overload retries): concede quality notches (the server only ever
+    // degrades — max(subscribed, override)).
     request.video_floor_override = static_cast<std::int8_t>(floor_degradations_);
     request.audio_floor_override = static_cast<std::int8_t>(floor_degradations_);
   }
@@ -553,9 +632,27 @@ void BrowserSession::handle(const proto::TopicListReply& m) {
 }
 
 void BrowserSession::handle(const proto::DocumentReply& m) {
-  if (state_ != ClientState::kRequestingDocument) {
+  if (state_ != ClientState::kRequestingDocument &&
+      state_ != ClientState::kQueuedForAdmission) {
     fail("unexpected DocumentReply");
     return;
+  }
+  if (!m.ok && m.admission == 2) {
+    // Parked in the server's wait queue; a second DocumentReply (grant or
+    // deadline rejection) will follow. The request timer stays armed when
+    // recovery is on, so a server crash in the queue is still an outage.
+    transition(ClientState::kQueuedForAdmission);
+    queue_entered_at_ = sim_.now();
+    log_event("admission queued at position " +
+              std::to_string(m.queue_position));
+    if (on_admission_queued_) on_admission_queued_(m.queue_position);
+    arm_request_timer();
+    return;
+  }
+  const bool was_queued = state_ == ClientState::kQueuedForAdmission;
+  settle_queue_wait();  // a grant or rejection ends any queue stay
+  if (m.ok && was_queued) {
+    log_event("admission granted out of wait queue");
   }
   if (!m.ok) {
     transition(ClientState::kBrowsing);
@@ -582,12 +679,32 @@ void BrowserSession::handle(const proto::DocumentReply& m) {
       });
       return;
     }
-    fail(util::Error{m.retryable_admission
-                         ? util::Error::Code::kAdmissionRejected
-                         : util::Error::Code::kNotFound,
+    if (m.retryable_admission && config_.recovery.retry_admission) {
+      handle_admission_rejection(m);
+      return;
+    }
+    if (m.retryable_admission) {
+      // Terminal admission rejection with no retry policy: a typed fate, so
+      // the QoE/SLO plane accounts for the session instead of dropping it.
+      outcome_ = SessionOutcome::kAborted;
+      seal_qoe(outcome_);
+      fail(util::Error{util::Error::Code::kAdmissionRejected,
+                       "document refused: " + m.reason});
+      return;
+    }
+    fail(util::Error{util::Error::Code::kNotFound,
                      "document refused: " + m.reason});
     return;
   }
+  if (m.admission == 1 && m.degraded_notches > 0) {
+    // The server's degradation ladder admitted us below the requested
+    // quality; the session finishes kDegraded, not kCompleted.
+    floor_degradations_ =
+        std::max(floor_degradations_, int{m.degraded_notches});
+    log_event("admission degraded by " + std::to_string(m.degraded_notches) +
+              " notch(es)");
+  }
+  admission_wait_began_ = Time::max();  // the overload spell is over
   auto parsed = markup::parse(m.markup);
   if (!parsed.ok()) {
     transition(ClientState::kBrowsing);

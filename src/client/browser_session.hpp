@@ -21,6 +21,7 @@ enum class ClientState : std::uint8_t {
   kSubscribing,     // server asked for the subscription form
   kBrowsing,        // authenticated; may list/search/request
   kRequestingDocument,
+  kQueuedForAdmission,  // server parked the request in its wait queue
   kSettingUp,       // StreamSetup sent, waiting for stream facts
   kViewing,
   kPaused,
@@ -62,6 +63,22 @@ struct RecoveryConfig {
   int max_attempts = 8;
   /// How many quality-floor notches re-admission may cost before giving up.
   int max_floor_degradations = 3;
+
+  // --- overload retry (admission rejection) ---------------------------------
+  // Active even when `enabled` is false: retrying a rejected admission needs
+  // no outage machinery, only client-local timers, so a population session
+  // without crash recovery can still ride out a flash crowd.
+  /// Retry a retryable admission rejection with capped exponential backoff
+  /// (honoring the server's retry_after hint when it is larger).
+  bool retry_admission = false;
+  /// Rejections tolerated before the session gives up (typed kAborted fate).
+  int max_admission_retries = 6;
+  /// Concede one quality-floor notch every N rejections (bounded by
+  /// max_floor_degradations); 0 never concedes.
+  int concede_every = 2;
+  /// Sim-time budget from the first rejection before giving up regardless
+  /// of the retry count — the user's patience.
+  Time admission_patience = Time::sec(10);
 };
 
 /// The browser's session with ONE multimedia server: drives the §5
@@ -85,6 +102,7 @@ class BrowserSession {
 
   using Notify = std::function<void()>;
   using FailFn = std::function<void(const std::string&)>;
+  using CountFn = std::function<void(int)>;
 
   BrowserSession(net::Network& net, net::NodeId node, net::Endpoint server,
                  Config config);
@@ -155,6 +173,10 @@ class BrowserSession {
   [[nodiscard]] bool recovering() const { return recovering_; }
   [[nodiscard]] int recovery_count() const { return recoveries_; }
   [[nodiscard]] int floor_degradations() const { return floor_degradations_; }
+  /// Admission rejections this session retried past (lifetime).
+  [[nodiscard]] int admission_retries() const { return admission_retries_; }
+  /// Total sim time spent parked in a server admission wait queue.
+  [[nodiscard]] double queue_wait_ms() const { return queue_wait_ms_; }
   /// Scenario position the last recovery resumed playout from.
   [[nodiscard]] Time resume_position() const { return resume_position_; }
   /// Chronological log of state transitions and notable protocol events —
@@ -188,6 +210,21 @@ class BrowserSession {
   void set_on_error(FailFn fn) { on_error_ = std::move(fn); }
   void set_on_closed(Notify fn) { on_closed_ = std::move(fn); }
   void set_on_suspended(Notify fn) { on_suspended_ = std::move(fn); }
+  /// The server parked our DocumentRequest in its wait queue (arg: 0-based
+  /// queue position).
+  void set_on_admission_queued(CountFn fn) {
+    on_admission_queued_ = std::move(fn);
+  }
+  /// An admission rejection was scheduled for retry (arg: retry ordinal).
+  void set_on_admission_retry(CountFn fn) {
+    on_admission_retry_ = std::move(fn);
+  }
+
+  /// Capped exponential backoff with jitter, pure in (config, attempt, rng):
+  /// initial * 2^min(attempt,16), capped, +-jitter fraction drawn from
+  /// `rng`. Exposed for the determinism unit tests.
+  [[nodiscard]] static Time backoff_for(const RecoveryConfig& rc, int attempt,
+                                        util::Rng& rng);
 
  private:
   void send(const proto::Message& msg);
@@ -214,6 +251,17 @@ class BrowserSession {
   void finish_presentation();
   [[nodiscard]] Time backoff_delay();
   void cancel_recovery_timers();
+
+  // --- overload retry ----------------------------------------------------------
+  /// Handle a retryable admission rejection outside of outage recovery:
+  /// backoff (honoring the server hint), bounded quality concessions, and a
+  /// patience budget; gives the session a typed kAborted fate on exhaustion.
+  void handle_admission_rejection(const proto::DocumentReply& m);
+  /// Terminal admission failure: seal a typed fate so the QoE/SLO plane
+  /// accounts for the session instead of silently dropping it.
+  void give_up_admission(const std::string& why);
+  /// Fold a completed stay in the server's wait queue into queue_wait_ms_.
+  void settle_queue_wait();
 
   // --- observability -----------------------------------------------------------
   /// Fold the live presentation's playout accounting (rebuffers, skew,
@@ -276,6 +324,10 @@ class BrowserSession {
   int recovery_attempts_ = 0;   // consecutive failures this outage
   int recoveries_ = 0;          // successful re-establishments, lifetime
   int floor_degradations_ = 0;  // quality notches conceded to re-admission
+  int admission_retries_ = 0;   // rejections retried past, lifetime
+  Time admission_wait_began_ = Time::max();  // first rejection of this spell
+  Time queue_entered_at_ = Time::max();      // parked in the server queue
+  double queue_wait_ms_ = 0.0;  // completed queue stays, lifetime
   Time resume_position_;        // scenario position to resume playout from
   SessionOutcome outcome_ = SessionOutcome::kPending;
   std::int64_t progress_marker_ = -1;  // liveness: last observed progress
@@ -302,6 +354,8 @@ class BrowserSession {
   FailFn on_error_;
   Notify on_closed_;
   Notify on_suspended_;
+  CountFn on_admission_queued_;
+  CountFn on_admission_retry_;
 };
 
 }  // namespace hyms::client

@@ -11,6 +11,7 @@
 #include "hermes/deployment.hpp"
 #include "hermes/lesson_builder.hpp"
 #include "hermes/sample_content.hpp"
+#include "net/fault.hpp"
 #include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
@@ -84,6 +85,8 @@ enum class EventKind : std::uint8_t {
   kChurn = 3,
   kAbandon = 4,
   kError = 5,
+  kQueued = 6,   // server parked the request in its admission wait queue
+  kRetry = 7,    // client scheduled an admission-rejection retry
 };
 
 const char* kind_name(EventKind k) {
@@ -94,6 +97,8 @@ const char* kind_name(EventKind k) {
     case EventKind::kChurn: return "churn";
     case EventKind::kAbandon: return "abandon";
     case EventKind::kError: return "error";
+    case EventKind::kQueued: return "queued";
+    case EventKind::kRetry: return "retry";
   }
   return "?";
 }
@@ -182,7 +187,45 @@ struct SessionState {
   bool churned = false;
   bool abandoned = false;
   bool errored = false;
+  /// Patience extensions left for a session observably mid-retry (a session
+  /// parked in the server's wait queue extends for free — see
+  /// check_impatience). Three: the retry loop quotes concrete retry-after
+  /// hints, so an engaged user hangs on for a few rounds before walking.
+  int extensions_left = 3;
 };
+
+/// Impatience: abandon if viewing never starts within `patience` of the
+/// check being armed. A session visibly parked in the server's wait queue
+/// keeps its patience alive — the user is watching a live queue position,
+/// and every stay is bounded by the server's queue deadline plus the
+/// client's retry budget, so this cannot extend forever. A session merely
+/// mid-retry gets ONE extension ("the system said come back") and then
+/// abandons for real.
+void check_impatience(sim::Simulator& psim, SessionState* st,
+                      std::vector<LogEntry>* log, std::size_t sid,
+                      Time patience) {
+  psim.schedule_at(psim.now() + patience, [&psim, st, log, sid, patience] {
+    if (st->viewing || st->errored || st->session == nullptr) return;
+    const bool queued =
+        st->session->state() == client::ClientState::kQueuedForAdmission;
+    if (queued) {
+      check_impatience(psim, st, log, sid, patience);
+      return;
+    }
+    if (st->session->admission_retries() > 0 && st->extensions_left > 0) {
+      --st->extensions_left;
+      check_impatience(psim, st, log, sid, patience);
+      return;
+    }
+    st->abandoned = true;
+    // The `a` column records the client state the session gave up in —
+    // separates "never got a reply" from "mid-retry" in the event log.
+    log->push_back({psim.now().us(), static_cast<std::int32_t>(sid),
+                    EventKind::kAbandon,
+                    static_cast<std::int64_t>(st->session->state())});
+    st->session->disconnect();
+  });
+}
 
 }  // namespace
 
@@ -224,6 +267,18 @@ PopulationResult run_population(const PopulationConfig& cfg, int threads) {
   dcfg.client_propagation_spread = Time::usec(13);
   dcfg.server_propagation_spread = Time::usec(7);
   dcfg.server_template = cfg.server_template;
+  if (cfg.overload_control) {
+    // Give the fleet an overload posture unless the caller's template
+    // already took a stance: bounded wait queue + 2-notch ladder. The
+    // deadline must cover a full head-of-line drain of the queue (depth /
+    // service rate), or the tail of every burst times out by construction.
+    server::AdmissionControl::Config& adm = dcfg.server_template.admission;
+    if (adm.queue_limit == 0) {
+      adm.queue_limit = 128;
+      adm.queue_deadline = Time::sec(15);
+    }
+    if (adm.degrade_steps == 0) adm.degrade_steps = 2;
+  }
   std::shared_ptr<media::FrameCache> cache = cfg.frame_cache;
   if (cache == nullptr) {
     media::FrameCache::Config cc;
@@ -241,6 +296,44 @@ PopulationResult run_population(const PopulationConfig& cfg, int threads) {
     exec.set_lookahead(lookahead);
   }
 
+  // Chaos: a fixed, seed-independent fault script aimed at the flash crowd —
+  // server 0 (doc-1's home, the crowd's target) crashes with its wait queue
+  // populated and comes back; a backbone link flaps during the retry storm.
+  // Armed before the run so the per-partition thunks enter every kernel's
+  // calendar in plan order (the parallel-executor determinism contract).
+  std::unique_ptr<net::FaultInjector> injector;
+  if (cfg.chaos) {
+    injector = std::make_unique<net::FaultInjector>(net);
+    const int crash_target = injector->register_server(
+        "pop-server-0", deployment.server_node(0),
+        [&deployment] { deployment.server(0).crash(); },
+        [&deployment] { deployment.server(0).restart(); });
+    net::FaultPlan plan;
+    net::FaultEvent crash;
+    crash.at = cfg.flash_at + Time::msec(800);
+    crash.kind = net::FaultKind::kServerCrash;
+    crash.server = crash_target;
+    plan.add(crash);
+    net::FaultEvent restart = crash;
+    restart.at = cfg.flash_at + Time::msec(2300);
+    restart.kind = net::FaultKind::kServerRestart;
+    plan.add(restart);
+    if (cfg.servers > 1) {
+      net::FaultEvent down;
+      down.at = cfg.flash_at + Time::sec(3);
+      down.kind = net::FaultKind::kLinkDown;
+      down.a = deployment.router();
+      down.b = deployment.server_node(1);
+      plan.add(down);
+      net::FaultEvent up = down;
+      up.at = down.at + Time::msec(500);
+      up.kind = net::FaultKind::kLinkUp;
+      plan.add(up);
+    }
+    plan.normalize();
+    injector->arm(plan);
+  }
+
   // Every server carries every document under identical media-source names:
   // the shared FrameCache then deduplicates frame synthesis fleet-wide.
   for (int s = 0; s < cfg.servers; ++s) {
@@ -255,6 +348,8 @@ PopulationResult run_population(const PopulationConfig& cfg, int threads) {
   }
 
   // --- spawn plan: arrivals pre-scheduled on each client's own kernel ------
+  const bool overload = cfg.overload_control;
+  const bool chaos = cfg.chaos;
   std::vector<SessionState> states(plans.size());
   std::vector<std::vector<LogEntry>> logs(num_parts);  // partition-local
   for (std::size_t i = 0; i < plans.size(); ++i) {
@@ -267,13 +362,23 @@ PopulationResult run_population(const PopulationConfig& cfg, int threads) {
     const int server_idx = plan.doc % cfg.servers;
 
     psim.schedule_at(plan.arrival, [&net, &deployment, &psim, st, log, sid,
-                                    plan, server_idx] {
+                                    plan, server_idx, overload, chaos] {
       const std::string user = "pop-" + std::to_string(sid);
       client::BrowserSession::Config bc;
       bc.presentation.record_events = false;
       // Pre-assigned trace ids keep QoE record keys identical at every
       // partition count (per-partition allocators would drift).
       bc.trace_id = static_cast<std::uint32_t>(sid) + 1;
+      if (overload) {
+        // Ride out the flash crowd: retry retryable rejections with capped
+        // backoff, concede quality every other retry, and give up (typed
+        // kAborted fate) once the plan's own jittered patience runs out.
+        bc.recovery.retry_admission = true;
+        bc.recovery.admission_patience = plan.patience;
+      }
+      // Crashed sessions must reconnect for chaos runs to measure anything
+      // beyond the crash itself.
+      if (chaos) bc.recovery.enabled = true;
       st->session = std::make_unique<client::BrowserSession>(
           net, deployment.client_node(sid),
           deployment.server(server_idx).control_endpoint(), bc);
@@ -300,23 +405,33 @@ PopulationResult run_population(const PopulationConfig& cfg, int threads) {
         st->finished = true;
         log->push_back({psim.now().us(), sid, EventKind::kFinish,
                         static_cast<std::int64_t>(st->session->outcome())});
+        // A finished viewer leaves: the disconnect releases the session's
+        // admission reservation so the freed capacity drains the wait queue.
+        // Without it every completed session squats on its reservation to
+        // the end of the run and the fleet "fills up" permanently. Deferred
+        // one event — this callback fires from inside the presentation
+        // runtime, which disconnect() destroys.
+        psim.schedule_at(psim.now(), [st] {
+          if (st->session != nullptr && !st->churned) st->session->disconnect();
+        });
       });
       st->session->set_on_error([&psim, st, log, sid](const std::string&) {
         if (st->errored) return;
         st->errored = true;
         log->push_back({psim.now().us(), sid, EventKind::kError, 0});
       });
+      st->session->set_on_admission_queued([&psim, log, sid](int position) {
+        log->push_back({psim.now().us(), sid, EventKind::kQueued, position});
+      });
+      st->session->set_on_admission_retry([&psim, log, sid](int attempt) {
+        log->push_back({psim.now().us(), sid, EventKind::kRetry, attempt});
+      });
       log->push_back({psim.now().us(), sid, EventKind::kArrive, plan.doc});
       st->session->connect(user, "secret-" + user);
       st->session->queue_document("doc-" +
                                   std::to_string(plan.doc + 1));
-      // Impatience: give up if viewing never starts.
-      psim.schedule_at(psim.now() + plan.patience, [&psim, st, log, sid] {
-        if (st->viewing || st->errored || st->session == nullptr) return;
-        st->abandoned = true;
-        log->push_back({psim.now().us(), sid, EventKind::kAbandon, 0});
-        st->session->disconnect();
-      });
+      check_impatience(psim, st, log, static_cast<std::size_t>(sid),
+                       plan.patience);
     });
   }
 
@@ -338,7 +453,18 @@ PopulationResult run_population(const PopulationConfig& cfg, int threads) {
   for (auto& st : states) {
     if (st.session != nullptr) st.session->finalize_qoe();
     if (st.errored) {
-      ++r.failed;
+      // Typed fate split: a terminal admission rejection (immediate, retry
+      // budget/patience exhausted, or queue deadline/crash while parked) is
+      // an overload outcome, not a protocol failure.
+      const bool admission_fate =
+          st.session != nullptr && !st.session->last_status().ok() &&
+          st.session->last_status().error().code ==
+              util::Error::Code::kAdmissionRejected;
+      if (admission_fate) {
+        ++r.rejected;
+      } else {
+        ++r.failed;
+      }
     } else if (st.abandoned) {
       ++r.abandoned;
     } else if (st.churned) {
@@ -354,8 +480,17 @@ PopulationResult run_population(const PopulationConfig& cfg, int threads) {
     }
   }
   for (int s = 0; s < cfg.servers; ++s) {
-    r.admission_rejections += deployment.server(s).admission().rejected_count();
+    const server::AdmissionControl& adm = deployment.server(s).admission();
+    r.admission_rejections += adm.rejected_count();
+    r.queued_total += adm.queued_total();
+    r.queue_grants += adm.queue_grants();
+    r.queue_timeouts += adm.queue_timeouts();
+    r.degraded_grants += adm.degraded_count();
   }
+  for (auto& st : states) {
+    if (st.session != nullptr) r.admission_retries += st.session->admission_retries();
+  }
+  if (injector != nullptr) r.faults_injected = injector->stats().injected;
 
   std::vector<LogEntry> log;
   for (auto& part_log : logs) {
@@ -403,6 +538,14 @@ PopulationResult run_population(const PopulationConfig& cfg, int threads) {
     csv += std::to_string(rec != nullptr ? rec->total_slots : 0);
     csv += ',';
     csv += std::to_string(rec != nullptr ? rec->rebuffer_count : 0);
+    csv += ',';
+    csv += std::to_string(rec != nullptr ? rec->admission_retries : 0);
+    csv += ',';
+    // Queue wait as integer microseconds: deterministic, fingerprintable.
+    csv += std::to_string(
+        rec != nullptr
+            ? static_cast<std::int64_t>(rec->queue_wait_ms * 1000.0)
+            : 0);
     csv += '\n';
   }
   r.events_csv = std::move(csv);
@@ -419,8 +562,15 @@ PopulationResult run_population(const PopulationConfig& cfg, int threads) {
   h = fnv1a_mix(h, static_cast<std::uint64_t>(r.degraded));
   h = fnv1a_mix(h, static_cast<std::uint64_t>(r.churned));
   h = fnv1a_mix(h, static_cast<std::uint64_t>(r.abandoned));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(r.rejected));
   h = fnv1a_mix(h, static_cast<std::uint64_t>(r.failed));
   h = fnv1a_mix(h, static_cast<std::uint64_t>(r.unfinished));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(r.queued_total));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(r.queue_grants));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(r.queue_timeouts));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(r.degraded_grants));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(r.admission_retries));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(r.faults_injected));
   r.fingerprint = h;
 
   if (cfg.telemetry) r.qoe_json = root.qoe().to_json();

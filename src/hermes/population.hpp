@@ -54,6 +54,21 @@ struct PopulationConfig {
   int doc_seconds = 6;
   int video_kbps = 700;
   bool telemetry = true;
+  /// Overload control: servers get an admission wait queue + degradation
+  /// ladder (unless the server_template already configured them) and every
+  /// session retries retryable admission rejections with capped exponential
+  /// backoff, bounded quality concessions, and a patience budget. Sessions
+  /// parked in a server wait queue at their impatience bound keep waiting
+  /// (the server's queue deadline bounds the stay); sessions mid-retry get
+  /// a few patience extensions before walking — the user can see the
+  /// system is alive, so they hang on for the quoted retry.
+  bool overload_control = false;
+  /// Chaos: arm a deterministic FaultPlan against the population — server 0
+  /// crashes 800 ms into the flash crowd (with its wait queue populated) and
+  /// restarts 1.5 s later; the backbone link to server 1 flaps 3 s in. Also
+  /// enables client outage recovery so crashed sessions reconnect. Runs on
+  /// the partitioned executor too — the byte-identity gate applies as ever.
+  bool chaos = false;
   /// Frame cache shared by EVERY server in the fleet regardless of which
   /// partition it lives on (null = create one of frame_cache_bytes).
   std::shared_ptr<media::FrameCache> frame_cache;
@@ -76,10 +91,19 @@ struct PopulationResult {
   std::int64_t degraded = 0;    // finished below granted quality
   std::int64_t churned = 0;     // left mid-view by plan
   std::int64_t abandoned = 0;   // gave up before viewing started
-  std::int64_t failed = 0;      // protocol/admission error
+  std::int64_t rejected = 0;    // terminal admission rejection (typed fate)
+  std::int64_t failed = 0;      // other protocol/transport error
   std::int64_t unfinished = 0;  // still in flight at the horizon
 
   std::int64_t admission_rejections = 0;
+  // Overload-control plane (all zero unless overload_control / a queueing
+  // server_template is in force).
+  std::int64_t queued_total = 0;     // requests parked in a wait queue
+  std::int64_t queue_grants = 0;     // waiters granted when load drained
+  std::int64_t queue_timeouts = 0;   // waiters expired at their deadline
+  std::int64_t degraded_grants = 0;  // admissions below the asked floor
+  std::int64_t admission_retries = 0;  // client-side rejection retries
+  std::int64_t faults_injected = 0;    // chaos plan events applied
   std::uint64_t events_executed = 0;
   /// Parallel-executor accounting (0 when partitions == 1).
   std::uint64_t windows = 0;

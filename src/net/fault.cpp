@@ -169,7 +169,8 @@ FaultPlan make_random_plan(
   return plan;
 }
 
-FaultInjector::FaultInjector(Network& net) : net_(net) {
+FaultInjector::FaultInjector(Network& net)
+    : net_(net), stats_shards_(net.partition_count()) {
   if (auto* hub = net_.sim().telemetry()) {
     auto& tr = hub->tracer();
     trace_track_ = tr.track("faults");
@@ -183,45 +184,81 @@ FaultInjector::FaultInjector(Network& net) : net_(net) {
 
 FaultInjector::~FaultInjector() { cancel(); }
 
-int FaultInjector::register_server(std::string name,
+int FaultInjector::register_server(std::string name, NodeId node,
                                    std::function<void()> crash,
                                    std::function<void()> restart) {
-  servers_.push_back(
-      ServerHooks{std::move(name), std::move(crash), std::move(restart)});
+  servers_.push_back(ServerHooks{std::move(name), node, std::move(crash),
+                                 std::move(restart)});
   return static_cast<int>(servers_.size()) - 1;
 }
 
+std::uint32_t FaultInjector::primary_partition(
+    const FaultEvent& event) const {
+  switch (event.kind) {
+    case FaultKind::kServerCrash:
+    case FaultKind::kServerRestart:
+      if (event.server >= 0 &&
+          event.server < static_cast<int>(servers_.size())) {
+        const NodeId node =
+            servers_[static_cast<std::size_t>(event.server)].node;
+        if (node != kNoNode) return net_.partition_of(node);
+      }
+      return 0;
+    default:
+      if (event.a != kNoNode) return net_.partition_of(event.a);
+      return 0;
+  }
+}
+
 void FaultInjector::arm(const FaultPlan& plan) {
-  auto& sim = net_.sim();
-  pending_.reserve(pending_.size() + plan.events.size());
+  // One thunk per (event, partition), armed pre-run in plan order: every
+  // partition applies its slice of the event at the same sim time, in the
+  // same equal-timestamp schedule order the sequential kernel would use.
+  const auto partitions =
+      static_cast<std::uint32_t>(net_.partition_count());
+  pending_.reserve(pending_.size() + plan.events.size() * partitions);
   for (const FaultEvent& event : plan.events) {
-    const Time at = std::max(event.at, sim.now());
-    pending_.push_back(
-        sim.schedule_at(at, [this, event] { apply(event); }));
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+      auto& sim = net_.sim_of_partition(p);
+      const Time at = std::max(event.at, sim.now());
+      pending_.emplace_back(
+          p, sim.schedule_at(at, [this, event, p] { apply(event, p); }));
+    }
   }
 }
 
 void FaultInjector::cancel() {
-  auto& sim = net_.sim();
-  for (sim::EventId id : pending_) sim.cancel(id);
+  for (const auto& [p, id] : pending_) net_.sim_of_partition(p).cancel(id);
   pending_.clear();
 }
 
-void FaultInjector::for_link_pair(NodeId a, NodeId b,
-                                  const std::function<void(Link&)>& fn) {
-  if (Link* ab = net_.find_link(a, b)) fn(*ab);
-  if (Link* ba = net_.find_link(b, a)) fn(*ba);
+void FaultInjector::for_link_pair_on(NodeId a, NodeId b, std::uint32_t p,
+                                     const std::function<void(Link&)>& fn) {
+  // A link direction's mutable state is owned by its source partition.
+  if (net_.partition_of(a) == p) {
+    if (Link* ab = net_.find_link(a, b)) fn(*ab);
+  }
+  if (net_.partition_of(b) == p) {
+    if (Link* ba = net_.find_link(b, a)) fn(*ba);
+  }
 }
 
-void FaultInjector::apply(const FaultEvent& event) {
-  auto& sim = net_.sim();
-  ++stats_.injected;
-  LOG_DEBUG << "fault @" << sim.now().to_ms() << "ms: "
-            << to_string(event.kind);
+void FaultInjector::apply(const FaultEvent& event, std::uint32_t p) {
+  auto& sim = net_.sim_of_partition(p);
+  const bool primary = primary_partition(event) == p;
+  Stats& stats = stats_shards_[p];
+  if (primary) {
+    ++stats.injected;
+    LOG_DEBUG << "fault @" << sim.now().to_ms() << "ms: "
+              << to_string(event.kind);
+  }
 
   const int family = family_of(event.kind);
   auto* hub = sim.telemetry();
-  if (hub != nullptr && trace_track_ != telemetry::kInvalidTraceId) {
+  if (hub != nullptr && trace_track_ != telemetry::kInvalidTraceId &&
+      net_.partition_count() == 1) {
+    // Episode spans only on the single-kernel run: the span tracer state is
+    // injector-global, which partition threads must not share.
     auto& tr = hub->tracer();
     if (family >= 0 && !span_open_) {
       tr.begin(trace_track_, n_episode_[family], sim.now());
@@ -232,8 +269,10 @@ void FaultInjector::apply(const FaultEvent& event) {
     }
   }
   if (hub != nullptr) {
-    // World-scoped flight-recorder entry: every abnormal session's black-box
-    // dump interleaves these with its own events.
+    // World-scoped flight-recorder entry, noted on EVERY partition's hub:
+    // a session seals its black box against its own partition's world ring,
+    // which must therefore read the same everywhere (and the same as the
+    // sequential kernel's single ring).
     std::string text = std::string("fault: ") + to_string(event.kind);
     if (event.kind == FaultKind::kServerCrash ||
         event.kind == FaultKind::kServerRestart) {
@@ -250,50 +289,55 @@ void FaultInjector::apply(const FaultEvent& event) {
 
   switch (event.kind) {
     case FaultKind::kLinkDown:
-      ++stats_.link_flaps;
-      for_link_pair(event.a, event.b, [](Link& l) { l.set_up(false); });
+      if (primary) ++stats.link_flaps;
+      for_link_pair_on(event.a, event.b, p,
+                       [](Link& l) { l.set_up(false); });
       break;
     case FaultKind::kLinkUp:
-      for_link_pair(event.a, event.b, [](Link& l) { l.set_up(true); });
+      for_link_pair_on(event.a, event.b, p, [](Link& l) { l.set_up(true); });
       break;
     case FaultKind::kBandwidthCollapse:
-      ++stats_.bandwidth_collapses;
-      for_link_pair(event.a, event.b, [&event](Link& l) {
-        LinkParams p = l.params();
-        p.bandwidth_bps *= event.fraction;
-        l.push_override(std::move(p));
+      if (primary) ++stats.bandwidth_collapses;
+      for_link_pair_on(event.a, event.b, p, [&event](Link& l) {
+        LinkParams params = l.params();
+        params.bandwidth_bps *= event.fraction;
+        l.push_override(std::move(params));
       });
       break;
     case FaultKind::kBandwidthRestore:
-      for_link_pair(event.a, event.b, [](Link& l) { l.pop_override(); });
+      for_link_pair_on(event.a, event.b, p,
+                       [](Link& l) { l.pop_override(); });
       break;
     case FaultKind::kBurstLossBegin:
-      ++stats_.burst_episodes;
-      for_link_pair(event.a, event.b, [&event](Link& l) {
-        LinkParams p = l.params();
-        p.loss = std::make_shared<GilbertElliottLoss>(event.burst);
-        l.push_override(std::move(p));
+      if (primary) ++stats.burst_episodes;
+      for_link_pair_on(event.a, event.b, p, [&event](Link& l) {
+        LinkParams params = l.params();
+        params.loss = std::make_shared<GilbertElliottLoss>(event.burst);
+        l.push_override(std::move(params));
       });
       break;
     case FaultKind::kBurstLossEnd:
-      for_link_pair(event.a, event.b, [](Link& l) { l.pop_override(); });
+      for_link_pair_on(event.a, event.b, p,
+                       [](Link& l) { l.pop_override(); });
       break;
     case FaultKind::kPartitionNode:
-      ++stats_.partitions;
-      net_.isolate(event.a);
+      if (primary) ++stats.partitions;
+      net_.set_links_touching(event.a, p, /*up=*/false);
       break;
     case FaultKind::kHealNode:
-      net_.rejoin(event.a);
+      net_.set_links_touching(event.a, p, /*up=*/true);
       break;
     case FaultKind::kServerCrash:
-      ++stats_.server_crashes;
-      if (event.server >= 0 &&
-          event.server < static_cast<int>(servers_.size())) {
-        servers_[static_cast<std::size_t>(event.server)].crash();
+      if (primary) {
+        ++stats.server_crashes;
+        if (event.server >= 0 &&
+            event.server < static_cast<int>(servers_.size())) {
+          servers_[static_cast<std::size_t>(event.server)].crash();
+        }
       }
       break;
     case FaultKind::kServerRestart:
-      if (event.server >= 0 &&
+      if (primary && event.server >= 0 &&
           event.server < static_cast<int>(servers_.size())) {
         servers_[static_cast<std::size_t>(event.server)].restart();
       }
@@ -301,19 +345,33 @@ void FaultInjector::apply(const FaultEvent& event) {
   }
 }
 
+FaultInjector::Stats FaultInjector::stats() const {
+  Stats total;
+  for (const Stats& shard : stats_shards_) {
+    total.injected += shard.injected;
+    total.link_flaps += shard.link_flaps;
+    total.bandwidth_collapses += shard.bandwidth_collapses;
+    total.burst_episodes += shard.burst_episodes;
+    total.partitions += shard.partitions;
+    total.server_crashes += shard.server_crashes;
+  }
+  return total;
+}
+
 void FaultInjector::flush_telemetry() {
   auto* hub = net_.sim().telemetry();
   if (hub == nullptr) return;
+  const Stats total = stats();
   auto& m = hub->metrics();
-  m.set(m.gauge("fault/injected"), static_cast<double>(stats_.injected));
-  m.set(m.gauge("fault/link_flaps"), static_cast<double>(stats_.link_flaps));
+  m.set(m.gauge("fault/injected"), static_cast<double>(total.injected));
+  m.set(m.gauge("fault/link_flaps"), static_cast<double>(total.link_flaps));
   m.set(m.gauge("fault/bandwidth_collapses"),
-        static_cast<double>(stats_.bandwidth_collapses));
+        static_cast<double>(total.bandwidth_collapses));
   m.set(m.gauge("fault/burst_episodes"),
-        static_cast<double>(stats_.burst_episodes));
-  m.set(m.gauge("fault/partitions"), static_cast<double>(stats_.partitions));
+        static_cast<double>(total.burst_episodes));
+  m.set(m.gauge("fault/partitions"), static_cast<double>(total.partitions));
   m.set(m.gauge("fault/server_crashes"),
-        static_cast<double>(stats_.server_crashes));
+        static_cast<double>(total.server_crashes));
 }
 
 }  // namespace hyms::net

@@ -94,6 +94,15 @@ struct ChaosProfile {
 /// network (and registered servers) when its time comes. Telemetry: one span
 /// per episode on the "faults" track, instants for one-shot events, and
 /// fault/* gauges from flush_telemetry().
+///
+/// Partition-aware: on a partitioned Network each event is armed as one
+/// thunk per partition (pre-run, in plan order — the slab kernel's
+/// equal-timestamp schedule order then matches the sequential kernel), and
+/// every partition applies only its own slice at the event's sim time — a
+/// link direction flips on its source partition, a server crashes on its
+/// node's partition, and every partition's QoE hub notes the world event so
+/// flight-recorder dumps stay byte-identical to the sequential kernel.
+/// Injection counters are sharded per partition and summed by stats().
 class FaultInjector {
  public:
   explicit FaultInjector(Network& net);
@@ -104,11 +113,22 @@ class FaultInjector {
   /// Register a crashable server (e.g. MultimediaServer::crash/restart
   /// bound through std::function to keep net/ below server/ in the layer
   /// graph). Returns the server index FaultEvent::server refers to.
-  int register_server(std::string name, std::function<void()> crash,
+  /// `node`, when given, homes the crash/restart thunks on the server
+  /// node's partition; without it they run on partition 0 (fine on a
+  /// sequential kernel, required knowledge on a partitioned one).
+  int register_server(std::string name, NodeId node,
+                      std::function<void()> crash,
                       std::function<void()> restart);
+  int register_server(std::string name, std::function<void()> crash,
+                      std::function<void()> restart) {
+    return register_server(std::move(name), kNoNode, std::move(crash),
+                           std::move(restart));
+  }
 
   /// Schedule every event of `plan` (copied). May be called once per run;
-  /// cancel() drops anything still pending.
+  /// cancel() drops anything still pending. Must be called before
+  /// ParallelExec::run_until on a partitioned network (arming mid-run would
+  /// race the partition threads).
   void arm(const FaultPlan& plan);
   void cancel();
 
@@ -120,7 +140,8 @@ class FaultInjector {
     std::int64_t partitions = 0;
     std::int64_t server_crashes = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Counters summed across partition shards.
+  [[nodiscard]] Stats stats() const;
 
   /// Snapshot counters into the telemetry hub (fault/* gauges).
   void flush_telemetry();
@@ -128,22 +149,28 @@ class FaultInjector {
  private:
   struct ServerHooks {
     std::string name;
+    NodeId node = kNoNode;
     std::function<void()> crash;
     std::function<void()> restart;
   };
 
-  void apply(const FaultEvent& event);
-  void for_link_pair(NodeId a, NodeId b, const std::function<void(Link&)>& fn);
+  /// Apply partition `p`'s slice of `event`. Exactly one partition (the
+  /// event's primary) owns the injection counters and log line.
+  void apply(const FaultEvent& event, std::uint32_t p);
+  [[nodiscard]] std::uint32_t primary_partition(const FaultEvent& event) const;
+  void for_link_pair_on(NodeId a, NodeId b, std::uint32_t p,
+                        const std::function<void(Link&)>& fn);
 
   Network& net_;
   std::vector<ServerHooks> servers_;
-  std::vector<sim::EventId> pending_;
-  Stats stats_;
+  std::vector<std::pair<std::uint32_t, sim::EventId>> pending_;
+  std::vector<Stats> stats_shards_;  // indexed by partition; summed by stats()
 
   telemetry::TrackId trace_track_ = telemetry::kInvalidTraceId;
   telemetry::NameId n_episode_[5] = {};  // span name per episode family
   bool span_open_ = false;  // SpanTracer tracks are strictly nested; only
-                            // trace non-overlapping episodes as spans
+                            // trace non-overlapping episodes as spans (and
+                            // only on a single-kernel run)
 };
 
 }  // namespace hyms::net

@@ -327,6 +327,19 @@ void Network::isolate(NodeId node) {
   }
 }
 
+void Network::set_links_touching(NodeId node, std::uint32_t p, bool up) {
+  Node& target = *nodes_.at(node);
+  if (target.partition == p) {
+    for (auto& link : target.out_links) link->set_up(up);
+  }
+  for (auto& other : nodes_) {
+    if (other->id == node || other->partition != p) continue;
+    for (auto& link : other->out_links) {
+      if (link->to_node() == node) link->set_up(up);
+    }
+  }
+}
+
 void Network::rejoin(NodeId node) {
   for (auto& link : nodes_.at(node)->out_links) link->set_up(true);
   for (auto& other : nodes_) {

@@ -138,9 +138,20 @@ class Network {
   /// a whole-node partition.
   void isolate(NodeId node);
   void rejoin(NodeId node);
+  /// Partition-sliced isolate/rejoin: flip only the links touching `node`
+  /// whose SOURCE endpoint is homed on partition `p` (a direction's mutable
+  /// state is owned by its source partition). Applying this on every
+  /// partition at one sim time reproduces isolate()/rejoin() exactly —
+  /// that is how FaultInjector runs node partitions on the parallel
+  /// executor without cross-thread link writes.
+  void set_links_touching(NodeId node, std::uint32_t p, bool up);
 
   /// Partition 0's simulator (the only one in single-kernel mode).
   [[nodiscard]] sim::Simulator& sim() { return *sims_[0]; }
+  /// Partition `p`'s simulator; fault thunks are armed per partition here.
+  [[nodiscard]] sim::Simulator& sim_of_partition(std::uint32_t p) {
+    return *sims_.at(p);
+  }
   /// The simulator of the partition `node` is homed on. Components bind
   /// their clocks/timers here so they execute on their node's partition.
   [[nodiscard]] sim::Simulator& sim_at(NodeId node) {

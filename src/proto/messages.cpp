@@ -98,6 +98,10 @@ struct Encoder {
     w.str(m.reason);
     w.str(m.markup);
     w.u8(m.retryable_admission ? 1 : 0);
+    w.u8(m.admission);
+    w.u8(static_cast<std::uint8_t>(m.degraded_notches));
+    w.i64(m.retry_after_us);
+    w.u32(static_cast<std::uint32_t>(m.queue_position + 1));
   }
   void operator()(const StreamSetup& m) const {
     w.u8(static_cast<std::uint8_t>(MsgType::kStreamSetup));
@@ -307,6 +311,10 @@ util::Result<Message> decode(const net::Payload& frame,
         m.reason = r.str();
         m.markup = r.str();
         m.retryable_admission = r.u8() != 0;
+        m.admission = r.u8();
+        m.degraded_notches = static_cast<std::int8_t>(r.u8());
+        m.retry_after_us = r.i64();
+        m.queue_position = static_cast<std::int32_t>(r.u32()) - 1;
         return Message{m};
       }
       case MsgType::kStreamSetup: {

@@ -102,6 +102,16 @@ struct DocumentReply {
   /// True when the refusal was an admission-capacity decision the client
   /// may retry with degraded quality floors (vs. lookup/auth failures).
   bool retryable_admission = false;
+  /// Typed admission outcome: 0 none/admitted at full quality, 1 degraded
+  /// (admitted at lowered floors), 2 queued (a second DocumentReply will
+  /// follow when capacity frees or the queue deadline expires), 3 rejected.
+  std::uint8_t admission = 0;
+  /// Quality-floor steps the server's degradation ladder conceded (1).
+  std::int8_t degraded_notches = 0;
+  /// Server's backoff hint on rejection (3): come back after this long.
+  std::int64_t retry_after_us = 0;
+  /// 0-based wait-queue position when queued (2); -1 otherwise.
+  std::int32_t queue_position = -1;
 };
 
 /// Client -> server: per-stream receive endpoints for the parallel media

@@ -228,22 +228,114 @@ class MultimediaServer::ClientSession {
       send(proto::DocumentReply{false, plan.error().message, ""});
       return;
     }
-    const auto decision = server_.admission_.evaluate_and_reserve(
-        session_key_, plan.value()->floor_total_bps(),
-        tier.admission_utilization);
-    if (!decision.admitted) {
-      ++server_.stats_.admission_rejections;
-      note_qoe_event("server: admission rejected: " + decision.reason);
-      send(proto::DocumentReply{false, decision.reason, "",
-                                /*retryable_admission=*/true});
-      return;
+    // The degradation ladder: rung 0 is the full request; each further rung
+    // concedes one quality-floor notch on both media (clamped at the worst
+    // level) and re-consults the flow-plan cache for its minimum rate.
+    AdmissionControl::Request request;
+    request.key = session_key_;
+    request.tier_utilization = tier.admission_utilization;
+    request.priority = tier.priority;
+    request.ladder.push_back(
+        AdmissionControl::Candidate{0, plan.value()->floor_total_bps()});
+    int prev_video = video_floor;
+    int prev_audio = audio_floor;
+    for (int notch = 1; notch <= server_.admission_.config().degrade_steps;
+         ++notch) {
+      const int v = std::min(video_floor + notch, telemetry::kQoeLevels - 1);
+      const int a = std::min(audio_floor + notch, telemetry::kQoeLevels - 1);
+      if (v == prev_video && a == prev_audio) break;  // ladder saturated
+      prev_video = v;
+      prev_audio = a;
+      const auto rung_plan = server_.plan_for(*doc, v, a);
+      if (!rung_plan.ok()) continue;
+      request.ladder.push_back(AdmissionControl::Candidate{
+          notch, rung_plan.value()->floor_total_bps()});
     }
-    granted_video_floor_ = video_floor;
-    granted_audio_floor_ = audio_floor;
-    pending_document_ = doc;
-    server_.users_.log_lesson(user_, m.document);
+
+    AdmissionControl::WaiterHooks hooks;
+    hooks.on_grant = [this, doc, video_floor, audio_floor, ctx = current_ctx_,
+                      name = m.document](
+                         const AdmissionControl::Decision& d) {
+      grant_document(*doc, name, video_floor, audio_floor, d, ctx);
+    };
+    hooks.on_timeout = [this, ctx = current_ctx_](
+                           const AdmissionControl::Decision& d) {
+      ++server_.stats_.admission_rejections;
+      proto::DocumentReply reply{false, d.reason, "",
+                                 /*retryable_admission=*/true};
+      reply.admission = 3;
+      reply.retry_after_us = d.retry_after_us;
+      const auto saved = current_ctx_;
+      current_ctx_ = ctx;
+      send(reply);
+      current_ctx_ = saved;
+    };
+    hooks.on_failed = [](const util::Error&) {
+      // Server crash with this request still queued: the process (and its
+      // sockets) is gone, so no farewell reply — the client discovers the
+      // loss through its transport and records the fate on its own side.
+      // (No QoE note here: a per-trace entry written on the server's
+      // partition would not land in the client's sealed black box when the
+      // two live on different partitions.)
+    };
+
+    const auto decision = server_.admission_.evaluate(request, std::move(hooks));
+    switch (decision.outcome) {
+      case AdmissionControl::Outcome::kQueued: {
+        proto::DocumentReply reply{false, decision.reason, "",
+                                   /*retryable_admission=*/true};
+        reply.admission = 2;
+        reply.queue_position = decision.queue_position;
+        send(reply);
+        return;
+      }
+      case AdmissionControl::Outcome::kRejected: {
+        ++server_.stats_.admission_rejections;
+        proto::DocumentReply reply{false, decision.reason, "",
+                                   /*retryable_admission=*/true};
+        reply.admission = 3;
+        reply.retry_after_us = decision.retry_after_us;
+        send(reply);
+        return;
+      }
+      case AdmissionControl::Outcome::kAdmitted:
+      case AdmissionControl::Outcome::kDegraded:
+        grant_document(*doc, m.document, video_floor, audio_floor, decision,
+                       current_ctx_);
+        return;
+    }
+  }
+
+  /// Complete an admission grant — immediately, or deferred from the wait
+  /// queue when `release` frees capacity. `ctx` is the trace context of the
+  /// originating DocumentRequest so the (possibly much later) reply still
+  /// joins its causal flow.
+  void grant_document(const StoredDocument& doc, const std::string& name,
+                      int video_floor, int audio_floor,
+                      const AdmissionControl::Decision& decision,
+                      const telemetry::TraceContext& ctx) {
+    granted_video_floor_ =
+        std::min(video_floor + decision.degraded_notches,
+                 telemetry::kQoeLevels - 1);
+    granted_audio_floor_ =
+        std::min(audio_floor + decision.degraded_notches,
+                 telemetry::kQoeLevels - 1);
+    pending_document_ = &doc;
+    server_.users_.log_lesson(user_, name);
     ++server_.stats_.documents_served;
-    send(proto::DocumentReply{true, "", doc->markup_text});
+    // Admission outcomes are logged client-side from the reply fields: a
+    // per-trace QoE note written here would land on the SERVER partition's
+    // hub ring, while the session seals its black box against the CLIENT
+    // partition's ring — the two differ once the pair is split across
+    // partitions, breaking byte-identity of the QoE export.
+    proto::DocumentReply reply{true, "", doc.markup_text};
+    reply.admission = decision.degraded_notches > 0 ? 1 : 0;
+    reply.degraded_notches =
+        static_cast<std::int8_t>(decision.degraded_notches);
+    const auto saved = current_ctx_;
+    current_ctx_ = ctx;
+    send(reply);
+    current_ctx_ = saved;
   }
 
   void handle(const proto::StreamSetup& m) {
@@ -405,7 +497,6 @@ class MultimediaServer::ClientSession {
     suspend_event_ = sim_.schedule_after(keepalive, [this] {
       suspend_event_ = sim::kNoEvent;
       ++server_.stats_.suspend_expiries;
-      note_qoe_event("server: suspend keepalive expired");
       send(proto::SuspendExpired{});
       teardown();
       conn_->close();
@@ -500,15 +591,6 @@ class MultimediaServer::ClientSession {
            state_ != SessionState::kClosed;
   }
 
-  /// Server-side entry in the client session's flight recorder (keyed by the
-  /// trace id the peer stamps on its requests). No-op for untraced peers.
-  void note_qoe_event(const std::string& text) {
-    if (peer_trace_id_ == 0) return;
-    if (auto* hub = sim_.telemetry(); hub != nullptr) {
-      hub->qoe().note_event(peer_trace_id_, sim_.now(), text);
-    }
-  }
-
   void charge_viewing() {
     if (state_ != SessionState::kViewing && state_ != SessionState::kPaused) {
       return;
@@ -545,6 +627,10 @@ class MultimediaServer::ClientSession {
   void teardown() {
     if (state_ == SessionState::kClosed) return;
     stop_all_streams();
+    // A session that dies while still queued for admission leaves the queue
+    // silently (no grant/timeout callback into a dead session) BEFORE the
+    // release below drains the queue into other waiters.
+    server_.admission_.cancel_waiter(session_key_);
     server_.admission_.release(session_key_);
     // Every teardown path runs through here: a pending keepalive expiry (or
     // liveness probe) must never fire into a closed/replaced session.
@@ -585,8 +671,8 @@ class MultimediaServer::ClientSession {
     if (!flows_active) return;  // drained flows legitimately go quiet
     if (sim_.now() - last_peer_activity_ > server_.config_.dead_peer_timeout) {
       ++server_.stats_.dead_peer_teardowns;
-      note_qoe_event("server: dead-peer teardown after " +
-                     server_.config_.dead_peer_timeout.str() + " of silence");
+      // No per-trace QoE note: the ring entry would land on the server's
+      // partition, not the client's sealed box (see grant_document).
       LOG_INFO << server_.config_.name << ": session " << session_key_
                << " peer silent past "
                << server_.config_.dead_peer_timeout.str() << ", reaping";
@@ -737,6 +823,12 @@ void MultimediaServer::crash() {
            << " sessions lost)";
   journal_.clear();
   for (const auto& session : sessions_) session->journal_crash(journal_);
+  // Queued admission waiters die with the process too: fail them with a
+  // typed error while their sessions are still alive (the hooks reference
+  // them), cancelling every queue-deadline timer so none leaks across the
+  // crash/restart boundary.
+  admission_.fail_waiters(util::Error{util::Error::Code::kNetwork,
+                                      config_.name + " crashed"});
   // Destruction order mirrors a process death: sessions (flows, sockets,
   // timers — all RAII) and the listener vanish without any farewell
   // traffic; peers discover the outage through their own timeouts.

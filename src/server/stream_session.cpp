@@ -211,14 +211,10 @@ bool MediaStreamSession::degrade() {
   if (changed) {
     ++quality_changes_;
     note_rate();
-    if (params_.trace.trace_id != 0) {
-      if (auto* hub = sim_.telemetry()) {
-        hub->qoe().note_event(
-            params_.trace.trace_id, sim_.now(),
-            "stream " + spec_.id + ": degrade to level " +
-                std::to_string(converter_.current_level()));
-      }
-    }
+    // No per-trace QoE note: this runs on the server's partition, and a
+    // ring entry for the client's trace must be written on the client's
+    // partition or the sealed flight-recorder boxes diverge under
+    // partitioned execution. The tracer counters above carry the fact.
   }
   return changed;
 }
@@ -228,14 +224,6 @@ bool MediaStreamSession::upgrade() {
   if (changed) {
     ++quality_changes_;
     note_rate();
-    if (params_.trace.trace_id != 0) {
-      if (auto* hub = sim_.telemetry()) {
-        hub->qoe().note_event(
-            params_.trace.trace_id, sim_.now(),
-            "stream " + spec_.id + ": upgrade to level " +
-                std::to_string(converter_.current_level()));
-      }
-    }
   }
   return changed;
 }

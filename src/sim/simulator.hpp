@@ -37,7 +37,7 @@ inline constexpr EventId kNoEvent = 0;
 class Simulator {
  public:
   Simulator() = default;
-  explicit Simulator(std::uint64_t seed) : rng_(seed) {}
+  explicit Simulator(std::uint64_t seed) : rng_(seed), seed_(seed) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
   ~Simulator();
@@ -82,6 +82,13 @@ class Simulator {
   /// Root RNG; components fork substreams so insertion order of components
   /// does not perturb each other's randomness.
   [[nodiscard]] util::Rng& rng() { return rng_; }
+  /// The seed the root RNG started from. A PURE fork base: some components
+  /// (TCP, RTP) draw from the root directly, so its state depends on how
+  /// many such components this kernel constructed — which differs with the
+  /// partition count. A component whose substream must be identical at
+  /// every partition count forks from util::Rng(sim.seed()) instead of from
+  /// rng().
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   /// Safety valve against runaway simulations (default: 500M events).
   void set_event_budget(std::size_t budget) { event_budget_ = budget; }
@@ -186,6 +193,7 @@ class Simulator {
   std::uint32_t slot_count_ = 0;
   std::uint32_t free_head_ = kNilSlot;
   util::Rng rng_{0x48594D53u /* "HYMS" */};
+  std::uint64_t seed_ = 0x48594D53u;
 };
 
 /// RAII repeating timer: fires `fn` every `period` until destroyed or

@@ -125,7 +125,8 @@ void QoeCollector::add(const QoeRecord& record) {
   if (rec.total_slots == 0 && rec.outcome == QoeOutcome::kPending &&
       rec.black_box.empty() && rec.play_ms == 0.0 && rec.startup_ms < 0 &&
       rec.quality_changes == 0 && rec.rebuffer_count == 0 && levels_empty &&
-      rec.recoveries == 0 && rec.max_skew_ms == 0.0) {
+      rec.recoveries == 0 && rec.max_skew_ms == 0.0 &&
+      rec.admission_retries == 0 && rec.queue_wait_ms == 0.0) {
     // Freshly created (or still all-default): plain copy keeps labels exact.
     const std::string label = rec.session;
     rec = record;
@@ -145,6 +146,8 @@ void QoeCollector::add(const QoeRecord& record) {
     rec.level_slots[l] += record.level_slots[l];
   }
   rec.recoveries += record.recoveries;
+  rec.admission_retries += record.admission_retries;
+  rec.queue_wait_ms += record.queue_wait_ms;
   rec.outcome = std::max(rec.outcome, record.outcome);
   rec.black_box.insert(rec.black_box.end(), record.black_box.begin(),
                        record.black_box.end());
@@ -348,11 +351,15 @@ std::string QoeCollector::to_json(const SloTargets& targets) const {
     append_fixed(out, rec->fresh_ratio(), 6);
     std::snprintf(buf, sizeof(buf),
                   ", \"quality_changes\": %d, \"level_slots\": [%d, %d, %d, "
-                  "%d], \"recoveries\": %d, \"black_box\": [",
+                  "%d], \"recoveries\": %d, \"admission_retries\": %d",
                   rec->quality_changes, rec->level_slots[0],
                   rec->level_slots[1], rec->level_slots[2],
-                  rec->level_slots[3], rec->recoveries);
+                  rec->level_slots[3], rec->recoveries,
+                  rec->admission_retries);
     out += buf;
+    out += ", \"queue_wait_ms\": ";
+    append_fixed(out, rec->queue_wait_ms, 3);
+    out += ", \"black_box\": [";
     for (std::size_t i = 0; i < rec->black_box.size(); ++i) {
       out += i == 0 ? "\"" : ", \"";
       append_json_escaped(out, rec->black_box[i]);

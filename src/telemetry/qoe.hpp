@@ -44,6 +44,8 @@ struct QoeRecord {
   int quality_changes = 0;    // degrade + upgrade transitions
   int level_slots[kQoeLevels] = {0, 0, 0, 0};  // delivered-quality samples
   int recoveries = 0;
+  int admission_retries = 0;   // rejections the client retried past
+  double queue_wait_ms = 0.0;  // sim time parked in an admission wait queue
   QoeOutcome outcome = QoeOutcome::kPending;
   /// Flight-recorder dump: populated by QoeCollector::seal only when the
   /// outcome is degraded/aborted; empty (ring freed) on completed.

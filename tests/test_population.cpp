@@ -88,8 +88,8 @@ TEST(PopulationDeterminism, SharedFrameCacheAcrossPartitions) {
 TEST(PopulationFates, EverySessionGetsExactlyOneFate) {
   auto cfg = small_population(3);
   const hermes::PopulationResult r = hermes::run_population(cfg, 1);
-  EXPECT_EQ(r.completed + r.degraded + r.churned + r.abandoned + r.failed +
-                r.unfinished,
+  EXPECT_EQ(r.completed + r.degraded + r.churned + r.abandoned + r.rejected +
+                r.failed + r.unfinished,
             cfg.sessions);
   EXPECT_GT(r.completed, 0);
   // One "arrive" row per session in the canonical log.

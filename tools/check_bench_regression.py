@@ -15,7 +15,10 @@ Understands three JSON schemas, sniffed per file:
 
 - bench_population JSON (context.benchmark == "bench_population"): same
   per-(partitions, threads) cell comparison of events_per_sec, under names
-  like "population/p2t4".
+  like "population/p2t4". Rows carrying a "scenario" field (the --overload
+  sweep) get per-scenario names like "population/overload/p2t4" and
+  "population/chaos/p2t4"; the "base" scenario keeps the legacy
+  "population/p2t4" name so old baselines stay comparable.
 
 For both cell schemas the FRESH file's "deterministic" flag must be true —
 a divergent parallel simulation is a correctness failure regardless of
@@ -68,8 +71,10 @@ def family_items_per_second(doc):
     if prefix is not None:
         out = {}
         for row in doc.get("results", []):
-            name = "{}/p{}t{}".format(prefix, row.get("partitions"),
-                                      row.get("threads"))
+            scenario = row.get("scenario", "base")
+            mid = "" if scenario == "base" else scenario + "/"
+            name = "{}/{}p{}t{}".format(prefix, mid, row.get("partitions"),
+                                        row.get("threads"))
             if "events_per_sec" in row:
                 out[name] = float(row["events_per_sec"])
         return out

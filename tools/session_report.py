@@ -43,7 +43,7 @@ OUTCOMES = ("completed", "degraded", "aborted", "pending")
 SESSION_NUMBER_FIELDS = (
     "trace_id", "startup_ms", "rebuffer_count", "rebuffer_ms", "play_ms",
     "rebuffer_ratio", "max_skew_ms", "fresh_ratio", "quality_changes",
-    "recoveries",
+    "recoveries", "admission_retries", "queue_wait_ms",
 )
 
 
@@ -146,6 +146,9 @@ def print_session_qoe(rec):
           f"max skew {rec['max_skew_ms']:.1f} ms | "
           f"quality changes {rec['quality_changes']} "
           f"levels {rec['level_slots']} | recoveries {rec['recoveries']}")
+    if rec.get("admission_retries") or rec.get("queue_wait_ms"):
+        print(f"   admission retries {rec['admission_retries']} | "
+              f"queue wait {rec['queue_wait_ms']:.0f} ms")
     black_box = rec.get("black_box", [])
     if black_box:
         print("   flight recorder:")
